@@ -1,0 +1,89 @@
+//! The traditional batch OLAP baseline (§8.1): answer the query on the
+//! whole dataset with the unmodified batch engine — no mini-batches, no
+//! approximation, full latency.
+
+use iolap_engine::{execute, plan_sql, EngineError, FunctionRegistry, PlanError, PlannedQuery};
+use iolap_relation::{Catalog, Relation};
+use std::time::{Duration, Instant};
+
+/// Outcome of a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// Exact query result.
+    pub relation: Relation,
+    /// Output names.
+    pub names: Vec<String>,
+    /// End-to-end latency.
+    pub elapsed: Duration,
+}
+
+/// Run `sql` exactly on the full catalog, timed.
+pub fn run_baseline(
+    sql: &str,
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+) -> Result<BaselineReport, BaselineError> {
+    let pq = plan_sql(sql, catalog, registry)?;
+    run_baseline_plan(&pq, catalog)
+}
+
+/// Run an already-planned query exactly, timed.
+pub fn run_baseline_plan(
+    pq: &PlannedQuery,
+    catalog: &Catalog,
+) -> Result<BaselineReport, BaselineError> {
+    let start = Instant::now();
+    let relation = execute(&pq.plan, catalog)?;
+    Ok(BaselineReport {
+        relation,
+        names: pq.output_names.clone(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Baseline errors.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Planning failed.
+    Plan(PlanError),
+    /// Execution failed.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Plan(e) => write!(f, "{e}"),
+            BaselineError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<PlanError> for BaselineError {
+    fn from(e: PlanError) -> Self {
+        BaselineError::Plan(e)
+    }
+}
+impl From<EngineError> for BaselineError {
+    fn from(e: EngineError) -> Self {
+        BaselineError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_workloads::{conviva_catalog, conviva_query, conviva_registry};
+
+    #[test]
+    fn baseline_runs_and_times() {
+        let cat = conviva_catalog(300, 1);
+        let reg = conviva_registry();
+        let q = conviva_query("SBI").unwrap();
+        let r = run_baseline(q.sql, &cat, &reg).unwrap();
+        assert_eq!(r.relation.len(), 1);
+        assert!(r.elapsed.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # iolap-baselines
+//!
+//! The comparator systems of the paper's evaluation (§8):
+//!
+//! * [`baseline`] — the traditional batch engine run on the full dataset
+//!   ("unmodified SparkSQL");
+//! * [`hda`] — the DBToaster-style higher-order delta algorithm: classical
+//!   delta rules for flat SPJA, incrementally maintained inner views plus
+//!   outer recomputation on `D_i` for nested queries (the `O(p²)` behaviour
+//!   of §3.1);
+//! * [`ola`] — classic Online Aggregation, flat SPJA only.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod hda;
+pub mod ola;
+
+pub use baseline::{run_baseline, run_baseline_plan, BaselineError, BaselineReport};
+pub use hda::HdaDriver;
+pub use ola::OlaDriver;

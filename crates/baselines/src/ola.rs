@@ -1,0 +1,145 @@
+//! Classic Online Aggregation (Hellerstein et al., [26]).
+//!
+//! OLA supports *flat SPJA queries only* (§1: "A limited form of incremental
+//! query processing for simple SPJA queries was proposed in Online
+//! Aggregation"); nested aggregate subqueries are outside its query class.
+//! For the supported class its delta behaviour coincides with the classical
+//! rules, so the implementation shares the flat path and rejects anything
+//! nested.
+
+use iolap_core::{BatchReport, DriverError, IolapConfig, IolapDriver};
+use iolap_engine::{FunctionRegistry, Plan, PlannedQuery};
+use iolap_relation::Catalog;
+
+/// The OLA driver.
+pub struct OlaDriver {
+    inner: IolapDriver,
+}
+
+impl OlaDriver {
+    /// Compile a flat SPJA query for OLA execution; errors on nested
+    /// aggregate subqueries.
+    pub fn from_sql(
+        sql: &str,
+        catalog: &Catalog,
+        registry: &FunctionRegistry,
+        stream_table: &str,
+        config: IolapConfig,
+    ) -> Result<Self, DriverError> {
+        let pq = iolap_engine::plan_sql(sql, catalog, registry).map_err(DriverError::Plan)?;
+        Self::from_plan(&pq, catalog, stream_table, config)
+    }
+
+    /// Compile a planned flat query.
+    pub fn from_plan(
+        pq: &PlannedQuery,
+        catalog: &Catalog,
+        stream_table: &str,
+        config: IolapConfig,
+    ) -> Result<Self, DriverError> {
+        if has_inner_aggregate(&pq.plan, true) {
+            return Err(DriverError::Setup(
+                "OLA supports only flat SPJA queries; nested aggregate subqueries require iOLAP"
+                    .into(),
+            ));
+        }
+        let inner = IolapDriver::from_plan(pq, catalog, stream_table, config)?;
+        Ok(OlaDriver { inner })
+    }
+
+    /// Number of mini-batches.
+    pub fn num_batches(&self) -> usize {
+        self.inner.num_batches()
+    }
+
+    /// Process the next batch.
+    pub fn step(&mut self) -> Option<Result<BatchReport, DriverError>> {
+        self.inner.step()
+    }
+
+    /// Run all remaining batches.
+    pub fn run_to_completion(&mut self) -> Result<Vec<BatchReport>, DriverError> {
+        self.inner.run_to_completion()
+    }
+}
+
+/// True when an Aggregate appears off the root Project/Select/Sort spine.
+fn has_inner_aggregate(plan: &Plan, on_spine: bool) -> bool {
+    match plan {
+        Plan::Aggregate { input, .. } => {
+            if on_spine {
+                has_inner_aggregate(input, false)
+            } else {
+                true
+            }
+        }
+        Plan::Select { input, .. } | Plan::Sort { input, .. } => {
+            has_inner_aggregate(input, on_spine)
+        }
+        Plan::Project { input, .. } => has_inner_aggregate(input, on_spine),
+        Plan::Join { left, right, .. } => {
+            has_inner_aggregate(left, false) || has_inner_aggregate(right, false)
+        }
+        Plan::SemiJoin { left, right, .. } => {
+            has_inner_aggregate(left, false) || has_inner_aggregate(right, false)
+        }
+        Plan::Union { inputs } => inputs.iter().any(|p| has_inner_aggregate(p, on_spine)),
+        Plan::Scan { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_workloads::{conviva_catalog, conviva_query, conviva_registry};
+
+    #[test]
+    fn ola_accepts_flat() {
+        let cat = conviva_catalog(200, 1);
+        let reg = conviva_registry();
+        let q = conviva_query("C3").unwrap();
+        let mut d = OlaDriver::from_sql(
+            q.sql,
+            &cat,
+            &reg,
+            "sessions",
+            IolapConfig::with_batches(4).trials(10),
+        )
+        .unwrap();
+        let reports = d.run_to_completion().unwrap();
+        assert_eq!(reports.len(), 4);
+    }
+
+    #[test]
+    fn ola_rejects_nested() {
+        let cat = conviva_catalog(200, 1);
+        let reg = conviva_registry();
+        let q = conviva_query("SBI").unwrap();
+        let err = OlaDriver::from_sql(
+            q.sql,
+            &cat,
+            &reg,
+            "sessions",
+            IolapConfig::with_batches(4),
+        )
+        .err()
+        .expect("must reject nested");
+        assert!(matches!(err, DriverError::Setup(_)));
+    }
+
+    #[test]
+    fn ola_union_with_aggregates_is_flat_enough() {
+        // Top-level aggregates in union branches are still "flat".
+        let cat = conviva_catalog(200, 1);
+        let reg = conviva_registry();
+        let sql = "SELECT AVG(play_time) FROM sessions WHERE cdn = 'cdn_alpha'";
+        assert!(OlaDriver::from_sql(
+            sql,
+            &cat,
+            &reg,
+            "sessions",
+            IolapConfig::with_batches(3)
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,135 @@
+//! Micro-benchmarks of the substrate operators: batch executor primitives,
+//! Poisson bootstrap draws, variation-range tracking, and predicate
+//! classification — the building blocks whose costs compose into the
+//! figure-level numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iolap_bootstrap::{poisson1, RangeTracker, VariationRange};
+use iolap_core::{classify, AggRegistry};
+use iolap_engine::{execute, plan_sql, CmpOp, Expr, FunctionRegistry};
+use iolap_relation::{AggRef, Row, Value};
+use iolap_workloads::conviva_catalog;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("poisson1_draws_1k", |b| {
+        let mut acc = 0u32;
+        b.iter(|| {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(poisson1(42, i, 7));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_range_tracker(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("range_tracker_observe_100", |b| {
+        let trials: Vec<f64> = (0..100).map(|i| 30.0 + (i % 7) as f64).collect();
+        b.iter(|| {
+            let mut t = RangeTracker::new(2.0);
+            for _ in 0..20 {
+                t.observe(&trials);
+            }
+            t.current().copied()
+        })
+    });
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut reg = AggRegistry::new();
+    let key: Arc<[Value]> = Arc::from(Vec::<Value>::new());
+    reg.publish(
+        0,
+        key.clone(),
+        vec![Value::Float(35.0)],
+        vec![Arc::from((0..100).map(|i| 30.0 + (i % 10) as f64).collect::<Vec<_>>())],
+        2.0,
+    );
+    let pred = Expr::Cmp {
+        op: CmpOp::Gt,
+        left: Box::new(Expr::Col(0)),
+        right: Box::new(Expr::Col(1)),
+    };
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| Row {
+            values: vec![
+                Value::Float((i % 70) as f64),
+                Value::Ref(AggRef {
+                    agg: 0,
+                    column: 0,
+                    key: key.clone(),
+                }),
+            ]
+            .into(),
+            mult: 1.0,
+        })
+        .collect();
+    let mut g = quick(c);
+    g.bench_function("classify_1k_rows", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|r| classify(&pred, r, &reg) as u8 as u32)
+                .sum::<u32>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_executor(c: &mut Criterion) {
+    let cat = conviva_catalog(2000, 5);
+    let regf = FunctionRegistry::with_builtins();
+    let pq = plan_sql(
+        "SELECT cdn, AVG(play_time), COUNT(*) FROM sessions GROUP BY cdn",
+        &cat,
+        &regf,
+    )
+    .unwrap();
+    let mut g = quick(c);
+    g.bench_function("batch_group_by_2k_rows", |b| {
+        b.iter(|| execute(&pq.plan, &cat).unwrap().len())
+    });
+    let pq2 = plan_sql(
+        "SELECT AVG(play_time) FROM sessions \
+         WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
+        &cat,
+        &regf,
+    )
+    .unwrap();
+    g.bench_function("batch_sbi_2k_rows", |b| {
+        b.iter(|| execute(&pq2.plan, &cat).unwrap().len())
+    });
+    g.finish();
+}
+
+fn bench_interval_width(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("variation_range_from_trials_100", |b| {
+        let trials: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        b.iter(|| VariationRange::from_trials(&trials, 2.0))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ops,
+    bench_poisson,
+    bench_range_tracker,
+    bench_classify,
+    bench_batch_executor,
+    bench_interval_width
+);
+criterion_main!(ops);

@@ -1,0 +1,180 @@
+//! Criterion benches covering the code path of every paper figure at
+//! reduced scale (`ExpScale::bench`), so `cargo bench --workspace`
+//! exercises each experiment. The `experiments` binary produces the
+//! full-scale rows recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iolap_bench::{conviva_workload, total_latency, tpch_workload, ExpScale, Workload};
+use iolap_core::IolapConfig;
+use std::time::Duration;
+
+fn scale() -> ExpScale {
+    ExpScale::bench()
+}
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+/// Fig 7(a): time-to-first-estimate and full incremental run for C8.
+fn fig7a_c8(c: &mut Criterion) {
+    let s = scale();
+    let w = conviva_workload(&s);
+    let q = w.queries.iter().find(|q| q.id == "C8").unwrap().clone();
+    let mut g = quick(c);
+    g.bench_function("fig7a/C8_baseline", |b| {
+        b.iter(|| w.run_baseline(&q).elapsed)
+    });
+    g.bench_function("fig7a/C8_iolap_full", |b| {
+        b.iter(|| total_latency(&w.run_iolap(&q, s.config())))
+    });
+    g.finish();
+}
+
+/// Fig 7(b)/(c): baseline vs iOLAP on a representative query per workload.
+fn fig7bc_latencies(c: &mut Criterion) {
+    let s = scale();
+    let mut g = quick(c);
+    for (w, id) in [
+        (tpch_workload(&s), "Q1"),
+        (tpch_workload(&s), "Q17"),
+        (conviva_workload(&s), "C3"),
+        (conviva_workload(&s), "SBI"),
+    ] {
+        let q = w.queries.iter().find(|q| q.id == id).unwrap().clone();
+        g.bench_with_input(
+            BenchmarkId::new("fig7bc/baseline", id),
+            &(&w, &q),
+            |b, (w, q)| b.iter(|| w.run_baseline(q).elapsed),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fig7bc/iolap", id),
+            &(&w, &q),
+            |b, (w, q)| b.iter(|| total_latency(&w.run_iolap(q, s.config()))),
+        );
+    }
+    g.finish();
+}
+
+/// Fig 8: iOLAP vs HDA delta processing on flat and nested queries.
+fn fig8_delta(c: &mut Criterion) {
+    let s = scale();
+    let w = conviva_workload(&s);
+    let mut g = quick(c);
+    for id in ["C3", "SBI", "C2"] {
+        let q = w.queries.iter().find(|q| q.id == id).unwrap().clone();
+        g.bench_with_input(BenchmarkId::new("fig8/iolap", id), &q, |b, q| {
+            b.iter(|| total_latency(&w.run_iolap(q, s.config())))
+        });
+        g.bench_with_input(BenchmarkId::new("fig8/hda", id), &q, |b, q| {
+            b.iter(|| total_latency(&w.run_hda(q, s.config())))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 9(a): ablation ladder on C2.
+fn fig9a_ablation(c: &mut Criterion) {
+    let s = scale();
+    let w = conviva_workload(&s);
+    let q = w.queries.iter().find(|q| q.id == "C2").unwrap().clone();
+    let mut g = quick(c);
+    for (label, opt1, opt2) in [
+        ("opt1+opt2", true, true),
+        ("opt1_only", true, false),
+        ("none", false, false),
+    ] {
+        g.bench_with_input(BenchmarkId::new("fig9a", label), &q, |b, q| {
+            b.iter(|| total_latency(&w.run_iolap(q, s.config().optimizations(opt1, opt2))))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 9(d,e) / 10(e,f): slack sweep on SBI.
+fn fig9de_slack(c: &mut Criterion) {
+    let s = scale();
+    let w = conviva_workload(&s);
+    let q = w.queries.iter().find(|q| q.id == "SBI").unwrap().clone();
+    let mut g = quick(c);
+    for slack in [0.0_f64, 1.0, 2.0] {
+        g.bench_with_input(
+            BenchmarkId::new("fig9de/slack", format!("{slack}")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    total_latency(&w.run_iolap(
+                        q,
+                        IolapConfig {
+                            slack,
+                            ..s.config()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Fig 9(f,g): batch-size sweep on C3.
+fn fig9fg_batch_size(c: &mut Criterion) {
+    let s = scale();
+    let w = conviva_workload(&s);
+    let q = w.queries.iter().find(|q| q.id == "C3").unwrap().clone();
+    let mut g = quick(c);
+    for batches in [4usize, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("fig9fg/batches", batches),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    total_latency(&w.run_iolap(
+                        q,
+                        IolapConfig {
+                            num_batches: batches,
+                            ..s.config()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn run_one(w: &Workload, id: &str, cfg: IolapConfig) -> Duration {
+    let q = w.queries.iter().find(|q| q.id == id).unwrap().clone();
+    total_latency(&w.run_iolap(&q, cfg))
+}
+
+/// Fig 10: TPC-H nested queries, iOLAP vs HDA.
+fn fig10_tpch_nested(c: &mut Criterion) {
+    let s = scale();
+    let w = tpch_workload(&s);
+    let mut g = quick(c);
+    g.bench_function("fig10/Q17_iolap", |b| {
+        b.iter(|| run_one(&w, "Q17", s.config()))
+    });
+    let q17 = w.queries.iter().find(|q| q.id == "Q17").unwrap().clone();
+    g.bench_function("fig10/Q17_hda", |b| {
+        b.iter(|| total_latency(&w.run_hda(&q17, s.config())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig7a_c8,
+    fig7bc_latencies,
+    fig8_delta,
+    fig9a_ablation,
+    fig9de_slack,
+    fig9fg_batch_size,
+    fig10_tpch_nested
+);
+criterion_main!(figures);

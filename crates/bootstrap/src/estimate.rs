@@ -1,0 +1,128 @@
+//! Error estimates from bootstrap trial outputs.
+//!
+//! The collection of per-trial query results forms an empirical distribution
+//! of the estimator (§2, "Error Estimation"); from it we report the standard
+//! error, relative standard deviation (the y-axis of Figure 7(a)), and
+//! percentile confidence intervals.
+
+/// Summary statistics of one uncertain value's bootstrap distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorEstimate {
+    /// Point estimate (the actual running result, not the trial mean).
+    pub estimate: f64,
+    /// Mean of the trial outputs.
+    pub trial_mean: f64,
+    /// Standard deviation of the trial outputs (the bootstrap standard
+    /// error).
+    pub std_error: f64,
+    /// `std_error / |estimate|`; `f64::INFINITY` when the estimate is 0.
+    pub relative_std: f64,
+    /// Lower endpoint of the percentile confidence interval.
+    pub ci_lo: f64,
+    /// Upper endpoint of the percentile confidence interval.
+    pub ci_hi: f64,
+    /// Confidence level of `[ci_lo, ci_hi]`.
+    pub confidence: f64,
+}
+
+impl ErrorEstimate {
+    /// Build from a point estimate and its trial outputs, with a percentile
+    /// CI at `confidence` (e.g. `0.95`).
+    ///
+    /// Returns `None` when there are no trials (nothing to estimate from).
+    pub fn from_trials(estimate: f64, trials: &[f64], confidence: f64) -> Option<ErrorEstimate> {
+        if trials.is_empty() {
+            return None;
+        }
+        let n = trials.len() as f64;
+        let mean = trials.iter().sum::<f64>() / n;
+        let var = trials.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let std_error = var.sqrt();
+        let mut sorted = trials.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let alpha = (1.0 - confidence) / 2.0;
+        let ci_lo = percentile(&sorted, alpha);
+        let ci_hi = percentile(&sorted, 1.0 - alpha);
+        let relative_std = if estimate == 0.0 {
+            f64::INFINITY
+        } else {
+            std_error / estimate.abs()
+        };
+        Some(ErrorEstimate {
+            estimate,
+            trial_mean: mean,
+            std_error,
+            relative_std,
+            ci_lo,
+            ci_hi,
+            confidence,
+        })
+    }
+
+    /// The half-width of the CI relative to the estimate, a user-facing
+    /// "± x%" accuracy figure.
+    pub fn relative_ci_halfwidth(&self) -> f64 {
+        if self.estimate == 0.0 {
+            f64::INFINITY
+        } else {
+            ((self.ci_hi - self.ci_lo) / 2.0) / self.estimate.abs()
+        }
+    }
+}
+
+/// Linear-interpolated percentile of a sorted slice, `q ∈ [0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trials_yields_none() {
+        assert!(ErrorEstimate::from_trials(1.0, &[], 0.95).is_none());
+    }
+
+    #[test]
+    fn constant_trials_zero_error() {
+        let e = ErrorEstimate::from_trials(5.0, &[5.0; 30], 0.95).unwrap();
+        assert_eq!(e.std_error, 0.0);
+        assert_eq!(e.relative_std, 0.0);
+        assert_eq!(e.ci_lo, 5.0);
+        assert_eq!(e.ci_hi, 5.0);
+    }
+
+    #[test]
+    fn symmetric_trials() {
+        let trials: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let e = ErrorEstimate::from_trials(50.0, &trials, 0.9).unwrap();
+        assert!((e.trial_mean - 50.0).abs() < 1e-9);
+        assert!((e.ci_lo - 5.0).abs() < 1e-9);
+        assert!((e.ci_hi - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_std_of_zero_estimate() {
+        let e = ErrorEstimate::from_trials(0.0, &[1.0, 2.0], 0.95).unwrap();
+        assert!(e.relative_std.is_infinite());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Interval arithmetic for propagating variation ranges through predicate
+//! expressions.
+//!
+//! §5.1 classifies a tuple at predicate `x ϑ y` by whether `R(x) ∩ R(y)` is
+//! empty, where `x` and `y` may be *expressions* over uncertain aggregates
+//! (e.g. `0.2 * AVG(l_quantity)` in Q17, or `0.5 * SUM(...)` in Q20).
+//! Deterministic operands contribute point intervals (`R(d) = {d}`, §5.1);
+//! uncertain aggregate references contribute their tracked variation
+//! ranges; arithmetic combines them conservatively.
+
+use crate::range::VariationRange;
+
+/// Interval addition.
+pub fn add(a: VariationRange, b: VariationRange) -> VariationRange {
+    VariationRange::new(a.lo + b.lo, a.hi + b.hi)
+}
+
+/// Interval subtraction.
+pub fn sub(a: VariationRange, b: VariationRange) -> VariationRange {
+    VariationRange::new(a.lo - b.hi, a.hi - b.lo)
+}
+
+/// Interval negation.
+pub fn neg(a: VariationRange) -> VariationRange {
+    VariationRange::new(-a.hi, -a.lo)
+}
+
+/// Interval multiplication (all four corner products).
+pub fn mul(a: VariationRange, b: VariationRange) -> VariationRange {
+    let corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+    let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    VariationRange { lo, hi }
+}
+
+/// Interval division. When the divisor interval straddles zero the quotient
+/// is unbounded (conservative: the tuple stays non-deterministic).
+pub fn div(a: VariationRange, b: VariationRange) -> VariationRange {
+    if b.contains(0.0) {
+        return VariationRange::unbounded();
+    }
+    mul(a, VariationRange::new(1.0 / b.hi, 1.0 / b.lo))
+}
+
+/// Apply a monotone non-decreasing function to an interval (for monotone
+/// scalar UDFs like `SQRT`, `LN`, `EXP`).
+pub fn map_monotone(a: VariationRange, f: impl Fn(f64) -> f64) -> VariationRange {
+    VariationRange::new(f(a.lo), f(a.hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: f64, hi: f64) -> VariationRange {
+        VariationRange::new(lo, hi)
+    }
+
+    #[test]
+    fn add_sub() {
+        assert_eq!(add(r(1.0, 2.0), r(10.0, 20.0)), r(11.0, 22.0));
+        assert_eq!(sub(r(10.0, 20.0), r(1.0, 2.0)), r(8.0, 19.0));
+    }
+
+    #[test]
+    fn mul_with_signs() {
+        assert_eq!(mul(r(-2.0, 3.0), r(4.0, 5.0)), r(-10.0, 15.0));
+        assert_eq!(mul(r(-2.0, -1.0), r(-3.0, -2.0)), r(2.0, 6.0));
+    }
+
+    #[test]
+    fn mul_by_point_scalar() {
+        // Q17-style: 0.2 * AVG range.
+        let scaled = mul(VariationRange::point(0.2), r(21.1, 53.9));
+        assert!((scaled.lo - 4.22).abs() < 1e-9);
+        assert!((scaled.hi - 10.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn div_straddling_zero_unbounded() {
+        let q = div(r(1.0, 2.0), r(-1.0, 1.0));
+        assert!(q.lo.is_infinite() && q.hi.is_infinite());
+    }
+
+    #[test]
+    fn div_positive() {
+        assert_eq!(div(r(10.0, 20.0), r(2.0, 5.0)), r(2.0, 10.0));
+    }
+
+    #[test]
+    fn neg_flips() {
+        assert_eq!(neg(r(1.0, 2.0)), r(-2.0, -1.0));
+    }
+
+    #[test]
+    fn monotone_map() {
+        let s = map_monotone(r(4.0, 9.0), f64::sqrt);
+        assert_eq!(s, r(2.0, 3.0));
+    }
+}

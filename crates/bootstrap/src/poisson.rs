@@ -1,0 +1,121 @@
+//! Poissonized bootstrap multiplicities.
+//!
+//! iOLAP piggybacks bootstrap onto normal query execution (§2, §7 step 2,
+//! [8]): after scanning a streamed relation, each tuple is annotated with
+//! per-trial multiplicities drawn i.i.d. from Poisson(1). Trial `j` of the
+//! query is then the query evaluated with every tuple's weight multiplied by
+//! its trial-`j` draw — a resample of the same size in expectation.
+//!
+//! Draws must be **deterministic per (seed, row, trial)**: delta update
+//! re-evaluates saved rows across batches, and a row's trial weights must not
+//! change between evaluations, otherwise the bootstrap distributions (and
+//! hence variation ranges) would drift incoherently. We therefore derive
+//! each draw from a counter-based SplitMix64 stream instead of a shared
+//! stateful RNG.
+
+/// Number of bootstrap trials used throughout the paper's experiments.
+pub const DEFAULT_TRIALS: usize = 100;
+
+/// SplitMix64 — tiny, high-quality counter-based generator.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `(0, 1]` from a counter.
+#[inline]
+fn uniform(seed: u64, counter: u64) -> f64 {
+    let bits = splitmix64(seed ^ counter.wrapping_mul(0xA24B_AED4_963E_E407));
+    // 53 random bits → (0, 1]; avoid exactly 0 for the Knuth product loop.
+    (((bits >> 11) + 1) as f64) / ((1u64 << 53) as f64)
+}
+
+/// One Poisson(1) draw via Knuth's product method, deterministic in
+/// `(seed, row_id, trial)`.
+pub fn poisson1(seed: u64, row_id: u64, trial: u32) -> u32 {
+    // L = e^{-1}
+    const L: f64 = 0.367_879_441_171_442_33;
+    let base = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(row_id.wrapping_mul(0xD134_2543_DE82_EF95))
+        .wrapping_add((trial as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    let mut k: u32 = 0;
+    let mut p: f64 = 1.0;
+    loop {
+        p *= uniform(base, k as u64);
+        if p <= L {
+            return k;
+        }
+        k += 1;
+        debug_assert!(k < 64, "runaway Poisson draw");
+    }
+}
+
+/// Per-trial weights for one row: `trials` Poisson(1) draws as `f64`.
+pub fn trial_weights(seed: u64, row_id: u64, trials: usize) -> Vec<f64> {
+    (0..trials)
+        .map(|t| poisson1(seed, row_id, t as u32) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        assert_eq!(poisson1(42, 7, 3), poisson1(42, 7, 3));
+        let a = trial_weights(1, 100, 50);
+        let b = trial_weights(1, 100, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_rows_and_trials_differ() {
+        let a = trial_weights(1, 0, 100);
+        let b = trial_weights(1, 1, 100);
+        assert_ne!(a, b);
+        let c = trial_weights(2, 0, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson1_moments() {
+        // Mean and variance of Poisson(1) are both 1.
+        let n = 200_000u64;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for i in 0..n {
+            let k = poisson1(7, i, 0) as f64;
+            sum += k;
+            sumsq += k * k;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 1.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn poisson1_distribution_shape() {
+        // P(0) = P(1) = e^{-1} ≈ 0.368, P(2) ≈ 0.184.
+        let n = 100_000u64;
+        let mut counts = [0u64; 8];
+        for i in 0..n {
+            let k = poisson1(3, i, 5) as usize;
+            if k < counts.len() {
+                counts[k] += 1;
+            }
+        }
+        let p0 = counts[0] as f64 / n as f64;
+        let p1 = counts[1] as f64 / n as f64;
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p0 - 0.3679).abs() < 0.01, "p0={p0}");
+        assert!((p1 - 0.3679).abs() < 0.01, "p1={p1}");
+        assert!((p2 - 0.1839).abs() < 0.01, "p2={p2}");
+    }
+}

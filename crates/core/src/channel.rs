@@ -1,0 +1,179 @@
+//! Dual-channel delta streams between online operators.
+//!
+//! Between two online operators a batch delivers two row sets that realize
+//! the paper's tuple-uncertainty dichotomy (§4.1) plus the §5 refinement:
+//!
+//! * **`delta_certain`** — rows whose multiplicity will never change
+//!   (`u# = F`). They are *deltas*: each such row is delivered exactly once
+//!   over the whole execution, and downstream operators may fold it into
+//!   compressed sketch state (§4.2, AGGREGATE).
+//! * **`uncertain`** — the *current full contents* of the non-deterministic
+//!   set `U_i` (§5.1): rows whose multiplicity may still change. They are
+//!   re-delivered (recomputed) every batch, which is exactly the
+//!   recomputation that iOLAP's optimizations minimize.
+//!
+//! A third flag, `exhausted`, signals that the producing operator will emit
+//! nothing further on either channel; consumers use it to drop join state
+//! they would otherwise retain (§4.2 JOIN: a side's tuples need saving only
+//! while the *other* side can still produce matches).
+
+use iolap_relation::{Row, Schema, Value};
+use std::sync::Arc;
+
+/// Per-row bootstrap weights: one Poisson(1) multiplier per trial. `None`
+/// means all-ones (rows not descended from the streamed relation).
+pub type TrialWeights = Option<Arc<[f64]>>;
+
+/// A row flowing between online operators.
+#[derive(Clone, Debug)]
+pub struct ORow {
+    /// Attribute values (may contain `Value::Ref` / `Value::Pending`
+    /// lineage cells).
+    pub values: Arc<[Value]>,
+    /// Base multiplicity (Appendix A).
+    pub mult: f64,
+    /// Bootstrap trial multipliers.
+    pub weights: TrialWeights,
+}
+
+impl ORow {
+    /// Row with multiplicity 1 and no trial weights.
+    pub fn new(values: Vec<Value>) -> Self {
+        ORow {
+            values: values.into(),
+            mult: 1.0,
+            weights: None,
+        }
+    }
+
+    /// Effective weight of this row in trial `t` (base multiplicity times
+    /// the Poisson draw).
+    pub fn trial_weight(&self, t: usize) -> f64 {
+        match &self.weights {
+            None => self.mult,
+            Some(w) => self.mult * w[t],
+        }
+    }
+
+    /// Convert to a plain relation row (dropping weights).
+    pub fn to_row(&self) -> Row {
+        Row {
+            values: self.values.clone(),
+            mult: self.mult,
+        }
+    }
+
+    /// Combine the trial-weight vectors of two joined rows (product per
+    /// trial; `None` is the all-ones vector).
+    pub fn combine_weights(a: &TrialWeights, b: &TrialWeights) -> TrialWeights {
+        match (a, b) {
+            (None, None) => None,
+            (Some(w), None) | (None, Some(w)) => Some(w.clone()),
+            (Some(x), Some(y)) => Some(
+                x.iter()
+                    .zip(y.iter())
+                    .map(|(a, b)| a * b)
+                    .collect::<Vec<_>>()
+                    .into(),
+            ),
+        }
+    }
+
+    /// Rough in-memory footprint (state accounting, Fig 9(b)/10(c)).
+    pub fn approx_bytes(&self) -> usize {
+        let mut n = std::mem::size_of::<ORow>();
+        for v in self.values.iter() {
+            n += std::mem::size_of::<Value>();
+            if let Value::Str(s) = v {
+                n += s.len();
+            }
+        }
+        if let Some(w) = &self.weights {
+            n += w.len() * std::mem::size_of::<f64>();
+        }
+        n
+    }
+}
+
+/// One batch's output of an online operator.
+#[derive(Clone, Debug)]
+pub struct BatchData {
+    /// Output schema (stable across batches).
+    pub schema: Schema,
+    /// New rows that will never change (`u# = F`); delivered once.
+    pub delta_certain: Vec<ORow>,
+    /// Current contents of the non-deterministic set; re-delivered each
+    /// batch.
+    pub uncertain: Vec<ORow>,
+    /// No further rows will ever be emitted on either channel.
+    pub exhausted: bool,
+}
+
+impl BatchData {
+    /// Empty output with a schema.
+    pub fn empty(schema: Schema) -> Self {
+        BatchData {
+            schema,
+            delta_certain: Vec::new(),
+            uncertain: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Total rows delivered this batch on both channels.
+    pub fn len(&self) -> usize {
+        self.delta_certain.len() + self.uncertain.len()
+    }
+
+    /// True when both channels are empty.
+    pub fn is_empty(&self) -> bool {
+        self.delta_certain.is_empty() && self.uncertain.is_empty()
+    }
+
+    /// Bytes delivered this batch (data-shipped accounting, Fig 9(c)).
+    pub fn approx_bytes(&self) -> usize {
+        self.delta_certain
+            .iter()
+            .chain(self.uncertain.iter())
+            .map(ORow::approx_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_relation::DataType;
+
+    #[test]
+    fn trial_weight_defaults_to_mult() {
+        let mut r = ORow::new(vec![Value::Int(1)]);
+        r.mult = 2.5;
+        assert_eq!(r.trial_weight(0), 2.5);
+        r.weights = Some(vec![0.0, 2.0].into());
+        assert_eq!(r.trial_weight(0), 0.0);
+        assert_eq!(r.trial_weight(1), 5.0);
+    }
+
+    #[test]
+    fn combine_weights_products() {
+        let a: TrialWeights = Some(vec![1.0, 2.0].into());
+        let b: TrialWeights = Some(vec![3.0, 0.5].into());
+        let c = ORow::combine_weights(&a, &b).unwrap();
+        assert_eq!(c.as_ref(), &[3.0, 1.0]);
+        assert!(ORow::combine_weights(&None, &None).is_none());
+        let d = ORow::combine_weights(&a, &None).unwrap();
+        assert_eq!(d.as_ref(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_data_accounting() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut b = BatchData::empty(schema);
+        assert!(b.is_empty());
+        b.delta_certain.push(ORow::new(vec![Value::Int(1)]));
+        b.uncertain.push(ORow::new(vec![Value::Int(2)]));
+        assert_eq!(b.len(), 2);
+        assert!(b.approx_bytes() > 0);
+    }
+}

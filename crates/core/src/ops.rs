@@ -1,0 +1,579 @@
+//! Online operators: the delta-update algorithm (§4.2) with tuple-
+//! uncertainty partitioning (§5) and lazy lineage evaluation (§6).
+//!
+//! Operators form a tree mirroring the logical plan. Each batch, the driver
+//! calls [`OnlineOp::process`] on the root; operators pull from children and
+//! emit [`BatchData`] on the dual certain/uncertain channels. Stateful
+//! operators (SELECT over uncertain predicates, JOIN, semi-join, AGGREGATE)
+//! own exactly the states prescribed by §4.2/§5.2, and the whole tree is
+//! `Clone` so the driver can checkpoint it for §5.1 failure recovery.
+
+use crate::channel::{BatchData, ORow};
+use crate::classify::{classify, collect_refs, Decision};
+use crate::ops_agg::AggregateOp;
+use crate::ops_join::{JoinOp, SemiJoinOp};
+use crate::registry::AggRegistry;
+use iolap_bootstrap::poisson::trial_weights;
+use iolap_bootstrap::RangeOutcome;
+use iolap_engine::{EngineError, EvalContext, Expr, RefMode};
+use iolap_relation::{Relation, Schema, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Per-batch instrumentation (drives Figures 8(e,f), 9(a–c), 10(c,d)).
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Tuples re-evaluated this batch: non-deterministic-set rows plus
+    /// uncertain-channel rows reprocessed downstream.
+    pub recomputed_tuples: usize,
+    /// Bytes "shipped": rows consumed by shuffle-boundary operators (joins,
+    /// aggregates) plus registry broadcasts.
+    pub shipped_bytes: usize,
+    /// Range-integrity failures observed this batch.
+    pub failures: usize,
+}
+
+/// Mutable context threaded through one batch's processing.
+pub struct BatchCtx<'a> {
+    /// The shared aggregate registry (lazy-evaluation broadcast table).
+    pub registry: &'a mut AggRegistry,
+    /// Current batch index (0-based).
+    pub batch_index: usize,
+    /// Result-scaling multiplicity `m_i = |D|/|D_i|` (§2).
+    pub scale: f64,
+    /// Variation-range slack `ε`.
+    pub slack: f64,
+    /// Bootstrap trial count.
+    pub trials: usize,
+    /// OPT1: tuple-uncertainty partitioning enabled.
+    pub opt1: bool,
+    /// OPT2: lineage propagation + lazy evaluation enabled.
+    pub opt2: bool,
+    /// True on the final batch (stream completes).
+    pub last_batch: bool,
+    /// This batch's delta of the streamed relation.
+    pub stream_delta: &'a Relation,
+    /// Name of the streamed relation (lowercase).
+    pub stream_table: &'a str,
+    /// Catalog for dimension scans.
+    pub catalog: &'a iolap_relation::Catalog,
+    /// Seed for bootstrap draws.
+    pub seed: u64,
+    /// Worker threads for parallel sketch folding (1 = sequential).
+    pub parallelism: usize,
+    /// Instrumentation.
+    pub stats: BatchStats,
+    /// Range outcomes collected from aggregate publications, tagged with
+    /// the attribute they belong to.
+    pub outcomes: Vec<(iolap_relation::AggRef, RangeOutcome)>,
+}
+
+impl BatchCtx<'_> {
+    /// Evaluation context resolving lineage against the registry.
+    pub fn eval(&self) -> EvalContext<'_> {
+        EvalContext::with_resolver(self.registry)
+    }
+}
+
+/// An online operator tree node.
+#[derive(Clone, Debug)]
+pub enum OnlineOp {
+    /// Base-table scan (streamed or dimension).
+    Scan(ScanOp),
+    /// Filter with optional uncertainty partitioning.
+    Select(SelectOp),
+    /// Projection with lineage-preserving cell modes.
+    Project(ProjectOp),
+    /// Symmetric delta hash join.
+    Join(JoinOp),
+    /// Semi-join for `IN (SELECT …)`.
+    SemiJoin(SemiJoinOp),
+    /// `UNION ALL` of children.
+    Union(UnionOp),
+    /// Grouped aggregation with sketch state and registry publication.
+    Aggregate(AggregateOp),
+}
+
+impl OnlineOp {
+    /// Process one batch.
+    pub fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        match self {
+            OnlineOp::Scan(op) => op.process(ctx),
+            OnlineOp::Select(op) => op.process(ctx),
+            OnlineOp::Project(op) => op.process(ctx),
+            OnlineOp::Join(op) => op.process(ctx),
+            OnlineOp::SemiJoin(op) => op.process(ctx),
+            OnlineOp::Union(op) => op.process(ctx),
+            OnlineOp::Aggregate(op) => op.process(ctx),
+        }
+    }
+
+    /// Rough state footprint: `(join_bytes, other_bytes)`, recursive
+    /// (Fig 9(b)/10(c) accounting).
+    pub fn state_bytes(&self) -> (usize, usize) {
+        let own = match self {
+            OnlineOp::Scan(_) => (0, 0),
+            OnlineOp::Select(op) => (0, op.state_bytes()),
+            OnlineOp::Project(_) => (0, 0),
+            OnlineOp::Join(op) => (op.state_bytes(), 0),
+            OnlineOp::SemiJoin(op) => (op.state_bytes(), 0),
+            OnlineOp::Union(_) => (0, 0),
+            OnlineOp::Aggregate(op) => (0, op.state_bytes()),
+        };
+        let mut total = own;
+        for c in self.children() {
+            let (j, o) = c.state_bytes();
+            total.0 += j;
+            total.1 += o;
+        }
+        total
+    }
+
+    /// EXPLAIN-style rendering of the online operator tree, with the
+    /// §4.2/§5.2 state annotations that distinguish it from the logical
+    /// plan (uncertain predicates, streamed scans).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let line = match self {
+            OnlineOp::Scan(op) => format!(
+                "OnlineScan {}{}",
+                op.table,
+                if op.streamed { " [streamed]" } else { "" }
+            ),
+            OnlineOp::Select(op) => format!(
+                "OnlineSelect {:?}{}",
+                op.predicate,
+                if op.uncertain_pred {
+                    " [uncertainty-partitioned]"
+                } else {
+                    ""
+                }
+            ),
+            OnlineOp::Project(op) => {
+                let modes: Vec<&str> = op
+                    .modes
+                    .iter()
+                    .map(|m| match m {
+                        ProjMode::Plain(_) => "plain",
+                        ProjMode::PassCell(_) => "ref",
+                        ProjMode::Thunk(_) => "thunk",
+                    })
+                    .collect();
+                format!("OnlineProject [{}]", modes.join(", "))
+            }
+            OnlineOp::Join(op) => {
+                if op.left_keys.is_empty() {
+                    "OnlineCrossJoin".to_string()
+                } else {
+                    format!("OnlineHashJoin {:?} = {:?}", op.left_keys, op.right_keys)
+                }
+            }
+            OnlineOp::SemiJoin(op) => {
+                format!("OnlineSemiJoin {:?} IN {:?}", op.left_keys, op.right_keys)
+            }
+            OnlineOp::Union(_) => "OnlineUnionAll".to_string(),
+            OnlineOp::Aggregate(op) => format!(
+                "OnlineAggregate[id={}] group={:?}{}",
+                op.agg_id,
+                op.group_cols,
+                if op.arg_uncertain.iter().any(|b| *b) {
+                    " [unsketchable args]"
+                } else {
+                    ""
+                }
+            ),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.explain_into(out, indent + 1);
+        }
+    }
+
+    fn children(&self) -> Vec<&OnlineOp> {
+        match self {
+            OnlineOp::Scan(_) => vec![],
+            OnlineOp::Select(op) => vec![&op.child],
+            OnlineOp::Project(op) => vec![&op.child],
+            OnlineOp::Join(op) => vec![&op.left, &op.right],
+            OnlineOp::SemiJoin(op) => vec![&op.left, &op.right],
+            OnlineOp::Union(op) => op.children.iter().collect(),
+            OnlineOp::Aggregate(op) => vec![&op.child],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+/// Base-table scan.
+///
+/// Streamed scans emit each mini-batch's rows once on the certain channel —
+/// the accumulated sampling function `s(t; i)` is monotone (§4.1), so a seen
+/// tuple's multiplicity never changes. Each streamed row gets deterministic
+/// Poisson(1) trial weights keyed by `(seed, table, row ordinal)`, so that
+/// re-evaluations across batches see identical resamples (and so that two
+/// scans of the same table — self-join shaped queries like SBI — resample
+/// coherently).
+#[derive(Clone, Debug)]
+pub struct ScanOp {
+    /// Catalog table name (lowercase).
+    pub table: String,
+    /// Output schema.
+    pub schema: Schema,
+    /// Whether this scan streams mini-batches.
+    pub streamed: bool,
+    rows_emitted: u64,
+    dimension_done: bool,
+}
+
+impl ScanOp {
+    /// New scan operator.
+    pub fn new(table: String, schema: Schema, streamed: bool) -> Self {
+        ScanOp {
+            table: table.to_ascii_lowercase(),
+            schema,
+            streamed,
+            rows_emitted: 0,
+            dimension_done: false,
+        }
+    }
+
+    fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let mut out = BatchData::empty(self.schema.clone());
+        if self.streamed {
+            debug_assert_eq!(self.table, ctx.stream_table);
+            let table_salt = {
+                let mut h = DefaultHasher::new();
+                self.table.hash(&mut h);
+                h.finish()
+            };
+            for row in ctx.stream_delta.rows() {
+                let id = self.rows_emitted;
+                self.rows_emitted += 1;
+                let weights: Arc<[f64]> =
+                    trial_weights(ctx.seed ^ table_salt, id, ctx.trials).into();
+                out.delta_certain.push(ORow {
+                    values: row.values.clone(),
+                    mult: row.mult,
+                    weights: Some(weights),
+                });
+            }
+            out.exhausted = ctx.last_batch;
+        } else {
+            if !self.dimension_done {
+                let rel = ctx.catalog.get(&self.table)?;
+                for row in rel.rows() {
+                    out.delta_certain.push(ORow {
+                        values: row.values.clone(),
+                        mult: row.mult,
+                        weights: None,
+                    });
+                }
+                self.dimension_done = true;
+            }
+            out.exhausted = true;
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Select
+// ---------------------------------------------------------------------------
+
+/// Filter operator.
+///
+/// With a deterministic predicate this is a plain filter on both channels.
+/// With a predicate over uncertain attributes it implements §5.2: incoming
+/// certain rows are classified against variation ranges into the
+/// near-deterministic sets (decided forever: emitted once or dropped) and
+/// the non-deterministic set `U_i` (saved in state, re-evaluated every
+/// batch, emitted on the uncertain channel while currently satisfied).
+/// Ranges shrink monotonically, so saved rows are *promoted* out of `U` over
+/// time — the sub-linear recomputation of Fig 8(e,f).
+#[derive(Clone, Debug)]
+pub struct SelectOp {
+    /// Input operator.
+    pub child: Box<OnlineOp>,
+    /// Compiled predicate.
+    pub predicate: Expr,
+    /// Compile-time: predicate reads uncertain attributes (§4.1 tagging).
+    pub uncertain_pred: bool,
+    state: Vec<ORow>,
+}
+
+impl SelectOp {
+    /// New select operator.
+    pub fn new(child: OnlineOp, predicate: Expr, uncertain_pred: bool) -> Self {
+        SelectOp {
+            child: Box::new(child),
+            predicate,
+            uncertain_pred,
+            state: Vec::new(),
+        }
+    }
+
+    /// Rows currently held in the non-deterministic set.
+    pub fn nondeterministic_len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state.iter().map(ORow::approx_bytes).sum()
+    }
+
+    fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let input = self.child.process(ctx)?;
+        let mut out = BatchData::empty(input.schema.clone());
+
+        if !self.uncertain_pred {
+            for row in input.delta_certain {
+                if self
+                    .predicate
+                    .eval_predicate(&row.to_row(), &ctx.eval())?
+                {
+                    out.delta_certain.push(row);
+                }
+            }
+            for row in input.uncertain {
+                if self
+                    .predicate
+                    .eval_predicate(&row.to_row(), &ctx.eval())?
+                {
+                    out.uncertain.push(row);
+                }
+            }
+            out.exhausted = input.exhausted;
+            return Ok(out);
+        }
+
+        // Uncertain predicate: classify fresh certain rows.
+        for row in input.delta_certain {
+            let decision = if ctx.opt1 {
+                classify(&self.predicate, &row.to_row(), ctx.registry)
+            } else {
+                Decision::Uncertain
+            };
+            if decision != Decision::Uncertain {
+                mark_pruning_refs(&self.predicate, &row, ctx);
+            }
+            match decision {
+                Decision::AlwaysTrue => out.delta_certain.push(row),
+                Decision::AlwaysFalse => {}
+                Decision::Uncertain => self.state.push(row),
+            }
+        }
+
+        // Re-evaluate the saved non-deterministic set — THE recomputation
+        // the optimizations minimize.
+        ctx.stats.recomputed_tuples += self.state.len();
+        if !ctx.opt2 {
+            // OPT2 ablation: without lineage + lazy evaluation, updating an
+            // uncertain attribute means regenerating the tuple (§4.3:
+            // "deleting the old tuple followed by inserting a tuple …
+            // generating a new tuple requires going through the entire
+            // plan"). We charge that cost by materializing a fresh copy of
+            // every saved row with all lineage cells resolved.
+            let regenerated: Vec<ORow> = self
+                .state
+                .iter()
+                .map(|row| regenerate_row(row, ctx.registry))
+                .collect();
+            drop(regenerated);
+        }
+        let mut promoted = Vec::new();
+        let mut current = Vec::new();
+        let mut decided = Vec::new();
+        self.state.retain(|row| {
+            let decision = if ctx.opt1 {
+                classify(&self.predicate, &row.to_row(), ctx.registry)
+            } else {
+                Decision::Uncertain
+            };
+            match decision {
+                Decision::AlwaysTrue => {
+                    decided.push(row.clone());
+                    promoted.push(row.clone());
+                    false
+                }
+                Decision::AlwaysFalse => {
+                    decided.push(row.clone());
+                    false
+                }
+                Decision::Uncertain => {
+                    current.push(row.clone());
+                    true
+                }
+            }
+        });
+        for row in &decided {
+            mark_pruning_refs(&self.predicate, row, ctx);
+        }
+        out.delta_certain.extend(promoted);
+        // Uncertain-channel input rows are counted where they are saved
+        // (upstream state); filtering them here is derived work.
+        let ectx = ctx.eval();
+        for row in current {
+            if self.predicate.eval_predicate(&row.to_row(), &ectx)? {
+                out.uncertain.push(row);
+            }
+        }
+        for row in input.uncertain {
+            if self.predicate.eval_predicate(&row.to_row(), &ectx)? {
+                out.uncertain.push(row);
+            }
+        }
+
+        out.exhausted = input.exhausted && self.state.is_empty() && out.uncertain.is_empty();
+        Ok(out)
+    }
+}
+
+/// Record in the registry every lineage ref a decisive classification
+/// depended on (gates failure recovery, §5.1).
+fn mark_pruning_refs(predicate: &Expr, row: &ORow, ctx: &mut BatchCtx<'_>) {
+    let mut refs = Vec::new();
+    collect_refs(predicate, &row.to_row(), &mut refs);
+    for r in refs {
+        ctx.registry.mark_used(r, ctx.batch_index);
+    }
+}
+
+/// Materialize a fresh copy of a row with every lineage cell resolved to its
+/// current value (OPT2-off cost model; also used by the sink).
+pub fn regenerate_row(row: &ORow, registry: &AggRegistry) -> ORow {
+    let ctx = EvalContext::with_resolver(registry).with_mode(RefMode::Current);
+    let values: Vec<Value> = row
+        .values
+        .iter()
+        .map(|v| match v {
+            Value::Ref(_) | Value::Pending(_) => {
+                let probe = iolap_relation::Row {
+                    values: vec![v.clone()].into(),
+                    mult: 1.0,
+                };
+                Expr::Col(0).eval(&probe, &ctx).unwrap_or(Value::Null)
+            }
+            other => other.clone(),
+        })
+        .collect();
+    ORow {
+        values: values.into(),
+        mult: row.mult,
+        weights: row.weights.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+/// How one projected column is produced (compile-time, from §4.1 tags).
+#[derive(Clone, Debug)]
+pub enum ProjMode {
+    /// Deterministic expression: evaluate eagerly.
+    Plain(Expr),
+    /// Bare reference to an uncertain column: copy the lineage cell.
+    PassCell(usize),
+    /// Computation over uncertain columns: emit a folded-lineage thunk
+    /// (§6.1) so consumers evaluate lazily.
+    Thunk(Arc<Expr>),
+}
+
+/// Projection operator. Stateless (§4.2: "the operator states for PROJECT
+/// and UNION are always ∅").
+#[derive(Clone, Debug)]
+pub struct ProjectOp {
+    /// Input operator.
+    pub child: Box<OnlineOp>,
+    /// Per-output-column production modes.
+    pub modes: Vec<ProjMode>,
+    /// Output schema.
+    pub schema: Schema,
+}
+
+impl ProjectOp {
+    /// New projection.
+    pub fn new(child: OnlineOp, modes: Vec<ProjMode>, schema: Schema) -> Self {
+        ProjectOp {
+            child: Box::new(child),
+            modes,
+            schema,
+        }
+    }
+
+    fn project_row(&self, row: &ORow, ctx: &BatchCtx<'_>) -> Result<ORow, EngineError> {
+        let r = row.to_row();
+        let mut values = Vec::with_capacity(self.modes.len());
+        for mode in &self.modes {
+            let v = match mode {
+                ProjMode::Plain(e) => e.eval(&r, &ctx.eval())?,
+                ProjMode::PassCell(i) => row.values[*i].clone(),
+                ProjMode::Thunk(e) => AggRegistry::make_thunk(e, row),
+            };
+            values.push(v);
+        }
+        Ok(ORow {
+            values: values.into(),
+            mult: row.mult,
+            weights: row.weights.clone(),
+        })
+    }
+
+    fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let input = self.child.process(ctx)?;
+        let mut out = BatchData::empty(self.schema.clone());
+        for row in &input.delta_certain {
+            out.delta_certain.push(self.project_row(row, ctx)?);
+        }
+        for row in &input.uncertain {
+            out.uncertain.push(self.project_row(row, ctx)?);
+        }
+        out.exhausted = input.exhausted;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union
+// ---------------------------------------------------------------------------
+
+/// `UNION ALL`: concatenates children's channels. Stateless.
+#[derive(Clone, Debug)]
+pub struct UnionOp {
+    /// Input operators.
+    pub children: Vec<OnlineOp>,
+}
+
+impl UnionOp {
+    /// New union.
+    pub fn new(children: Vec<OnlineOp>) -> Self {
+        UnionOp { children }
+    }
+
+    fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let mut outputs = Vec::with_capacity(self.children.len());
+        for c in &mut self.children {
+            outputs.push(c.process(ctx)?);
+        }
+        let schema = outputs[0].schema.clone();
+        let mut out = BatchData::empty(schema);
+        out.exhausted = true;
+        for o in outputs {
+            out.delta_certain.extend(o.delta_certain);
+            out.uncertain.extend(o.uncertain);
+            out.exhausted &= o.exhausted;
+        }
+        Ok(out)
+    }
+}

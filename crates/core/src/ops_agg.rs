@@ -1,0 +1,671 @@
+//! Online aggregation (§4.2 AGGREGATE rule) with sketch state, bootstrap
+//! trials, and registry publication.
+//!
+//! Certain input rows are folded into per-group *sketches* — the running
+//! sum/count style compressed state of §4.2 ("any aggregate function that
+//! can be computed using sub-linear space can maintain the state of
+//! AGGREGATE space-efficiently using sketches"). Uncertain rows (the
+//! upstream non-deterministic sets) are re-aggregated from scratch each
+//! batch into a temporary sketch that is merged with the persistent one at
+//! output time. When the aggregated expression itself reads uncertain
+//! attributes, the input cannot be sketched (§4.2) and certain rows are
+//! retained as rows and recomputed.
+//!
+//! Every batch the operator publishes each group's current value and
+//! per-trial bootstrap values to the [`AggRegistry`], where downstream
+//! lineage refs resolve them lazily and variation ranges are tracked.
+
+use crate::channel::{BatchData, ORow};
+use crate::ops::{BatchCtx, OnlineOp};
+use iolap_engine::{Accumulator, AggCall, EngineError, RefMode};
+use iolap_relation::{AggRef, Schema, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Cloneable box around a dynamic accumulator.
+pub struct AccBox(pub Box<dyn Accumulator>);
+
+impl Clone for AccBox {
+    fn clone(&self) -> Self {
+        AccBox(self.0.boxed_clone())
+    }
+}
+
+impl fmt::Debug for AccBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AccBox")
+    }
+}
+
+/// Per-trial state for one aggregate call. SUM/COUNT/AVG — the sketchable
+/// workhorses of §4.2 — use flat `f64` vectors (one slot per bootstrap
+/// trial), which keeps the 100-trial piggyback close to the cost of a
+/// vectorized pass instead of 100 boxed accumulator updates per row. Other
+/// aggregates (UDAFs, VAR, MIN/MAX) fall back to boxed accumulators.
+#[derive(Clone, Debug)]
+enum TrialState {
+    /// `a[t]` = Σ weight·x (or Σ weight for COUNT); `b[t]` = Σ weight over
+    /// non-null inputs (presence/denominator).
+    Fast {
+        kind: FastKind,
+        a: Vec<f64>,
+        b: Vec<f64>,
+    },
+    Generic(Vec<AccBox>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FastKind {
+    Count,
+    Sum,
+    Avg,
+}
+
+impl TrialState {
+    fn new(kind: &iolap_engine::AggKind, trials: usize) -> TrialState {
+        use iolap_engine::{AggKind, BuiltinAgg};
+        let fast = match kind {
+            AggKind::Builtin(BuiltinAgg::Count) => Some(FastKind::Count),
+            AggKind::Builtin(BuiltinAgg::Sum) => Some(FastKind::Sum),
+            AggKind::Builtin(BuiltinAgg::Avg) => Some(FastKind::Avg),
+            _ => None,
+        };
+        match fast {
+            Some(k) => TrialState::Fast {
+                kind: k,
+                a: vec![0.0; trials],
+                b: vec![0.0; trials],
+            },
+            None => TrialState::Generic(
+                (0..trials).map(|_| AccBox(kind.accumulator())).collect(),
+            ),
+        }
+    }
+
+    /// Fold one row whose argument value is the same in every trial; only
+    /// the Poisson weights differ — the vectorizable common case.
+    fn update_value(&mut self, v: &Value, row: &ORow) {
+        match self {
+            TrialState::Fast { kind, a, b } => {
+                let x = v.as_f64();
+                if v.is_null() || (x.is_none() && *kind != FastKind::Count) {
+                    return;
+                }
+                let x = x.unwrap_or(0.0);
+                match &row.weights {
+                    None => {
+                        let w = row.mult;
+                        match kind {
+                            FastKind::Count => {
+                                for t in a.iter_mut() {
+                                    *t += w;
+                                }
+                            }
+                            FastKind::Sum | FastKind::Avg => {
+                                for (ta, tb) in a.iter_mut().zip(b.iter_mut()) {
+                                    *ta += w * x;
+                                    *tb += w;
+                                }
+                            }
+                        }
+                    }
+                    Some(ws) => {
+                        let m = row.mult;
+                        match kind {
+                            FastKind::Count => {
+                                for (t, w) in a.iter_mut().zip(ws.iter()) {
+                                    *t += m * w;
+                                }
+                            }
+                            FastKind::Sum | FastKind::Avg => {
+                                for ((ta, tb), w) in
+                                    a.iter_mut().zip(b.iter_mut()).zip(ws.iter())
+                                {
+                                    *ta += m * w * x;
+                                    *tb += m * w;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            TrialState::Generic(accs) => {
+                for (t, acc) in accs.iter_mut().enumerate() {
+                    acc.0.update(v, row.trial_weight(t));
+                }
+            }
+        }
+    }
+
+    /// Fold one row whose argument value differs per trial (uncertain
+    /// aggregate arguments resolved in `Trial(t)` mode).
+    fn update_trial(&mut self, t: usize, v: &Value, w: f64) {
+        match self {
+            TrialState::Fast { kind, a, b } => {
+                if v.is_null() {
+                    return;
+                }
+                match kind {
+                    FastKind::Count => a[t] += w,
+                    FastKind::Sum | FastKind::Avg => {
+                        if let Some(x) = v.as_f64() {
+                            a[t] += w * x;
+                            b[t] += w;
+                        }
+                    }
+                }
+            }
+            TrialState::Generic(accs) => accs[t].0.update(v, w),
+        }
+    }
+
+    /// Trial `t`'s output; `scale` applies to extensive kinds. NaN marks
+    /// "no data in this resample" (filtered by range estimation).
+    fn output_f64(&self, t: usize, scale: f64) -> f64 {
+        match self {
+            TrialState::Fast { kind, a, b } => match kind {
+                FastKind::Count => a[t] * scale,
+                // An empty resample of a SUM is genuinely 0 (every tuple
+                // drawn 0 times), not missing — keeping it in the envelope
+                // is what lets small groups' ranges honestly include 0.
+                FastKind::Sum => a[t] * scale,
+                FastKind::Avg => {
+                    if b[t] > 0.0 {
+                        a[t] / b[t]
+                    } else {
+                        f64::NAN
+                    }
+                }
+            },
+            TrialState::Generic(accs) => {
+                accs[t].0.output_f64(scale).unwrap_or(f64::NAN)
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &TrialState) {
+        match (self, other) {
+            (
+                TrialState::Fast { a, b, .. },
+                TrialState::Fast {
+                    a: oa, b: ob, ..
+                },
+            ) => {
+                for (x, y) in a.iter_mut().zip(oa.iter()) {
+                    *x += y;
+                }
+                for (x, y) in b.iter_mut().zip(ob.iter()) {
+                    *x += y;
+                }
+            }
+            (TrialState::Generic(accs), TrialState::Generic(other)) => {
+                for (x, y) in accs.iter_mut().zip(other.iter()) {
+                    x.0.merge(y.0.as_ref());
+                }
+            }
+            _ => unreachable!("trial-state kinds match per call"),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            TrialState::Fast { a, b, .. } => (a.len() + b.len()) * 8,
+            TrialState::Generic(accs) => {
+                accs.iter().map(|x| x.0.approx_bytes()).sum()
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TrialState::Fast { a, .. } => a.len(),
+            TrialState::Generic(accs) => accs.len(),
+        }
+    }
+}
+
+/// Per-group sketch: one main accumulator plus per-trial state, per
+/// aggregate call.
+#[derive(Clone, Debug)]
+struct GroupSketch {
+    /// `accs[call]` — main accumulators.
+    accs: Vec<AccBox>,
+    /// `trials[call]` — bootstrap trial state.
+    trials: Vec<TrialState>,
+    /// Whether any certain row contributed (drives output tuple
+    /// uncertainty: `u#(t) = ⋀ u'#(t')`).
+    has_certain: bool,
+}
+
+impl GroupSketch {
+    fn new(aggs: &[AggCall], trials: usize) -> Self {
+        GroupSketch {
+            accs: aggs.iter().map(|a| AccBox(a.kind.accumulator())).collect(),
+            trials: aggs
+                .iter()
+                .map(|a| TrialState::new(&a.kind, trials))
+                .collect(),
+            has_certain: false,
+        }
+    }
+
+    fn merge(&mut self, other: &GroupSketch) {
+        for (a, b) in self.accs.iter_mut().zip(other.accs.iter()) {
+            a.0.merge(b.0.as_ref());
+        }
+        for (a, b) in self.trials.iter_mut().zip(other.trials.iter()) {
+            a.merge(b);
+        }
+        self.has_certain |= other.has_certain;
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.accs.iter().map(|a| a.0.approx_bytes()).sum::<usize>()
+            + self.trials.iter().map(TrialState::approx_bytes).sum::<usize>()
+    }
+}
+
+/// Online AGGREGATE operator.
+#[derive(Clone, Debug)]
+pub struct AggregateOp {
+    /// Input operator.
+    pub child: Box<OnlineOp>,
+    /// Group-by column indices in the input schema.
+    pub group_cols: Vec<usize>,
+    /// Aggregate calls.
+    pub aggs: Vec<AggCall>,
+    /// Output schema (group cols then aggregate cols).
+    pub schema: Schema,
+    /// Stable lineage-block id (`rel(γ)`, §6.1).
+    pub agg_id: u32,
+    /// Compile-time per-call flag: argument reads uncertain attributes.
+    pub arg_uncertain: Vec<bool>,
+    /// Compile-time: input rows can carry tuple uncertainty.
+    pub input_tuple_uncertain: bool,
+    /// Compile-time: subtree reads the streamed relation → extensive
+    /// outputs are scaled by `m_i`.
+    pub scale_stream: bool,
+    sketch: HashMap<Arc<[Value]>, GroupSketch>,
+    /// Certain rows retained when sketching is impossible (uncertain
+    /// aggregate arguments, §4.2).
+    unsketchable_rows: Vec<ORow>,
+    emitted_certain: HashSet<Arc<[Value]>>,
+}
+
+impl AggregateOp {
+    /// New aggregate operator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        child: OnlineOp,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggCall>,
+        schema: Schema,
+        agg_id: u32,
+        arg_uncertain: Vec<bool>,
+        input_tuple_uncertain: bool,
+        scale_stream: bool,
+    ) -> Self {
+        AggregateOp {
+            child: Box::new(child),
+            group_cols,
+            aggs,
+            schema,
+            agg_id,
+            arg_uncertain,
+            input_tuple_uncertain,
+            scale_stream,
+            sketch: HashMap::new(),
+            unsketchable_rows: Vec::new(),
+            emitted_certain: HashSet::new(),
+        }
+    }
+
+    fn push_outcomes(
+        &self,
+        key: &Arc<[Value]>,
+        outcomes: Vec<iolap_bootstrap::RangeOutcome>,
+        ctx: &mut BatchCtx<'_>,
+    ) {
+        for (c, o) in outcomes.into_iter().enumerate() {
+            if matches!(o, iolap_bootstrap::RangeOutcome::Failure { .. }) {
+                ctx.stats.failures += 1;
+            }
+            ctx.outcomes.push((
+                AggRef {
+                    agg: self.agg_id,
+                    column: c as u16,
+                    key: key.clone(),
+                },
+                o,
+            ));
+        }
+    }
+
+    fn sketchable(&self) -> bool {
+        !self.arg_uncertain.iter().any(|b| *b)
+    }
+
+    /// Bytes held in sketch + retained-row state.
+    pub fn state_bytes(&self) -> usize {
+        self.sketch.values().map(GroupSketch::approx_bytes).sum::<usize>()
+            + self
+                .unsketchable_rows
+                .iter()
+                .map(ORow::approx_bytes)
+                .sum::<usize>()
+    }
+
+    fn fold_row(
+        &self,
+        sketch: &mut HashMap<Arc<[Value]>, GroupSketch>,
+        row: &ORow,
+        certain: bool,
+        registry: &crate::registry::AggRegistry,
+        trials: usize,
+    ) -> Result<(), EngineError> {
+        let key = row.to_row().key(&self.group_cols);
+        let entry = sketch
+            .entry(key)
+            .or_insert_with(|| GroupSketch::new(&self.aggs, trials));
+        entry.has_certain |= certain;
+        let r = row.to_row();
+        let eval = iolap_engine::EvalContext::with_resolver(registry);
+        for (c, call) in self.aggs.iter().enumerate() {
+            if self.arg_uncertain[c] {
+                // Argument reads lineage cells: per-trial argument values
+                // differ, so evaluate in each mode.
+                let v = call.input.eval(&r, &eval)?;
+                entry.accs[c].0.update(&v, row.mult);
+                for t in 0..trials {
+                    let tv = call.input.eval(&r, &eval.with_mode(RefMode::Trial(t)))?;
+                    entry.trials[c].update_trial(t, &tv, row.trial_weight(t));
+                }
+            } else {
+                let v = call.input.eval(&r, &eval)?;
+                entry.accs[c].0.update(&v, row.mult);
+                entry.trials[c].update_value(&v, row);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold `rows` into per-group sketches, splitting across
+    /// `ctx.parallelism` worker threads when the batch is large enough to
+    /// amortize thread startup ("demonstrated … on over 100 machines" —
+    /// the single-process analogue of partition parallelism). Each worker
+    /// folds a chunk into a private map; maps are merged with
+    /// [`GroupSketch::merge`], which is associative and commutative up to
+    /// float summation order.
+    fn fold_rows(
+        &self,
+        rows: &[ORow],
+        certain: bool,
+        ctx: &BatchCtx<'_>,
+    ) -> Result<HashMap<Arc<[Value]>, GroupSketch>, EngineError> {
+        let workers = ctx.parallelism.max(1);
+        if workers == 1 || rows.len() < 4 * workers {
+            let mut map = HashMap::new();
+            for row in rows {
+                self.fold_row(&mut map, row, certain, ctx.registry, ctx.trials)?;
+            }
+            return Ok(map);
+        }
+        type PartialSketches = Vec<Result<HashMap<Arc<[Value]>, GroupSketch>, EngineError>>;
+        let chunk = rows.len().div_ceil(workers);
+        let registry: &crate::registry::AggRegistry = ctx.registry;
+        let trials = ctx.trials;
+        let partials: PartialSketches =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = rows
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            let mut map = HashMap::new();
+                            for row in part {
+                                self.fold_row(&mut map, row, certain, registry, trials)?;
+                            }
+                            Ok(map)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("fold worker panicked");
+        let mut merged: HashMap<Arc<[Value]>, GroupSketch> = HashMap::new();
+        for partial in partials {
+            for (k, v) in partial? {
+                match merged.get_mut(&k) {
+                    Some(existing) => existing.merge(&v),
+                    None => {
+                        merged.insert(k, v);
+                    }
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    pub(crate) fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let input = self.child.process(ctx)?;
+        ctx.stats.shipped_bytes += input.approx_bytes();
+        let input_exhausted = input.exhausted;
+        let mut out = BatchData::empty(self.schema.clone());
+
+        let sketchable = self.sketchable();
+        if sketchable {
+            // Fold fresh certain rows into the persistent sketch.
+            let delta = self.fold_rows(&input.delta_certain, true, ctx)?;
+            let mut sketch = std::mem::take(&mut self.sketch);
+            for (k, v) in delta {
+                match sketch.get_mut(&k) {
+                    Some(existing) => existing.merge(&v),
+                    None => {
+                        sketch.insert(k, v);
+                    }
+                }
+            }
+            self.sketch = sketch;
+        } else {
+            self.unsketchable_rows.extend(input.delta_certain.iter().cloned());
+        }
+
+        // Keys touched by this batch: fresh certain rows and everything on
+        // the uncertain channel. Untouched groups only need their scale
+        // refreshed in the registry (delta publication).
+        let mut touched: HashSet<Arc<[Value]>> = input
+            .delta_certain
+            .iter()
+            .map(|row| row.to_row().key(&self.group_cols))
+            .collect();
+
+        // Temporary sketch over recomputed rows: the uncertain channel plus
+        // (when unsketchable) all retained certain rows.
+        let mut temp = self.fold_rows(&input.uncertain, false, ctx)?;
+        if !sketchable {
+            ctx.stats.recomputed_tuples += self.unsketchable_rows.len();
+            let rows = std::mem::take(&mut self.unsketchable_rows);
+            let certain_part = self.fold_rows(&rows, true, ctx)?;
+            for (k, v) in certain_part {
+                match temp.get_mut(&k) {
+                    Some(existing) => existing.merge(&v),
+                    None => {
+                        temp.insert(k, v);
+                    }
+                }
+            }
+            self.unsketchable_rows = rows;
+        }
+        touched.extend(temp.keys().cloned());
+
+        // Merge persistent ∪ temporary, publish, emit.
+        let mut all_keys: Vec<Arc<[Value]>> = self.sketch.keys().cloned().collect();
+        for k in temp.keys() {
+            if !self.sketch.contains_key(k) {
+                all_keys.push(k.clone());
+            }
+        }
+        all_keys.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        let scale = if self.scale_stream { ctx.scale } else { 1.0 };
+        let scales: Vec<f64> = self
+            .aggs
+            .iter()
+            .map(|call| if call.kind.extensive() { scale } else { 1.0 })
+            .collect();
+        // Kind-based, not value-based: on the final batch m_i == 1.0 but
+        // untouched groups still need their scale refreshed from the
+        // previous batch's value.
+        let any_extensive =
+            self.scale_stream && self.aggs.iter().any(|c| c.kind.extensive());
+        let mut emitted_uncertain = false;
+        for key in all_keys {
+            if !touched.contains(&key) {
+                // Delta publication: the group's unscaled sketch is
+                // unchanged; only the extensive scale m_i moved. Refresh it
+                // in O(1) per column.
+                if any_extensive {
+                    let outcomes =
+                        ctx.registry
+                            .refresh_scale(self.agg_id, &key, &scales, ctx.batch_index);
+                    self.push_outcomes(&key, outcomes, ctx);
+                }
+                continue;
+            }
+            // Avoid cloning the persistent sketch when no uncertain rows
+            // touched the group this batch.
+            let mut merged_owned: Option<GroupSketch> = None;
+            let merged: &GroupSketch = match (self.sketch.get(&key), temp.get(&key)) {
+                (Some(p), Some(t)) => {
+                    let mut m = p.clone();
+                    m.merge(t);
+                    merged_owned.get_or_insert(m)
+                }
+                (Some(p), None) => p,
+                (None, Some(t)) => t,
+                (None, None) => unreachable!(),
+            };
+
+            // Publish unscaled values + scales to the registry.
+            let mut current = Vec::with_capacity(self.aggs.len());
+            let mut trials_cols: Vec<Arc<[f64]>> = Vec::with_capacity(self.aggs.len());
+            for (c, call) in self.aggs.iter().enumerate() {
+                current.push(merged.accs[c].0.output(1.0));
+                if call.kind.smooth() {
+                    let n = merged.trials[c].len();
+                    let tv: Vec<f64> =
+                        (0..n).map(|t| merged.trials[c].output_f64(t, 1.0)).collect();
+                    trials_cols.push(tv.into());
+                } else {
+                    // Non-smooth aggregates (MIN/MAX/COUNT DISTINCT, §3.3)
+                    // get no bootstrap distribution: unbounded range,
+                    // conservative classification.
+                    trials_cols.push(Arc::from(Vec::<f64>::new()));
+                }
+            }
+            let has_certain = merged.has_certain;
+            let outcomes = ctx.registry.publish_at(
+                self.agg_id,
+                key.clone(),
+                current.clone(),
+                trials_cols,
+                scales.clone(),
+                ctx.slack,
+                ctx.batch_index,
+            );
+            self.push_outcomes(&key, outcomes, ctx);
+
+            // Emit the group row downstream.
+            let emit_needed = !self.emitted_certain.contains(&key);
+            if !emit_needed {
+                continue;
+            }
+            let mut values: Vec<Value> = key.to_vec();
+            for (c, sc) in scales.iter().enumerate() {
+                let uncertain_out = self.input_tuple_uncertain || self.arg_uncertain[c];
+                if uncertain_out {
+                    values.push(Value::Ref(AggRef {
+                        agg: self.agg_id,
+                        column: c as u16,
+                        key: key.clone(),
+                    }));
+                } else {
+                    // Deterministic output (non-streamed subtree): the
+                    // scale is 1, so unscaled == final.
+                    debug_assert_eq!(*sc, 1.0);
+                    values.push(current[c].clone());
+                }
+            }
+            let row = ORow::new(values);
+            if has_certain {
+                out.delta_certain.push(row);
+                self.emitted_certain.insert(key);
+            } else {
+                out.uncertain.push(row);
+                emitted_uncertain = true;
+            }
+        }
+
+        // SQL semantics: a global aggregate over an empty input still yields
+        // one row of "empty" outputs. Emit it transiently until real groups
+        // appear.
+        if self.group_cols.is_empty() && self.sketch.is_empty() && temp.is_empty() {
+            let mut values = Vec::with_capacity(self.aggs.len());
+            for call in &self.aggs {
+                values.push(call.kind.accumulator().output(1.0));
+            }
+            out.uncertain.push(ORow::new(values));
+            emitted_uncertain = true;
+        }
+
+        out.exhausted = if self.group_cols.is_empty() {
+            // Global aggregate: one row, emitted; afterwards only the
+            // registry changes.
+            !self.emitted_certain.is_empty() && !emitted_uncertain
+        } else {
+            input_exhausted && !emitted_uncertain
+        };
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_engine::{AggKind, BuiltinAgg, Expr};
+
+    #[test]
+    fn group_sketch_merge() {
+        let aggs = vec![AggCall {
+            kind: AggKind::Builtin(BuiltinAgg::Sum),
+            input: Expr::Col(0),
+            name: "s".into(),
+        }];
+        let mut a = GroupSketch::new(&aggs, 2);
+        let mut b = GroupSketch::new(&aggs, 2);
+        a.accs[0].0.update(&Value::Float(10.0), 1.0);
+        b.accs[0].0.update(&Value::Float(5.0), 1.0);
+        b.has_certain = true;
+        a.merge(&b);
+        assert_eq!(a.accs[0].0.output(1.0), Value::Float(15.0));
+        assert!(a.has_certain);
+    }
+
+    #[test]
+    fn accbox_clone_is_deep() {
+        let mut a = AccBox(AggKind::Builtin(BuiltinAgg::Sum).accumulator());
+        a.0.update(&Value::Float(3.0), 1.0);
+        let b = a.clone();
+        a.0.update(&Value::Float(4.0), 1.0);
+        assert_eq!(a.0.output(1.0), Value::Float(7.0));
+        assert_eq!(b.0.output(1.0), Value::Float(3.0));
+    }
+}

@@ -1,0 +1,376 @@
+//! The online query rewriter (§7 step 1, Appendix C).
+//!
+//! Compiles a logical [`Plan`] into the online operator tree, performing the
+//! Appendix C rewriting:
+//!
+//! 1. annotate every operator with §4.1 uncertainty tags,
+//! 2. piggyback bootstrap (scans attach per-trial multiplicities — our
+//!    row-level equivalent of "inserting columns representing
+//!    bootstrap-generated multiplicities"),
+//! 3. replace operators with their online counterparts, configuring the
+//!    §4.2/§5.2 states, and
+//! 4. wire lineage propagation and lazy evaluation: uncertain aggregate
+//!    outputs become `Ref` cells, computed uncertain projections become
+//!    folded-lineage thunks (§6.1).
+
+use crate::annotate::{annotate, AnnotateError, OpAnnotation};
+use crate::ops::{OnlineOp, ProjMode, ProjectOp, ScanOp, SelectOp, UnionOp};
+use crate::ops_agg::AggregateOp;
+use crate::ops_join::{JoinOp, SemiJoinOp};
+use crate::sink::{Presentation, Sink};
+use iolap_engine::{Expr, Plan, PlannedQuery};
+use iolap_relation::{Field, Schema};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Rewriter errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// Annotation rejected the query (§3.3 restrictions).
+    Annotate(AnnotateError),
+    /// Plan shape outside what the online engine supports.
+    Unsupported(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Annotate(e) => write!(f, "{e}"),
+            RewriteError::Unsupported(m) => write!(f, "unsupported online plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<AnnotateError> for RewriteError {
+    fn from(e: AnnotateError) -> Self {
+        RewriteError::Annotate(e)
+    }
+}
+
+/// A compiled online query: operator tree + sink.
+#[derive(Clone, Debug)]
+pub struct OnlineQuery {
+    /// Root online operator.
+    pub root: OnlineOp,
+    /// Result sink.
+    pub sink: Sink,
+    /// Root annotation (drives result scaling).
+    pub root_annotation: OpAnnotation,
+}
+
+/// Rewrite a planned query for online execution. `streamed` is the set of
+/// relation names processed in mini-batches (§2: the user specifies which
+/// input relations are streamed).
+pub fn rewrite(
+    pq: &PlannedQuery,
+    streamed: &HashSet<String>,
+) -> Result<OnlineQuery, RewriteError> {
+    // Peel presentation (ORDER BY/LIMIT) into the sink. The planner places
+    // Sort either at the very top (unions) or directly below the final
+    // projection (single-block queries, where sort keys may reference
+    // non-projected columns). In the latter case the sort keys are hoisted
+    // into hidden output columns that the sink sorts by and strips.
+    let (body, presentation, visible) = peel_presentation(&pq.plan);
+    let body_ref = body.as_ref().unwrap_or(&pq.plan);
+    let root_annotation = annotate(body_ref, streamed)?;
+    let root = build(body_ref, streamed)?;
+    // Streamed base rows reaching the output unaggregated must be scaled by
+    // m_i per factor (§2's Q(D_i, m_i)); aggregate outputs scale internally
+    // (extensive functions multiply by m_i at publish time).
+    let stream_factor = stream_factor(body_ref, streamed);
+    let sink = Sink::new(
+        body_ref.schema().clone(),
+        pq.output_names.clone(),
+        presentation,
+        stream_factor,
+        visible,
+    );
+    Ok(OnlineQuery {
+        root,
+        sink,
+        root_annotation,
+    })
+}
+
+/// Peel ORDER BY/LIMIT off the plan top into a [`Presentation`]. Returns
+/// `(replacement body, presentation, visible column count)`; the body is
+/// `None` when the plan is already presentation-free.
+fn peel_presentation(plan: &Plan) -> (Option<Plan>, Presentation, Option<usize>) {
+    match plan {
+        // Union-level sort: keys are over the output schema.
+        Plan::Sort { input, keys, limit } => (
+            Some((**input).clone()),
+            Presentation {
+                sort_keys: keys.clone(),
+                limit: *limit,
+            },
+            None,
+        ),
+        // Single-block queries: Project over Sort. Hoist the sort keys into
+        // hidden trailing output columns; the sink sorts by them and strips
+        // them from the published relation.
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            if let Plan::Sort {
+                input: inner,
+                keys,
+                limit,
+            } = input.as_ref()
+            {
+                let visible = exprs.len();
+                let mut new_exprs = exprs.clone();
+                let mut fields: Vec<Field> = schema.fields().to_vec();
+                let mut sort_keys = Vec::with_capacity(keys.len());
+                for (k, (expr, asc)) in keys.iter().enumerate() {
+                    new_exprs.push(expr.clone());
+                    fields.push(Field::new(
+                        format!("__sort{k}"),
+                        iolap_engine::infer_type(expr, inner.schema()),
+                    ));
+                    sort_keys.push((Expr::Col(visible + k), *asc));
+                }
+                let body = Plan::Project {
+                    input: inner.clone(),
+                    exprs: new_exprs,
+                    schema: Schema::new(fields),
+                };
+                return (
+                    Some(body),
+                    Presentation {
+                        sort_keys,
+                        limit: *limit,
+                    },
+                    Some(visible),
+                );
+            }
+            (None, Presentation::default(), None)
+        }
+        _ => (None, Presentation::default(), None),
+    }
+}
+
+/// Number of streamed base-row factors multiplying into each output row:
+/// the power of `m_i` the sink applies to row multiplicities. Aggregates
+/// reset the count (their group rows have multiplicity 1; scaling happens
+/// inside extensive aggregate outputs).
+fn stream_factor(plan: &Plan, streamed: &HashSet<String>) -> u32 {
+    match plan {
+        Plan::Scan { table, .. } => {
+            u32::from(streamed.contains(&table.to_ascii_lowercase()))
+        }
+        Plan::Select { input, .. } | Plan::Sort { input, .. } => {
+            stream_factor(input, streamed)
+        }
+        Plan::Project { input, .. } => stream_factor(input, streamed),
+        Plan::Join { left, right, .. } => {
+            stream_factor(left, streamed) + stream_factor(right, streamed)
+        }
+        Plan::SemiJoin { left, .. } => stream_factor(left, streamed),
+        Plan::Union { inputs } => inputs
+            .iter()
+            .map(|p| stream_factor(p, streamed))
+            .max()
+            .unwrap_or(0),
+        Plan::Aggregate { .. } => 0,
+    }
+}
+
+fn build(plan: &Plan, streamed: &HashSet<String>) -> Result<OnlineOp, RewriteError> {
+    Ok(match plan {
+        Plan::Scan { table, schema } => {
+            let is_streamed = streamed.contains(&table.to_ascii_lowercase());
+            OnlineOp::Scan(ScanOp::new(table.clone(), schema.clone(), is_streamed))
+        }
+        Plan::Select { input, predicate } => {
+            let ann = annotate(input, streamed)?;
+            let child = build(input, streamed)?;
+            let uncertain_pred = ann.expr_uncertain(predicate);
+            OnlineOp::Select(SelectOp::new(child, predicate.clone(), uncertain_pred))
+        }
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let ann = annotate(input, streamed)?;
+            let child = build(input, streamed)?;
+            let modes = exprs
+                .iter()
+                .map(|e| {
+                    if !ann.expr_uncertain(e) {
+                        ProjMode::Plain(e.clone())
+                    } else if let Expr::Col(i) = e {
+                        ProjMode::PassCell(*i)
+                    } else {
+                        ProjMode::Thunk(std::sync::Arc::new(e.clone()))
+                    }
+                })
+                .collect();
+            OnlineOp::Project(ProjectOp::new(child, modes, schema.clone()))
+        }
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            schema,
+        } => {
+            let l = build(left, streamed)?;
+            let r = build(right, streamed)?;
+            OnlineOp::Join(JoinOp::new(
+                l,
+                r,
+                left_keys.clone(),
+                right_keys.clone(),
+                schema.clone(),
+            ))
+        }
+        Plan::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = build(left, streamed)?;
+            let r = build(right, streamed)?;
+            OnlineOp::SemiJoin(SemiJoinOp::new(
+                l,
+                r,
+                left_keys.clone(),
+                right_keys.clone(),
+            ))
+        }
+        Plan::Union { inputs } => {
+            let children = inputs
+                .iter()
+                .map(|p| build(p, streamed))
+                .collect::<Result<Vec<_>, _>>()?;
+            OnlineOp::Union(UnionOp::new(children))
+        }
+        Plan::Aggregate {
+            input,
+            group_cols,
+            aggs,
+            schema,
+            agg_id,
+        } => {
+            let ann = annotate(input, streamed)?;
+            let child = build(input, streamed)?;
+            let arg_uncertain: Vec<bool> = aggs
+                .iter()
+                .map(|a| ann.expr_uncertain(&a.input))
+                .collect();
+            OnlineOp::Aggregate(AggregateOp::new(
+                child,
+                group_cols.clone(),
+                aggs.clone(),
+                schema.clone(),
+                *agg_id,
+                arg_uncertain,
+                ann.tuple_uncertain,
+                ann.reads_stream,
+            ))
+        }
+        Plan::Sort { .. } => {
+            return Err(RewriteError::Unsupported(
+                "ORDER BY below the top level".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_engine::{plan_sql, FunctionRegistry};
+    use iolap_relation::{Catalog, DataType, Relation, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "sessions",
+            Relation::empty(Schema::from_pairs(&[
+                ("session_id", DataType::Int),
+                ("buffer_time", DataType::Float),
+                ("play_time", DataType::Float),
+            ])),
+        );
+        c
+    }
+
+    fn rewrite_sql(sql: &str) -> OnlineQuery {
+        let c = catalog();
+        let r = FunctionRegistry::with_builtins();
+        let pq = plan_sql(sql, &c, &r).unwrap();
+        let streamed: HashSet<String> = ["sessions".to_string()].into();
+        rewrite(&pq, &streamed).unwrap()
+    }
+
+    #[test]
+    fn sbi_rewrites_with_uncertain_select() {
+        let q = rewrite_sql(
+            "SELECT AVG(play_time) FROM sessions \
+             WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
+        );
+        // Find the SelectOp with an uncertain predicate.
+        let mut found = false;
+        fn walk(op: &OnlineOp, found: &mut bool) {
+            if let OnlineOp::Select(s) = op {
+                if s.uncertain_pred {
+                    *found = true;
+                }
+            }
+            match op {
+                OnlineOp::Select(s) => walk(&s.child, found),
+                OnlineOp::Project(p) => walk(&p.child, found),
+                OnlineOp::Join(j) => {
+                    walk(&j.left, found);
+                    walk(&j.right, found);
+                }
+                OnlineOp::SemiJoin(j) => {
+                    walk(&j.left, found);
+                    walk(&j.right, found);
+                }
+                OnlineOp::Union(u) => u.children.iter().for_each(|c| walk(c, found)),
+                OnlineOp::Aggregate(a) => walk(&a.child, found),
+                OnlineOp::Scan(_) => {}
+            }
+        }
+        walk(&q.root, &mut found);
+        assert!(found, "SBI must contain an uncertainty-partitioned select");
+        assert!(q.root_annotation.attr_uncertain.iter().any(|b| *b));
+    }
+
+    #[test]
+    fn sort_peels_into_presentation() {
+        let q = rewrite_sql(
+            "SELECT session_id FROM sessions ORDER BY play_time DESC LIMIT 3",
+        );
+        assert_eq!(q.sink.presentation.sort_keys.len(), 1);
+        assert_eq!(q.sink.presentation.limit, Some(3));
+        assert_eq!(q.sink.stream_factor, 1, "plain SPJ output scales by m_i");
+    }
+
+    #[test]
+    fn online_explain_marks_uncertainty() {
+        let q = rewrite_sql(
+            "SELECT AVG(play_time) FROM sessions \
+             WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
+        );
+        let text = q.root.explain();
+        assert!(text.contains("[streamed]"), "{text}");
+        assert!(text.contains("[uncertainty-partitioned]"), "{text}");
+        assert!(text.contains("OnlineAggregate"), "{text}");
+    }
+
+    #[test]
+    fn aggregated_root_does_not_scale_rows() {
+        let q = rewrite_sql("SELECT AVG(play_time) FROM sessions");
+        assert_eq!(q.sink.stream_factor, 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The SINK virtual operator (§4.2) and per-batch result publication.
+//!
+//! The sink accumulates the root operator's certain rows, tracks the
+//! current uncertain rows, and renders a [`QueryResult`] each batch:
+//! lineage cells are resolved to their current values, extensive row
+//! multiplicities are scaled by `m_i`, ORDER BY/LIMIT presentation is
+//! applied, and every uncertain numeric output gets a bootstrap
+//! [`ErrorEstimate`].
+
+use crate::channel::ORow;
+use crate::registry::AggRegistry;
+use iolap_bootstrap::ErrorEstimate;
+use iolap_engine::{EvalContext, Expr, RefMode};
+use iolap_relation::{Relation, Row, Schema, Value};
+
+/// Presentation config carried from a top-level `Plan::Sort`.
+#[derive(Clone, Debug, Default)]
+pub struct Presentation {
+    /// `(key expr, ascending)` pairs over the output schema.
+    pub sort_keys: Vec<(Expr, bool)>,
+    /// Row limit.
+    pub limit: Option<u64>,
+}
+
+/// Accumulated sink state.
+#[derive(Clone, Debug)]
+pub struct Sink {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output column names.
+    pub names: Vec<String>,
+    /// Presentation (ORDER BY / LIMIT).
+    pub presentation: Presentation,
+    /// Power of `m_i` applied to row multiplicities (number of streamed
+    /// base-row factors in each output row's provenance; 0 for aggregated
+    /// outputs).
+    pub stream_factor: u32,
+    /// Number of visible output columns; trailing columns are hidden sort
+    /// keys hoisted by the rewriter and stripped at publish time.
+    pub visible: Option<usize>,
+    certain: Vec<ORow>,
+    uncertain: Vec<ORow>,
+}
+
+/// One published partial result.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The (scaled) partial result relation.
+    pub relation: Relation,
+    /// Output column names.
+    pub names: Vec<String>,
+    /// Per row, per column: bootstrap error estimate for uncertain numeric
+    /// cells (`None` for deterministic cells).
+    pub estimates: Vec<Vec<Option<ErrorEstimate>>>,
+}
+
+impl QueryResult {
+    /// Largest relative standard deviation across all uncertain cells —
+    /// the paper's accuracy axis (Fig 7(a)).
+    pub fn max_relative_std(&self) -> Option<f64> {
+        self.estimates
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.relative_std)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+}
+
+impl Sink {
+    /// New sink.
+    pub fn new(
+        schema: Schema,
+        names: Vec<String>,
+        presentation: Presentation,
+        stream_factor: u32,
+        visible: Option<usize>,
+    ) -> Self {
+        Sink {
+            schema,
+            names,
+            presentation,
+            stream_factor,
+            visible,
+            certain: Vec::new(),
+            uncertain: Vec::new(),
+        }
+    }
+
+    /// Ingest one batch's root output.
+    pub fn ingest(&mut self, delta_certain: Vec<ORow>, uncertain: Vec<ORow>) {
+        self.certain.extend(delta_certain);
+        self.uncertain = uncertain;
+    }
+
+    /// Number of accumulated certain rows (tests / instrumentation).
+    pub fn certain_len(&self) -> usize {
+        self.certain.len()
+    }
+
+    /// Render the current partial result (§2's `Q(D_i, m_i)`).
+    pub fn publish(
+        &self,
+        registry: &AggRegistry,
+        scale: f64,
+        trials: usize,
+        confidence: f64,
+    ) -> QueryResult {
+        let ctx = EvalContext::with_resolver(registry);
+        // Pass 1: resolve lineage cells to current values, remembering which
+        // cells are uncertain (estimates are computed only for rows that
+        // survive ORDER BY/LIMIT — percentile sorting every group's trial
+        // vector just to truncate them away would dominate LIMIT queries).
+        let mut rows: Vec<Row> = Vec::with_capacity(self.certain.len() + self.uncertain.len());
+        let mut cells: Vec<Vec<Option<Value>>> = Vec::with_capacity(rows.capacity());
+        for orow in self.certain.iter().chain(self.uncertain.iter()) {
+            let mut values = Vec::with_capacity(orow.values.len());
+            let mut row_cells = Vec::with_capacity(orow.values.len());
+            for v in orow.values.iter() {
+                match v {
+                    Value::Ref(_) | Value::Pending(_) => {
+                        let probe = Row {
+                            values: vec![v.clone()].into(),
+                            mult: 1.0,
+                        };
+                        let current = Expr::Col(0).eval(&probe, &ctx).unwrap_or(Value::Null);
+                        values.push(current);
+                        row_cells.push(Some(v.clone()));
+                    }
+                    other => {
+                        values.push(other.clone());
+                        row_cells.push(None);
+                    }
+                }
+            }
+            let mult = orow.mult * scale.powi(self.stream_factor as i32);
+            rows.push(Row::with_mult(values, mult));
+            cells.push(row_cells);
+        }
+
+        // Pass 2: presentation (ORDER BY + LIMIT) over the rendered rows.
+        if !self.presentation.sort_keys.is_empty() || self.presentation.limit.is_some() {
+            let mut keyed: Vec<(Vec<Value>, Row, Vec<Option<Value>>)> = rows
+                .into_iter()
+                .zip(cells)
+                .map(|(r, e)| {
+                    let k = self
+                        .presentation
+                        .sort_keys
+                        .iter()
+                        .map(|(expr, _)| expr.eval(&r, &ctx).unwrap_or(Value::Null))
+                        .collect();
+                    (k, r, e)
+                })
+                .collect();
+            keyed.sort_by(|(ka, _, _), (kb, _, _)| {
+                for ((x, y), (_, asc)) in ka
+                    .iter()
+                    .zip(kb.iter())
+                    .zip(self.presentation.sort_keys.iter())
+                {
+                    let mut ord = x.total_cmp(y);
+                    if !asc {
+                        ord = ord.reverse();
+                    }
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            if let Some(n) = self.presentation.limit {
+                keyed.truncate(n as usize);
+            }
+            rows = Vec::with_capacity(keyed.len());
+            cells = Vec::with_capacity(keyed.len());
+            for (_, r, e) in keyed {
+                rows.push(r);
+                cells.push(e);
+            }
+        }
+
+        // Pass 3: bootstrap error estimates for the surviving rows.
+        let estimates: Vec<Vec<Option<ErrorEstimate>>> = rows
+            .iter()
+            .zip(cells.iter())
+            .map(|(row, row_cells)| {
+                row_cells
+                    .iter()
+                    .zip(row.values.iter())
+                    .map(|(cell, current)| {
+                        let cell = cell.as_ref()?;
+                        let cur = current.as_f64()?;
+                        let tv = trial_values(cell, registry, trials, &ctx);
+                        ErrorEstimate::from_trials(cur, &tv, confidence)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Strip hidden sort-key columns.
+        let (schema, rows, estimates) = match self.visible {
+            Some(v) if v < self.schema.len() => {
+                let schema = Schema::new(self.schema.fields()[..v].to_vec());
+                let rows = rows
+                    .into_iter()
+                    .map(|r| Row::with_mult(r.values[..v].to_vec(), r.mult))
+                    .collect();
+                let estimates = estimates
+                    .into_iter()
+                    .map(|mut e| {
+                        e.truncate(v);
+                        e
+                    })
+                    .collect();
+                (schema, rows, estimates)
+            }
+            _ => (self.schema.clone(), rows, estimates),
+        };
+        QueryResult {
+            relation: Relation::new(schema, rows),
+            names: self.names.clone(),
+            estimates,
+        }
+    }
+}
+
+/// Per-trial values of an uncertain cell: one registry lookup for bare
+/// refs, per-mode evaluation for folded thunks.
+fn trial_values(
+    cell: &Value,
+    registry: &AggRegistry,
+    trials: usize,
+    ctx: &EvalContext<'_>,
+) -> Vec<f64> {
+    match cell {
+        Value::Ref(r) => registry
+            .group(r.agg, &r.key)
+            .and_then(|e| e.trials.get(r.column as usize))
+            .map(|tv| tv.iter().copied().filter(|x| x.is_finite()).collect())
+            .unwrap_or_default(),
+        Value::Pending(_) => {
+            let probe = Row {
+                values: vec![cell.clone()].into(),
+                mult: 1.0,
+            };
+            (0..trials)
+                .filter_map(|t| {
+                    Expr::Col(0)
+                        .eval(&probe, &ctx.with_mode(RefMode::Trial(t)))
+                        .ok()
+                        .and_then(|x| x.as_f64())
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_relation::{AggRef, DataType};
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_resolves_refs_and_estimates() {
+        let mut reg = AggRegistry::new();
+        let key: Arc<[Value]> = Arc::from(Vec::<Value>::new());
+        reg.publish(
+            0,
+            key.clone(),
+            vec![Value::Float(42.0)],
+            vec![Arc::from(vec![40.0, 44.0, 42.0])],
+            2.0,
+        );
+        let schema = Schema::from_pairs(&[("avg", DataType::Float)]);
+        let mut sink = Sink::new(
+            schema,
+            vec!["avg".into()],
+            Presentation::default(),
+            0,
+            None,
+        );
+        sink.ingest(
+            vec![ORow::new(vec![Value::Ref(AggRef {
+                agg: 0,
+                column: 0,
+                key,
+            })])],
+            vec![],
+        );
+        let out = sink.publish(&reg, 1.0, 3, 0.95);
+        assert_eq!(out.relation.rows()[0].values[0], Value::Float(42.0));
+        let est = out.estimates[0][0].as_ref().unwrap();
+        assert_eq!(est.estimate, 42.0);
+        assert!(est.std_error > 0.0);
+        assert!(out.max_relative_std().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn uncertain_rows_replaced_each_batch() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut sink = Sink::new(schema, vec!["x".into()], Presentation::default(), 0, None);
+        sink.ingest(vec![], vec![ORow::new(vec![Value::Int(1)])]);
+        sink.ingest(vec![], vec![ORow::new(vec![Value::Int(2)])]);
+        let reg = AggRegistry::new();
+        let out = sink.publish(&reg, 1.0, 0, 0.95);
+        assert_eq!(out.relation.len(), 1);
+        assert_eq!(out.relation.rows()[0].values[0], Value::Int(2));
+    }
+
+    #[test]
+    fn row_scaling_applies_to_spj_outputs() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut sink = Sink::new(schema, vec!["x".into()], Presentation::default(), 1, None);
+        sink.ingest(vec![ORow::new(vec![Value::Int(1)])], vec![]);
+        let reg = AggRegistry::new();
+        let out = sink.publish(&reg, 4.0, 0, 0.95);
+        assert!((out.relation.rows()[0].mult - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presentation_sorts_and_limits() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut sink = Sink::new(
+            schema,
+            vec!["x".into()],
+            Presentation {
+                sort_keys: vec![(Expr::Col(0), false)],
+                limit: Some(2),
+            },
+            0,
+            None,
+        );
+        sink.ingest(
+            vec![
+                ORow::new(vec![Value::Int(5)]),
+                ORow::new(vec![Value::Int(9)]),
+                ORow::new(vec![Value::Int(7)]),
+            ],
+            vec![],
+        );
+        let reg = AggRegistry::new();
+        let out = sink.publish(&reg, 1.0, 0, 0.95);
+        assert_eq!(out.relation.len(), 2);
+        assert_eq!(out.relation.rows()[0].values[0], Value::Int(9));
+        assert_eq!(out.relation.rows()[1].values[0], Value::Int(7));
+    }
+}

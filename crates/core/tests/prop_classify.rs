@@ -1,0 +1,151 @@
+//! Property tests on the uncertainty machinery itself:
+//!
+//! * interval soundness — the interval computed for an expression must
+//!   contain every value the expression actually takes across trial modes;
+//! * classification soundness — a near-deterministic decision must agree
+//!   with the concrete evaluation at every trial value in range.
+
+use iolap_core::{classify, interval_of, AggRegistry, Decision, IntervalValue};
+use iolap_engine::{ArithOp, CmpOp, EvalContext, Expr, RefMode};
+use iolap_relation::{AggRef, Row, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn key() -> Arc<[Value]> {
+    Arc::from(Vec::<Value>::new())
+}
+
+fn registry_with(trials: &[f64], slack: f64) -> AggRegistry {
+    let mut reg = AggRegistry::new();
+    let mean = trials.iter().sum::<f64>() / trials.len().max(1) as f64;
+    reg.publish(
+        0,
+        key(),
+        vec![Value::Float(mean)],
+        vec![Arc::from(trials.to_vec())],
+        slack,
+    );
+    reg
+}
+
+fn aref() -> Value {
+    Value::Ref(AggRef {
+        agg: 0,
+        column: 0,
+        key: key(),
+    })
+}
+
+/// Expressions over [deterministic col 0, uncertain ref col 1].
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Col(0)),
+        Just(Expr::Col(1)),
+        (-50.0f64..50.0).prop_map(|x| Expr::Lit(Value::Float(x))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![
+            Just(ArithOp::Add),
+            Just(ArithOp::Sub),
+            Just(ArithOp::Mul),
+        ])
+            .prop_map(|(l, r, op)| Expr::Arith {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// Interval soundness: for every trial t, evaluating the expression in
+    /// Trial(t) mode yields a value inside the computed interval.
+    #[test]
+    fn interval_contains_all_trial_values(
+        trials in prop::collection::vec(-100.0f64..100.0, 1..12),
+        det in -100.0f64..100.0,
+        expr in expr_strategy(),
+    ) {
+        let reg = registry_with(&trials, 0.0);
+        let row = Row {
+            values: vec![Value::Float(det), aref()].into(),
+            mult: 1.0,
+        };
+        let iv = interval_of(&expr, &row, &reg);
+        let range = match iv {
+            IntervalValue::Point(ref v) => {
+                iolap_bootstrap::VariationRange::point(v.as_f64().unwrap_or(f64::NAN))
+            }
+            IntervalValue::Range(r) => r,
+            IntervalValue::Unknown => return Ok(()), // conservative: fine
+        };
+        let ctx = EvalContext::with_resolver(&reg);
+        for t in 0..trials.len() {
+            let v = expr
+                .eval(&row, &ctx.with_mode(RefMode::Trial(t)))
+                .ok()
+                .and_then(|x| x.as_f64());
+            if let Some(v) = v {
+                prop_assert!(
+                    range.contains(v) || (v - range.lo).abs() < 1e-6 || (v - range.hi).abs() < 1e-6,
+                    "trial value {v} outside interval [{}, {}] for {expr:?}",
+                    range.lo,
+                    range.hi
+                );
+            }
+        }
+        // The current value is also covered (it is included in the tracked
+        // envelope at publish time).
+        let cur = expr.eval(&row, &ctx).ok().and_then(|x| x.as_f64());
+        if let Some(cur) = cur {
+            prop_assert!(range.contains(cur) || (cur - range.lo).abs() < 1e-6
+                || (cur - range.hi).abs() < 1e-6);
+        }
+    }
+
+    /// Classification soundness: AlwaysTrue/AlwaysFalse decisions agree
+    /// with the concrete predicate evaluation in every trial mode and at
+    /// the current value.
+    #[test]
+    fn decisive_classification_agrees_with_all_trials(
+        trials in prop::collection::vec(-100.0f64..100.0, 1..12),
+        det in -100.0f64..100.0,
+        lhs in expr_strategy(),
+        rhs in expr_strategy(),
+        op in prop_oneof![
+            Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Gt),
+            Just(CmpOp::Ge), Just(CmpOp::Eq), Just(CmpOp::Neq)
+        ],
+    ) {
+        let reg = registry_with(&trials, 0.0);
+        let row = Row {
+            values: vec![Value::Float(det), aref()].into(),
+            mult: 1.0,
+        };
+        let pred = Expr::Cmp {
+            op,
+            left: Box::new(lhs),
+            right: Box::new(rhs),
+        };
+        let decision = classify(&pred, &row, &reg);
+        if decision == Decision::Uncertain {
+            return Ok(()); // no claim made
+        }
+        let want = decision == Decision::AlwaysTrue;
+        let ctx = EvalContext::with_resolver(&reg);
+        for t in 0..trials.len() {
+            if let Ok(b) = pred.eval_predicate(&row, &ctx.with_mode(RefMode::Trial(t))) {
+                prop_assert_eq!(
+                    b, want,
+                    "decision {:?} contradicted by trial {} for {:?}",
+                    decision, t, &pred
+                );
+            }
+        }
+        if let Ok(b) = pred.eval_predicate(&row, &ctx) {
+            prop_assert_eq!(b, want, "decision contradicted by current value");
+        }
+    }
+}

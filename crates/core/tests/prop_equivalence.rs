@@ -1,0 +1,185 @@
+//! Property-based Theorem-1 tests: randomized datasets and randomized
+//! query shapes from the supported class, each checked per batch against
+//! the batch oracle. These sweep parameter combinations the hand-written
+//! tests don't.
+
+use iolap_core::{IolapConfig, IolapDriver};
+use iolap_engine::{execute, plan_sql, FunctionRegistry};
+use iolap_relation::{
+    BatchedRelation, Catalog, DataType, PartitionMode, Relation, Row, Schema, Value,
+};
+use proptest::prelude::*;
+
+/// Random small sessions table.
+fn table_strategy() -> impl Strategy<Value = Vec<(i64, f64, f64, u8)>> {
+    prop::collection::vec(
+        (
+            0i64..1_000_000,
+            0.0f64..80.0,
+            0.0f64..700.0,
+            0u8..3, // city index
+        ),
+        20..120,
+    )
+}
+
+fn build_catalog(rows: &[(i64, f64, f64, u8)]) -> Catalog {
+    let cities = ["SF", "LA", "NYC"];
+    let schema = Schema::from_pairs(&[
+        ("session_id", DataType::Int),
+        ("buffer_time", DataType::Float),
+        ("play_time", DataType::Float),
+        ("city", DataType::Str),
+    ]);
+    let data = rows
+        .iter()
+        .map(|(id, b, p, c)| {
+            vec![
+                Value::Int(*id),
+                Value::Float(*b),
+                Value::Float(*p),
+                Value::str(cities[*c as usize % 3]),
+            ]
+        })
+        .collect();
+    let mut cat = Catalog::new();
+    cat.register("sessions", Relation::from_values(schema, data));
+    cat
+}
+
+/// The randomized query family: flat and nested shapes over the sessions
+/// schema, parameterized by thresholds so selectivities vary.
+fn query_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("SELECT AVG(play_time), SUM(buffer_time), COUNT(*) FROM sessions".to_string()),
+        (0.0f64..80.0).prop_map(|t| format!(
+            "SELECT city, SUM(play_time) FROM sessions WHERE buffer_time < {t:.1} GROUP BY city"
+        )),
+        (0.1f64..2.0).prop_map(|f| format!(
+            "SELECT AVG(play_time) FROM sessions \
+             WHERE buffer_time > (SELECT {f:.2} * AVG(buffer_time) FROM sessions)"
+        )),
+        (0.1f64..2.0).prop_map(|f| format!(
+            "SELECT COUNT(*) FROM sessions s \
+             WHERE s.play_time < (SELECT {f:.2} * AVG(i.play_time) FROM sessions i \
+                                  WHERE i.city = s.city)"
+        )),
+        (0.0f64..3000.0).prop_map(|t| format!(
+            "SELECT SUM(play_time) FROM sessions WHERE city IN \
+             (SELECT city FROM sessions GROUP BY city HAVING SUM(buffer_time) > {t:.0})"
+        )),
+        (0.0f64..700.0).prop_map(|t| format!(
+            "SELECT city, AVG(buffer_time) FROM sessions GROUP BY city \
+             HAVING AVG(play_time) > {t:.0}"
+        )),
+    ]
+}
+
+fn check_equivalence(
+    rows: &[(i64, f64, f64, u8)],
+    sql: &str,
+    batches: usize,
+    seed: u64,
+    slack: f64,
+) -> Result<(), TestCaseError> {
+    let cat = build_catalog(rows);
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(sql, &cat, &registry).expect("queries in the family must plan");
+    let mut cfg = IolapConfig::with_batches(batches)
+        .trials(12)
+        .seed(seed)
+        .slack(slack);
+    cfg.partition_mode = PartitionMode::RowShuffle;
+    let stream = cat.get("sessions").unwrap();
+    let parts = BatchedRelation::partition(&stream, batches, seed, cfg.partition_mode);
+    let mut driver = IolapDriver::from_plan(&pq, &cat, "sessions", cfg).expect("driver");
+    let mut i = 0;
+    while let Some(step) = driver.step() {
+        let report = step.expect("batch");
+        let prefix = parts.union_through(i);
+        let m = parts.scale_after(i);
+        let mut oc = cat.clone();
+        oc.register(
+            "sessions",
+            Relation::new(
+                prefix.schema().clone(),
+                prefix
+                    .rows()
+                    .iter()
+                    .map(|r| Row::with_mult(r.values.to_vec(), r.mult * m))
+                    .collect(),
+            ),
+        );
+        let expected = execute(&pq.plan, &oc).unwrap();
+        prop_assert!(
+            report.result.relation.approx_eq(&expected, 1e-6),
+            "batch {i} mismatch for `{sql}`\niOLAP:\n{}\noracle:\n{}",
+            report.result.relation,
+            expected
+        );
+        i += 1;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Theorem 1 over randomized data, query shape, batching, and slack.
+    #[test]
+    fn randomized_theorem1(
+        rows in table_strategy(),
+        sql in query_strategy(),
+        batches in 2usize..7,
+        seed in any::<u64>(),
+        slack in prop_oneof![Just(0.0f64), Just(1.0), Just(2.0)],
+    ) {
+        check_equivalence(&rows, &sql, batches, seed, slack)?;
+    }
+
+    /// Theorem 1 must also hold with the optimizations disabled (the
+    /// conservative §4.2 algorithm) — same answers, different costs.
+    #[test]
+    fn randomized_theorem1_without_optimizations(
+        rows in table_strategy(),
+        sql in query_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let cat = build_catalog(&rows);
+        let registry = FunctionRegistry::with_builtins();
+        let pq = plan_sql(&sql, &cat, &registry).unwrap();
+        let mut cfg = IolapConfig::with_batches(4).trials(8).seed(seed);
+        cfg.partition_mode = PartitionMode::RowShuffle;
+        cfg = cfg.optimizations(false, false);
+        let stream = cat.get("sessions").unwrap();
+        let parts = BatchedRelation::partition(&stream, 4, seed, cfg.partition_mode);
+        let mut driver = IolapDriver::from_plan(&pq, &cat, "sessions", cfg).unwrap();
+        let mut i = 0;
+        while let Some(step) = driver.step() {
+            let report = step.expect("batch");
+            let prefix = parts.union_through(i);
+            let m = parts.scale_after(i);
+            let mut oc = cat.clone();
+            oc.register(
+                "sessions",
+                Relation::new(
+                    prefix.schema().clone(),
+                    prefix
+                        .rows()
+                        .iter()
+                        .map(|r| Row::with_mult(r.values.to_vec(), r.mult * m))
+                        .collect(),
+                ),
+            );
+            let expected = execute(&pq.plan, &oc).unwrap();
+            prop_assert!(
+                report.result.relation.approx_eq(&expected, 1e-6),
+                "unoptimized batch {i} mismatch for `{sql}`"
+            );
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Failure-injection tests for the §5.1 recovery machinery: zero slack
+//! forces range-integrity failures; correctness must survive checkpoint
+//! intervals, quarantine, and repeated replays.
+
+use iolap_core::{IolapConfig, IolapDriver};
+use iolap_engine::{execute, plan_sql, FunctionRegistry};
+use iolap_relation::{
+    BatchedRelation, Catalog, DataType, PartitionMode, Relation, Row, Schema, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deliberately drifting dataset: later rows have systematically larger
+/// values, so running aggregates move and early ranges break. Values are
+/// kept un-rounded: integer-valued data can collide *exactly* with a
+/// running average at a predicate boundary, where incremental and
+/// single-pass float summation orders legitimately disagree in the last
+/// ulp and flip the boundary row (Theorem 1 is a statement over reals).
+fn drifting_catalog(n: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("g", DataType::Str),
+    ]);
+    let rows = (0..n)
+        .map(|i| {
+            let drift = i as f64 / n as f64 * 40.0;
+            vec![
+                Value::Int(i as i64),
+                Value::Float(rng.gen::<f64>() * 30.0 + drift),
+                Value::Float(rng.gen::<f64>() * 100.0),
+                Value::str(["p", "q", "r"][i % 3]),
+            ]
+        })
+        .collect();
+    let mut c = Catalog::new();
+    c.register("t", Relation::from_values(schema, rows));
+    c
+}
+
+const NESTED_SQL: &str = "SELECT AVG(y) FROM t WHERE x > (SELECT AVG(x) FROM t)";
+
+fn run_and_check(cat: &Catalog, config: IolapConfig) -> (usize, usize) {
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(NESTED_SQL, cat, &registry).unwrap();
+    let stream = cat.get("t").unwrap();
+    let parts = BatchedRelation::partition(
+        &stream,
+        config.num_batches,
+        config.seed,
+        // Sequential keeps the drift in arrival order — worst case for
+        // range stability.
+        config.partition_mode,
+    );
+    let mut driver = IolapDriver::from_plan(&pq, cat, "t", config.clone()).unwrap();
+    let mut recoveries = 0;
+    let mut i = 0;
+    while let Some(step) = driver.step() {
+        let report = step.unwrap();
+        if report.recovered {
+            recoveries += 1;
+        }
+        let prefix = parts.union_through(i);
+        let m = parts.scale_after(i);
+        let mut oc = cat.clone();
+        oc.register(
+            "t",
+            Relation::new(
+                prefix.schema().clone(),
+                prefix
+                    .rows()
+                    .iter()
+                    .map(|r| Row::with_mult(r.values.to_vec(), r.mult * m))
+                    .collect(),
+            ),
+        );
+        let expected = execute(&pq.plan, &oc).unwrap();
+        assert!(
+            report.result.relation.approx_eq(&expected, 1e-6),
+            "batch {i} mismatch after {recoveries} recoveries\niOLAP:\n{}\noracle:\n{}",
+            report.result.relation,
+            expected
+        );
+        i += 1;
+    }
+    (recoveries, driver.total_failures())
+}
+
+fn sequential_config(batches: usize, slack: f64, checkpoint: usize) -> IolapConfig {
+    let mut c = IolapConfig::with_batches(batches)
+        .trials(16)
+        .seed(5)
+        .slack(slack);
+    c.partition_mode = PartitionMode::Sequential;
+    c.checkpoint_interval = checkpoint;
+    c
+}
+
+#[test]
+fn drifting_data_forces_recovery_and_stays_exact() {
+    let cat = drifting_catalog(300, 1);
+    let (recoveries, failures) = run_and_check(&cat, sequential_config(10, 0.0, 1));
+    assert!(recoveries > 0, "zero slack on drifting data must fail at least once");
+    assert_eq!(recoveries, failures);
+}
+
+#[test]
+fn sparse_checkpoints_still_recover_exactly() {
+    // Checkpoint every 3 batches: recovery must fall back to an older
+    // checkpoint and replay a longer combined delta, still exactly.
+    let cat = drifting_catalog(300, 2);
+    let (recoveries, _) = run_and_check(&cat, sequential_config(10, 0.0, 3));
+    assert!(recoveries > 0);
+}
+
+#[test]
+fn no_checkpoints_beyond_initial_still_recover() {
+    // Interval larger than the batch count: only the initial checkpoint
+    // exists; every recovery replays from scratch. Slow but exact.
+    let cat = drifting_catalog(200, 3);
+    let (recoveries, _) = run_and_check(&cat, sequential_config(8, 0.0, 100));
+    assert!(recoveries > 0);
+}
+
+#[test]
+fn quarantine_bounds_recovery_thrash() {
+    // With quarantine, an attribute can force at most one replay: on a
+    // single-uncertain-attribute query the recovery count is ≤ 1 even on
+    // adversarial drift.
+    let cat = drifting_catalog(400, 4);
+    let (recoveries, _) = run_and_check(&cat, sequential_config(12, 0.0, 1));
+    assert!(
+        recoveries <= 2,
+        "quarantine must stop repeated failures of the same attribute: {recoveries}"
+    );
+}
+
+#[test]
+fn generous_slack_avoids_recovery_on_stationary_data() {
+    // Shuffled (stationary) data with the paper's slack = 2: recoveries
+    // should be rare to absent (§8.4).
+    let mut cat = Catalog::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("g", DataType::Str),
+    ]);
+    let rows = (0..400)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Float(rng.gen::<f64>() * 50.0),
+                Value::Float(rng.gen::<f64>() * 100.0),
+                Value::str(["p", "q"][i % 2]),
+            ]
+        })
+        .collect();
+    cat.register("t", Relation::from_values(schema, rows));
+    let mut config = sequential_config(10, 2.0, 1);
+    config.partition_mode = PartitionMode::RowShuffle;
+    let (recoveries, _) = run_and_check(&cat, config);
+    assert_eq!(recoveries, 0, "slack 2 on shuffled data should not fail");
+}
+
+#[test]
+fn recovery_preserves_error_estimates() {
+    let cat = drifting_catalog(300, 6);
+    let registry = FunctionRegistry::with_builtins();
+    let mut driver = IolapDriver::from_sql(
+        NESTED_SQL,
+        &cat,
+        &registry,
+        "t",
+        sequential_config(10, 0.0, 1),
+    )
+    .unwrap();
+    let reports = driver.run_to_completion().unwrap();
+    // Every batch, including recovered ones, carries a usable estimate.
+    for r in &reports {
+        assert_eq!(r.result.relation.len(), 1);
+        assert!(
+            r.result.estimates[0][0].is_some(),
+            "estimate missing at batch {}",
+            r.batch
+        );
+    }
+}

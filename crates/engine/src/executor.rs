@@ -1,0 +1,621 @@
+//! Batch executor: evaluates a [`Plan`] bottom-up against a [`Catalog`].
+//!
+//! This is the reproduction's stand-in for unmodified SparkSQL — the
+//! "baseline" of §8. It is also the semantic oracle for Theorem 1: the iOLAP
+//! online engine's partial result at batch `i` must equal this executor run
+//! on the accumulated prefix `D_i` (with streamed rows weighted `m_i`).
+//!
+//! All operators are multiplicity-aware per Appendix A:
+//! `σ`: `R(t)·θ(t)`; `⋈`: `R1(t1)·R2(t2)`; `γ`: accumulators weight updates
+//! by row multiplicity.
+
+use crate::expr::{EvalContext, Expr, ExprError};
+use crate::plan::{AggCall, Plan};
+use iolap_relation::{Catalog, CatalogError, Relation, Row, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Executor errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Expression evaluation failed.
+    Expr(ExprError),
+    /// Catalog lookup failed.
+    Catalog(CatalogError),
+    /// Malformed plan (e.g. scalar subquery returning != 1 row).
+    Plan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Expr(e) => write!(f, "{e}"),
+            EngineError::Catalog(e) => write!(f, "{e}"),
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ExprError> for EngineError {
+    fn from(e: ExprError) -> Self {
+        EngineError::Expr(e)
+    }
+}
+
+impl From<CatalogError> for EngineError {
+    fn from(e: CatalogError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+
+/// Execute `plan` against `catalog` with the default (batch) context.
+pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Relation, EngineError> {
+    execute_with(plan, catalog, &EvalContext::batch())
+}
+
+/// Execute with an explicit evaluation context (the online engines pass a
+/// lineage resolver here).
+pub fn execute_with(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &EvalContext<'_>,
+) -> Result<Relation, EngineError> {
+    match plan {
+        Plan::Scan { table, schema } => {
+            let rel = catalog.get(table)?;
+            // Re-qualify with the plan schema (alias-aware).
+            Ok(Relation::new(schema.clone(), rel.rows().to_vec()))
+        }
+        Plan::Select { input, predicate } => {
+            let rel = execute_with(input, catalog, ctx)?;
+            filter(rel, predicate, ctx)
+        }
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let rel = execute_with(input, catalog, ctx)?;
+            project(rel, exprs, schema, ctx)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            schema,
+        } => {
+            let l = execute_with(left, catalog, ctx)?;
+            let r = execute_with(right, catalog, ctx)?;
+            join(&l, &r, left_keys, right_keys, schema, ctx)
+        }
+        Plan::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = execute_with(left, catalog, ctx)?;
+            let r = execute_with(right, catalog, ctx)?;
+            semi_join(l, &r, left_keys, right_keys, ctx)
+        }
+        Plan::Union { inputs } => {
+            let mut out: Option<Relation> = None;
+            for p in inputs {
+                let rel = execute_with(p, catalog, ctx)?;
+                match &mut out {
+                    None => out = Some(rel),
+                    Some(acc) => acc.rows_mut().extend(rel.into_rows()),
+                }
+            }
+            out.ok_or_else(|| EngineError::Plan("UNION with no inputs".into()))
+        }
+        Plan::Aggregate {
+            input,
+            group_cols,
+            aggs,
+            schema,
+            ..
+        } => {
+            let rel = execute_with(input, catalog, ctx)?;
+            aggregate(&rel, group_cols, aggs, schema, ctx)
+        }
+        Plan::Sort { input, keys, limit } => {
+            let rel = execute_with(input, catalog, ctx)?;
+            sort(rel, keys, *limit, ctx)
+        }
+    }
+}
+
+/// σ: keep rows whose predicate holds.
+pub fn filter(
+    rel: Relation,
+    predicate: &Expr,
+    ctx: &EvalContext<'_>,
+) -> Result<Relation, EngineError> {
+    let schema = rel.schema().clone();
+    let mut rows = Vec::new();
+    for row in rel.into_rows() {
+        if predicate.eval_predicate(&row, ctx)? {
+            rows.push(row);
+        }
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+/// π: compute output expressions; multiplicity carries through.
+pub fn project(
+    rel: Relation,
+    exprs: &[Expr],
+    schema: &iolap_relation::Schema,
+    ctx: &EvalContext<'_>,
+) -> Result<Relation, EngineError> {
+    let mut rows = Vec::with_capacity(rel.len());
+    for row in rel.into_rows() {
+        let values = exprs
+            .iter()
+            .map(|e| eval_keep_ref(e, &row, ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        rows.push(Row::with_mult(values, row.mult));
+    }
+    Ok(Relation::new(schema.clone(), rows))
+}
+
+/// Evaluate an expression, but let a bare column reference carry a lineage
+/// `Ref` through *unresolved* — projections must preserve refs so lineage
+/// keeps propagating (§6.1); any computation on top of a ref still resolves
+/// lazily inside `Expr::eval`.
+fn eval_keep_ref(e: &Expr, row: &Row, ctx: &EvalContext<'_>) -> Result<Value, ExprError> {
+    if let Expr::Col(i) = e {
+        if matches!(&row.values[*i], Value::Ref(_) | Value::Pending(_)) {
+            return Ok(row.values[*i].clone());
+        }
+    }
+    e.eval(row, ctx)
+}
+
+/// ⋈: hash join on key expressions; empty keys = cross join.
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    schema: &iolap_relation::Schema,
+    ctx: &EvalContext<'_>,
+) -> Result<Relation, EngineError> {
+    let mut rows = Vec::new();
+    if left_keys.is_empty() {
+        for l in left.rows() {
+            for r in right.rows() {
+                rows.push(concat_rows(l, r));
+            }
+        }
+        return Ok(Relation::new(schema.clone(), rows));
+    }
+    // Build on the right (dimension/aggregate side in our workloads).
+    let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+    for r in right.rows() {
+        let key = eval_key(right_keys, r, ctx)?;
+        table.entry(key).or_default().push(r);
+    }
+    for l in left.rows() {
+        let key = eval_key(left_keys, l, ctx)?;
+        if let Some(matches) = table.get(&key) {
+            for r in matches {
+                rows.push(concat_rows(l, r));
+            }
+        }
+    }
+    Ok(Relation::new(schema.clone(), rows))
+}
+
+/// Semi-join: keep left rows whose key appears with positive multiplicity on
+/// the right; left multiplicities are unchanged (SQL `IN` semantics).
+pub fn semi_join(
+    left: Relation,
+    right: &Relation,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    ctx: &EvalContext<'_>,
+) -> Result<Relation, EngineError> {
+    let mut present: HashMap<Vec<Value>, f64> = HashMap::new();
+    for r in right.rows() {
+        let key = eval_key(right_keys, r, ctx)?;
+        *present.entry(key).or_insert(0.0) += r.mult;
+    }
+    let schema = left.schema().clone();
+    let mut rows = Vec::new();
+    for l in left.into_rows() {
+        let key = eval_key(left_keys, &l, ctx)?;
+        if present.get(&key).copied().unwrap_or(0.0) > 0.0 {
+            rows.push(l);
+        }
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+/// γ: grouped aggregation with multiplicity-weighted accumulators.
+///
+/// A global aggregate (no group columns) over an empty input produces the
+/// SQL-standard single row of "empty" outputs.
+pub fn aggregate(
+    rel: &Relation,
+    group_cols: &[usize],
+    aggs: &[AggCall],
+    schema: &iolap_relation::Schema,
+    ctx: &EvalContext<'_>,
+) -> Result<Relation, EngineError> {
+    let mut groups: HashMap<Arc<[Value]>, Vec<Box<dyn crate::aggregate::Accumulator>>> =
+        HashMap::new();
+    let mut order: Vec<Arc<[Value]>> = Vec::new();
+    for row in rel.rows() {
+        let key = row.key(group_cols);
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|a| a.kind.accumulator()).collect()
+        });
+        for (call, acc) in aggs.iter().zip(accs.iter_mut()) {
+            let v = call.input.eval(row, ctx)?;
+            acc.update(&v, row.mult);
+        }
+    }
+    if groups.is_empty() && group_cols.is_empty() {
+        // Global aggregate over nothing: one row of empty outputs.
+        let values: Vec<Value> = aggs
+            .iter()
+            .map(|a| a.kind.accumulator().output(1.0))
+            .collect();
+        return Ok(Relation::new(schema.clone(), vec![Row::new(values)]));
+    }
+    let mut rows = Vec::with_capacity(groups.len());
+    for key in order {
+        let accs = &groups[&key];
+        let mut values: Vec<Value> = key.to_vec();
+        for acc in accs {
+            values.push(acc.output(1.0));
+        }
+        rows.push(Row::new(values));
+    }
+    Ok(Relation::new(schema.clone(), rows))
+}
+
+/// ORDER BY + LIMIT.
+pub fn sort(
+    rel: Relation,
+    keys: &[(Expr, bool)],
+    limit: Option<u64>,
+    ctx: &EvalContext<'_>,
+) -> Result<Relation, EngineError> {
+    let schema = rel.schema().clone();
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rel.len());
+    for row in rel.into_rows() {
+        let k = keys
+            .iter()
+            .map(|(e, _)| e.eval(&row, ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        keyed.push((k, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for ((x, y), (_, asc)) in ka.iter().zip(kb.iter()).zip(keys.iter()) {
+            let mut ord = x.total_cmp(y);
+            if !asc {
+                ord = ord.reverse();
+            }
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+    if let Some(n) = limit {
+        rows.truncate(n as usize);
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+fn eval_key(keys: &[Expr], row: &Row, ctx: &EvalContext<'_>) -> Result<Vec<Value>, ExprError> {
+    keys.iter().map(|e| e.eval(row, ctx)).collect()
+}
+
+fn concat_rows(l: &Row, r: &Row) -> Row {
+    let mut values = Vec::with_capacity(l.values.len() + r.values.len());
+    values.extend(l.values.iter().cloned());
+    values.extend(r.values.iter().cloned());
+    Row::with_mult(values, l.mult * r.mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggKind, BuiltinAgg};
+    use crate::expr::CmpOp;
+    use iolap_relation::{DataType, Schema};
+
+    fn sessions() -> Relation {
+        // The paper's Figure 2(b) Sessions table (batches 1 and 2).
+        Relation::from_values(
+            Schema::from_pairs(&[
+                ("session_id", DataType::Int),
+                ("buffer_time", DataType::Float),
+                ("play_time", DataType::Float),
+            ]),
+            vec![
+                vec![1.into(), 36.0.into(), 238.0.into()],
+                vec![2.into(), 58.0.into(), 135.0.into()],
+                vec![3.into(), 17.0.into(), 617.0.into()],
+                vec![4.into(), 56.0.into(), 194.0.into()],
+                vec![5.into(), 19.0.into(), 308.0.into()],
+                vec![6.into(), 26.0.into(), 319.0.into()],
+            ],
+        )
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("sessions", sessions());
+        c
+    }
+
+    fn scan() -> Plan {
+        Plan::Scan {
+            table: "sessions".into(),
+            schema: sessions().schema().clone(),
+        }
+    }
+
+    /// Hand-built SBI plan (Example 1 / Figure 2(a)).
+    fn sbi_plan() -> Plan {
+        let inner_agg = Plan::Aggregate {
+            input: Box::new(scan()),
+            group_cols: vec![],
+            aggs: vec![AggCall {
+                kind: AggKind::Builtin(BuiltinAgg::Avg),
+                input: Expr::Col(1),
+                name: "avg_buffer".into(),
+            }],
+            schema: Schema::from_pairs(&[("avg_buffer", DataType::Float)]),
+            agg_id: 0,
+        };
+        let cross = Plan::Join {
+            left: Box::new(scan()),
+            right: Box::new(inner_agg),
+            left_keys: vec![],
+            right_keys: vec![],
+            schema: Schema::from_pairs(&[
+                ("session_id", DataType::Int),
+                ("buffer_time", DataType::Float),
+                ("play_time", DataType::Float),
+                ("avg_buffer", DataType::Float),
+            ]),
+        };
+        let select = Plan::Select {
+            input: Box::new(cross),
+            predicate: Expr::Cmp {
+                op: CmpOp::Gt,
+                left: Box::new(Expr::Col(1)),
+                right: Box::new(Expr::Col(3)),
+            },
+        };
+        Plan::Aggregate {
+            input: Box::new(select),
+            group_cols: vec![],
+            aggs: vec![AggCall {
+                kind: AggKind::Builtin(BuiltinAgg::Avg),
+                input: Expr::Col(2),
+                name: "avg_play".into(),
+            }],
+            schema: Schema::from_pairs(&[("avg_play", DataType::Float)]),
+            agg_id: 1,
+        }
+    }
+
+    #[test]
+    fn sbi_end_to_end() {
+        // AVG(buffer_time) over all 6 rows = 35.333…; rows above it:
+        // t1 (36, 238), t2 (58, 135), t4 (56, 194) → AVG(play_time) = 189.
+        let out = execute(&sbi_plan(), &catalog()).unwrap();
+        assert_eq!(out.len(), 1);
+        let v = out.rows()[0].values[0].as_f64().unwrap();
+        assert!((v - 189.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn filter_drops_rows() {
+        let p = Plan::Select {
+            input: Box::new(scan()),
+            predicate: Expr::Cmp {
+                op: CmpOp::Lt,
+                left: Box::new(Expr::Col(1)),
+                right: Box::new(Expr::Lit(20.0.into())),
+            },
+        };
+        let out = execute(&p, &catalog()).unwrap();
+        assert_eq!(out.len(), 2); // buffer_time 17 and 19
+    }
+
+    #[test]
+    fn join_multiplies_multiplicities() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut l = Relation::empty(schema.clone());
+        l.push(Row::with_mult(vec![1.into()], 2.0));
+        let mut r = Relation::empty(schema.clone());
+        r.push(Row::with_mult(vec![1.into()], 3.0));
+        let out = join(
+            &l,
+            &r,
+            &[Expr::Col(0)],
+            &[Expr::Col(0)],
+            &schema.join(&schema),
+            &EvalContext::batch(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!((out.rows()[0].mult - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn semi_join_keeps_left_mult() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut l = Relation::empty(schema.clone());
+        l.push(Row::with_mult(vec![1.into()], 2.0));
+        l.push(Row::with_mult(vec![2.into()], 1.0));
+        let r = Relation::from_values(schema.clone(), vec![vec![1.into()], vec![1.into()]]);
+        let out = semi_join(
+            l,
+            &r,
+            &[Expr::Col(0)],
+            &[Expr::Col(0)],
+            &EvalContext::batch(),
+        )
+        .unwrap();
+        // Only k=1 survives, with its own multiplicity (not doubled).
+        assert_eq!(out.len(), 1);
+        assert!((out.rows()[0].mult - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_groups_weighted() {
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Float)]);
+        let mut rel = Relation::empty(schema);
+        rel.push(Row::with_mult(vec![1.into(), 10.0.into()], 2.0));
+        rel.push(Row::with_mult(vec![1.into(), 20.0.into()], 1.0));
+        rel.push(Row::with_mult(vec![2.into(), 5.0.into()], 1.0));
+        let out_schema =
+            Schema::from_pairs(&[("g", DataType::Int), ("s", DataType::Float)]);
+        let out = aggregate(
+            &rel,
+            &[0],
+            &[AggCall {
+                kind: AggKind::Builtin(BuiltinAgg::Sum),
+                input: Expr::Col(1),
+                name: "s".into(),
+            }],
+            &out_schema,
+            &EvalContext::batch(),
+        )
+        .unwrap();
+        let n = out.normalize();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.rows()[0].values[1], Value::Float(40.0)); // 10*2 + 20
+        assert_eq!(n.rows()[1].values[1], Value::Float(5.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let schema = Schema::from_pairs(&[("v", DataType::Float)]);
+        let rel = Relation::empty(schema);
+        let out_schema = Schema::from_pairs(&[
+            ("c", DataType::Float),
+            ("s", DataType::Float),
+        ]);
+        let out = aggregate(
+            &rel,
+            &[],
+            &[
+                AggCall {
+                    kind: AggKind::Builtin(BuiltinAgg::Count),
+                    input: Expr::Col(0),
+                    name: "c".into(),
+                },
+                AggCall {
+                    kind: AggKind::Builtin(BuiltinAgg::Sum),
+                    input: Expr::Col(0),
+                    name: "s".into(),
+                },
+            ],
+            &out_schema,
+            &EvalContext::batch(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0].values[0], Value::Float(0.0));
+        assert_eq!(out.rows()[0].values[1], Value::Null);
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Float)]);
+        let rel = Relation::empty(schema);
+        let out_schema = Schema::from_pairs(&[("g", DataType::Int), ("c", DataType::Float)]);
+        let out = aggregate(
+            &rel,
+            &[0],
+            &[AggCall {
+                kind: AggKind::Builtin(BuiltinAgg::Count),
+                input: Expr::Col(1),
+                name: "c".into(),
+            }],
+            &out_schema,
+            &EvalContext::batch(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let p = Plan::Sort {
+            input: Box::new(scan()),
+            keys: vec![(Expr::Col(1), false)],
+            limit: Some(2),
+        };
+        let out = execute(&p, &catalog()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0].values[1], Value::Float(58.0));
+        assert_eq!(out.rows()[1].values[1], Value::Float(56.0));
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let p = Plan::Union {
+            inputs: vec![scan(), scan()],
+        };
+        let out = execute(&p, &catalog()).unwrap();
+        assert_eq!(out.len(), 12);
+    }
+
+    #[test]
+    fn scaling_by_multiplicity_equals_weighted_query() {
+        // Q(D_i, m_i): weighting every row by m Leaves AVG unchanged and
+        // scales SUM by m — the §2 semantics.
+        let base = sessions();
+        let mut weighted = Relation::empty(base.schema().clone());
+        for r in base.rows() {
+            weighted.push(Row::with_mult(r.values.to_vec(), 3.0));
+        }
+        let mut c = Catalog::new();
+        c.register("sessions", weighted);
+        let agg = Plan::Aggregate {
+            input: Box::new(scan()),
+            group_cols: vec![],
+            aggs: vec![
+                AggCall {
+                    kind: AggKind::Builtin(BuiltinAgg::Sum),
+                    input: Expr::Col(2),
+                    name: "s".into(),
+                },
+                AggCall {
+                    kind: AggKind::Builtin(BuiltinAgg::Avg),
+                    input: Expr::Col(2),
+                    name: "a".into(),
+                },
+            ],
+            schema: Schema::from_pairs(&[("s", DataType::Float), ("a", DataType::Float)]),
+            agg_id: 0,
+        };
+        let out = execute(&agg, &c).unwrap();
+        let s = out.rows()[0].values[0].as_f64().unwrap();
+        let a = out.rows()[0].values[1].as_f64().unwrap();
+        let plain_sum: f64 = sessions()
+            .rows()
+            .iter()
+            .map(|r| r.values[2].as_f64().unwrap())
+            .sum();
+        assert!((s - 3.0 * plain_sum).abs() < 1e-9);
+        assert!((a - plain_sum / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,285 @@
+//! Logical query plans.
+//!
+//! Plans are built by the planner from SQL ASTs and consumed by three
+//! executors: the batch executor in this crate (the "traditional OLAP
+//! engine" baseline of §8), the iOLAP online executor (`iolap-core`), and
+//! the HDA comparator (`iolap-baselines`). All three agree on the operator
+//! semantics defined in Appendix A.
+//!
+//! Aggregate nodes carry a stable `agg_id`, which doubles as the paper's
+//! `rel(γ)` — the unique reference used by block-wise lineage (§6.1).
+
+use crate::aggregate::AggKind;
+use crate::expr::Expr;
+use iolap_relation::Schema;
+use std::fmt;
+
+/// One aggregate call inside an [`Plan::Aggregate`] node.
+#[derive(Clone, Debug)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub kind: AggKind,
+    /// Argument expression over the aggregate input schema (`Lit(1)` for
+    /// `COUNT(*)`).
+    pub input: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A logical plan node.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Base table scan.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Output schema (qualified by the table's effective name).
+        schema: Schema,
+    },
+    /// Filter (`σ_θ`).
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Projection (`π`), SQL-style without duplicate elimination.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Equi- or cross-join (`⋈`). Empty key lists mean cross join.
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join key expressions over the left schema.
+        left_keys: Vec<Expr>,
+        /// Join key expressions over the right schema.
+        right_keys: Vec<Expr>,
+        /// Output schema (left ++ right).
+        schema: Schema,
+    },
+    /// Semi-join for `IN (SELECT …)`: keeps left rows whose key appears in
+    /// the right input. Output schema = left schema.
+    SemiJoin {
+        /// Probe input.
+        left: Box<Plan>,
+        /// Match-set input.
+        right: Box<Plan>,
+        /// Probe key expressions over the left schema.
+        left_keys: Vec<Expr>,
+        /// Match key expressions over the right schema.
+        right_keys: Vec<Expr>,
+    },
+    /// `UNION ALL`.
+    Union {
+        /// Inputs with congruent schemas.
+        inputs: Vec<Plan>,
+    },
+    /// Grouped aggregation (`γ_{A,Ψ}`).
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Indices of group-by columns in the input schema.
+        group_cols: Vec<usize>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Output schema: group columns then aggregate columns.
+        schema: Schema,
+        /// Stable id: the paper's `rel(γ)` lineage-block reference.
+        agg_id: u32,
+    },
+    /// Presentation: ORDER BY + LIMIT. Applied to final results only.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(key expression, ascending)` pairs.
+        keys: Vec<(Expr, bool)>,
+        /// Optional row limit.
+        limit: Option<u64>,
+    },
+}
+
+impl Plan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            Plan::Scan { schema, .. } => schema,
+            Plan::Select { input, .. } => input.schema(),
+            Plan::Project { schema, .. } => schema,
+            Plan::Join { schema, .. } => schema,
+            Plan::SemiJoin { left, .. } => left.schema(),
+            Plan::Union { inputs } => inputs[0].schema(),
+            Plan::Aggregate { schema, .. } => schema,
+            Plan::Sort { input, .. } => input.schema(),
+        }
+    }
+
+    /// Direct children.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => vec![],
+            Plan::Select { input, .. } | Plan::Sort { input, .. } => vec![input],
+            Plan::Project { input, .. } | Plan::Aggregate { input, .. } => vec![input],
+            Plan::Join { left, right, .. } | Plan::SemiJoin { left, right, .. } => {
+                vec![left, right]
+            }
+            Plan::Union { inputs } => inputs.iter().collect(),
+        }
+    }
+
+    /// Names of all base tables scanned anywhere in the plan.
+    pub fn scanned_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let Plan::Scan { table, .. } = p {
+                out.push(table.clone());
+            }
+        });
+        out
+    }
+
+    /// All `agg_id`s appearing in the plan, in visit order.
+    pub fn aggregate_ids(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let Plan::Aggregate { agg_id, .. } = p {
+                out.push(*agg_id);
+            }
+        });
+        out
+    }
+
+    /// Pre-order visit.
+    pub fn visit(&self, f: &mut impl FnMut(&Plan)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Number of operators.
+    pub fn operator_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// EXPLAIN-style indented rendering.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let line = match self {
+            Plan::Scan { table, .. } => format!("Scan {table}"),
+            Plan::Select { predicate, .. } => format!("Select {predicate:?}"),
+            Plan::Project { exprs, .. } => format!("Project {exprs:?}"),
+            Plan::Join {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                if left_keys.is_empty() {
+                    "CrossJoin".to_string()
+                } else {
+                    format!("HashJoin {left_keys:?} = {right_keys:?}")
+                }
+            }
+            Plan::SemiJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => format!("SemiJoin {left_keys:?} IN {right_keys:?}"),
+            Plan::Union { .. } => "UnionAll".to_string(),
+            Plan::Aggregate {
+                group_cols,
+                aggs,
+                agg_id,
+                ..
+            } => format!(
+                "Aggregate[id={agg_id}] group={group_cols:?} aggs={}",
+                aggs.iter()
+                    .map(|a| format!("{}({:?})", a.kind.name(), a.input))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Plan::Sort { keys, limit, .. } => format!("Sort {keys:?} limit={limit:?}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.explain_into(out, indent + 1);
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::BuiltinAgg;
+    use iolap_relation::DataType;
+
+    fn scan(name: &str, cols: &[(&str, DataType)]) -> Plan {
+        Plan::Scan {
+            table: name.into(),
+            schema: Schema::from_pairs(cols),
+        }
+    }
+
+    #[test]
+    fn schema_propagates_through_select() {
+        let p = Plan::Select {
+            input: Box::new(scan("t", &[("a", DataType::Int)])),
+            predicate: Expr::Lit(true.into()),
+        };
+        assert_eq!(p.schema().len(), 1);
+    }
+
+    #[test]
+    fn scanned_tables_and_agg_ids() {
+        let agg = Plan::Aggregate {
+            input: Box::new(scan("sessions", &[("b", DataType::Float)])),
+            group_cols: vec![],
+            aggs: vec![AggCall {
+                kind: AggKind::Builtin(BuiltinAgg::Avg),
+                input: Expr::Col(0),
+                name: "avg_b".into(),
+            }],
+            schema: Schema::from_pairs(&[("avg_b", DataType::Float)]),
+            agg_id: 7,
+        };
+        let join = Plan::Join {
+            left: Box::new(scan("sessions", &[("b", DataType::Float)])),
+            right: Box::new(agg),
+            left_keys: vec![],
+            right_keys: vec![],
+            schema: Schema::from_pairs(&[("b", DataType::Float), ("avg_b", DataType::Float)]),
+        };
+        assert_eq!(join.scanned_tables(), vec!["sessions", "sessions"]);
+        assert_eq!(join.aggregate_ids(), vec![7]);
+        assert_eq!(join.operator_count(), 4);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let p = scan("t", &[("a", DataType::Int)]);
+        assert_eq!(p.explain(), "Scan t\n");
+    }
+}

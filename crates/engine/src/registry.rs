@@ -1,0 +1,242 @@
+//! Function registry: scalar UDFs and UDAFs.
+//!
+//! iOLAP "significantly generalizes incremental query processing to complex
+//! queries with … user-defined functions (UDFs) and user-defined aggregate
+//! functions (UDAFs)" (§1). The registry is consulted by the planner to
+//! classify SQL function calls; built-in aggregates (SUM/AVG/…) take
+//! precedence, then registered UDAFs, then scalar UDFs (built-in math and
+//! string functions are pre-registered).
+
+use crate::aggregate::Udaf;
+use crate::expr::{ExprError, ScalarUdf};
+use iolap_relation::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry of user-defined functions.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    scalars: HashMap<String, Arc<dyn ScalarUdf>>,
+    udafs: HashMap<String, Arc<dyn Udaf>>,
+}
+
+impl FunctionRegistry {
+    /// Empty registry (no built-ins).
+    pub fn empty() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Registry pre-loaded with built-in scalar functions: `ABS`, `SQRT`,
+    /// `LN`, `EXP`, `FLOOR`, `CEIL`, `ROUND`, `LENGTH`, `SUBSTR`, `UPPER`,
+    /// `LOWER`, `IF`.
+    pub fn with_builtins() -> Self {
+        let mut r = FunctionRegistry::default();
+        for f in builtin_scalars() {
+            r.register_scalar(f);
+        }
+        r
+    }
+
+    /// Register a scalar UDF (replaces an existing function of the same
+    /// name).
+    pub fn register_scalar(&mut self, f: Arc<dyn ScalarUdf>) {
+        self.scalars.insert(f.name().to_ascii_uppercase(), f);
+    }
+
+    /// Register a UDAF.
+    pub fn register_udaf(&mut self, f: Arc<dyn Udaf>) {
+        self.udafs.insert(f.name().to_ascii_uppercase(), f);
+    }
+
+    /// Look up a scalar function.
+    pub fn scalar(&self, name: &str) -> Option<Arc<dyn ScalarUdf>> {
+        self.scalars.get(&name.to_ascii_uppercase()).cloned()
+    }
+
+    /// Look up a UDAF.
+    pub fn udaf(&self, name: &str) -> Option<Arc<dyn Udaf>> {
+        self.udafs.get(&name.to_ascii_uppercase()).cloned()
+    }
+}
+
+/// Helper to define scalar UDFs from plain functions.
+pub struct FnUdf {
+    name: &'static str,
+    ret: DataType,
+    f: fn(&[Value]) -> Result<Value, ExprError>,
+}
+
+impl FnUdf {
+    /// Define a scalar UDF from a plain function pointer.
+    pub fn new(
+        name: &'static str,
+        ret: DataType,
+        f: fn(&[Value]) -> Result<Value, ExprError>,
+    ) -> Self {
+        FnUdf { name, ret, f }
+    }
+}
+
+impl ScalarUdf for FnUdf {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn invoke(&self, args: &[Value]) -> Result<Value, ExprError> {
+        (self.f)(args)
+    }
+    fn return_type(&self, _args: &[DataType]) -> DataType {
+        self.ret
+    }
+}
+
+fn num_arg(args: &[Value], i: usize, fname: &str) -> Result<Option<f64>, ExprError> {
+    match args.get(i) {
+        None => Err(ExprError::Udf(format!("{fname}: missing argument {i}"))),
+        Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ExprError::Udf(format!("{fname}: argument {i} not numeric"))),
+    }
+}
+
+macro_rules! math1 {
+    ($name:literal, $f:expr) => {
+        Arc::new(FnUdf {
+            name: $name,
+            ret: DataType::Float,
+            f: |args| match num_arg(args, 0, $name)? {
+                None => Ok(Value::Null),
+                Some(x) => {
+                    #[allow(clippy::redundant_closure_call)]
+                    Ok(Value::Float(($f)(x)))
+                }
+            },
+        }) as Arc<dyn ScalarUdf>
+    };
+}
+
+fn builtin_scalars() -> Vec<Arc<dyn ScalarUdf>> {
+    vec![
+        math1!("ABS", |x: f64| x.abs()),
+        math1!("SQRT", |x: f64| x.sqrt()),
+        math1!("LN", |x: f64| x.ln()),
+        math1!("EXP", |x: f64| x.exp()),
+        math1!("FLOOR", |x: f64| x.floor()),
+        math1!("CEIL", |x: f64| x.ceil()),
+        math1!("ROUND", |x: f64| x.round()),
+        Arc::new(FnUdf {
+            name: "LENGTH",
+            ret: DataType::Int,
+            f: |args| match args.first() {
+                Some(Value::Str(s)) => Ok(Value::Int(s.len() as i64)),
+                Some(Value::Null) => Ok(Value::Null),
+                _ => Err(ExprError::Udf("LENGTH: expected string".into())),
+            },
+        }),
+        Arc::new(FnUdf {
+            name: "SUBSTR",
+            ret: DataType::Str,
+            f: |args| {
+                let s = match args.first() {
+                    Some(Value::Str(s)) => s.clone(),
+                    Some(Value::Null) => return Ok(Value::Null),
+                    _ => return Err(ExprError::Udf("SUBSTR: expected string".into())),
+                };
+                // SQL 1-based start, optional length.
+                let start = match args.get(1).and_then(|v| v.as_i64()) {
+                    Some(n) if n >= 1 => (n - 1) as usize,
+                    _ => return Err(ExprError::Udf("SUBSTR: bad start".into())),
+                };
+                let len = args.get(2).and_then(|v| v.as_i64()).map(|n| n.max(0) as usize);
+                let tail: String = s.chars().skip(start).collect();
+                let out = match len {
+                    Some(l) => tail.chars().take(l).collect::<String>(),
+                    None => tail,
+                };
+                Ok(Value::str(out))
+            },
+        }),
+        Arc::new(FnUdf {
+            name: "UPPER",
+            ret: DataType::Str,
+            f: |args| match args.first() {
+                Some(Value::Str(s)) => Ok(Value::str(s.to_ascii_uppercase())),
+                Some(Value::Null) => Ok(Value::Null),
+                _ => Err(ExprError::Udf("UPPER: expected string".into())),
+            },
+        }),
+        Arc::new(FnUdf {
+            name: "LOWER",
+            ret: DataType::Str,
+            f: |args| match args.first() {
+                Some(Value::Str(s)) => Ok(Value::str(s.to_ascii_lowercase())),
+                Some(Value::Null) => Ok(Value::Null),
+                _ => Err(ExprError::Udf("LOWER: expected string".into())),
+            },
+        }),
+        Arc::new(FnUdf {
+            name: "IF",
+            ret: DataType::Float,
+            f: |args| {
+                if args.len() != 3 {
+                    return Err(ExprError::Udf("IF: expects 3 arguments".into()));
+                }
+                if matches!(args[0], Value::Bool(true)) {
+                    Ok(args[1].clone())
+                } else {
+                    Ok(args[2].clone())
+                }
+            },
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_present() {
+        let r = FunctionRegistry::with_builtins();
+        assert!(r.scalar("abs").is_some());
+        assert!(r.scalar("SQRT").is_some());
+        assert!(r.scalar("missing").is_none());
+    }
+
+    #[test]
+    fn sqrt_invokes() {
+        let r = FunctionRegistry::with_builtins();
+        let f = r.scalar("SQRT").unwrap();
+        assert_eq!(f.invoke(&[Value::Float(9.0)]).unwrap(), Value::Float(3.0));
+        assert_eq!(f.invoke(&[Value::Null]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn substr_sql_semantics() {
+        let r = FunctionRegistry::with_builtins();
+        let f = r.scalar("SUBSTR").unwrap();
+        assert_eq!(
+            f.invoke(&[Value::str("FRANCE"), Value::Int(1), Value::Int(2)])
+                .unwrap(),
+            Value::str("FR")
+        );
+        assert_eq!(
+            f.invoke(&[Value::str("abc"), Value::Int(2)]).unwrap(),
+            Value::str("bc")
+        );
+    }
+
+    #[test]
+    fn length_and_case() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.scalar("LENGTH").unwrap().invoke(&[Value::str("abcd")]).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            r.scalar("UPPER").unwrap().invoke(&[Value::str("ab")]).unwrap(),
+            Value::str("AB")
+        );
+    }
+}

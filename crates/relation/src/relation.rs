@@ -1,0 +1,306 @@
+//! Multiset relations with real-valued tuple multiplicities.
+//!
+//! Following the paper's Appendix A, a relation maps tuples to *real-valued*
+//! multiplicities: `R : U-Tup → ℝ`. Real (not integer) multiplicities are
+//! what lets iOLAP express (a) the `m_i = |D|/|D_i|` scaling of partial
+//! results (§2) and (b) Poissonized bootstrap trials, where each trial
+//! reweights tuples by Poisson(1) draws.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One stored row: a tuple of values plus its multiplicity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// The tuple's attribute values, aligned with the relation's schema.
+    pub values: Arc<[Value]>,
+    /// Real-valued multiplicity (Appendix A). `1.0` for ordinary tuples.
+    pub mult: f64,
+}
+
+impl Row {
+    /// Row with multiplicity 1.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into(),
+            mult: 1.0,
+        }
+    }
+
+    /// Row with an explicit multiplicity.
+    pub fn with_mult(values: Vec<Value>, mult: f64) -> Self {
+        Row {
+            values: values.into(),
+            mult,
+        }
+    }
+
+    /// Value at column `idx`.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Project a subset of columns into a new owned key, used for join and
+    /// group-by keys.
+    pub fn key(&self, cols: &[usize]) -> Arc<[Value]> {
+        cols.iter()
+            .map(|&c| self.values[c].clone())
+            .collect::<Vec<_>>()
+            .into()
+    }
+}
+
+/// A bag relation: a schema plus rows with multiplicities.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Relation from rows.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        debug_assert!(
+            rows.iter().all(|r| r.values.len() == schema.len()),
+            "row arity must match schema"
+        );
+        Relation { schema, rows }
+    }
+
+    /// Relation from plain value vectors, each with multiplicity 1.
+    pub fn from_values(schema: Schema, tuples: Vec<Vec<Value>>) -> Self {
+        let rows = tuples.into_iter().map(Row::new).collect();
+        Relation::new(schema, rows)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Stored rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access to rows (used by shufflers and executors).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of stored rows (not the multiplicity-weighted cardinality).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no stored rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Multiplicity-weighted cardinality: `Σ_t R(t)`.
+    pub fn cardinality(&self) -> f64 {
+        self.rows.iter().map(|r| r.mult).sum()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Row) {
+        debug_assert_eq!(row.values.len(), self.schema.len());
+        self.rows.push(row);
+    }
+
+    /// Canonicalize the bag: merge duplicate tuples by summing
+    /// multiplicities, drop zero-multiplicity tuples, and sort rows. Two
+    /// relations are bag-equal iff their normalizations are equal. Used by
+    /// the Theorem-1 equivalence tests.
+    pub fn normalize(&self) -> Relation {
+        let mut acc: HashMap<Arc<[Value]>, f64> = HashMap::new();
+        for row in &self.rows {
+            *acc.entry(row.values.clone()).or_insert(0.0) += row.mult;
+        }
+        let mut rows: Vec<Row> = acc
+            .into_iter()
+            .filter(|(_, m)| m.abs() > 1e-9)
+            .map(|(values, mult)| Row { values, mult })
+            .collect();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.values.iter().zip(b.values.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Approximate bag equality after normalization: same tuples, with
+    /// multiplicities and float attributes equal within `tol` (relative for
+    /// large magnitudes). Used for comparing incremental vs. batch results.
+    pub fn approx_eq(&self, other: &Relation, tol: f64) -> bool {
+        let a = self.normalize();
+        let b = other.normalize();
+        if a.rows.len() != b.rows.len() {
+            return false;
+        }
+        a.rows
+            .iter()
+            .zip(b.rows.iter())
+            .all(|(x, y)| rows_approx_eq(x, y, tol))
+    }
+
+    /// Rough in-memory footprint in bytes, for the paper's state-size
+    /// experiments (Fig 9(b), 10(c)).
+    pub fn approx_bytes(&self) -> usize {
+        self.rows.iter().map(row_approx_bytes).sum()
+    }
+}
+
+/// Rough per-row footprint in bytes (used for state accounting).
+pub fn row_approx_bytes(row: &Row) -> usize {
+    let mut n = std::mem::size_of::<Row>();
+    for v in row.values.iter() {
+        n += std::mem::size_of::<Value>();
+        match v {
+            Value::Str(s) => n += s.len(),
+            Value::Ref(r) => {
+                n += r.key.len() * std::mem::size_of::<Value>();
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+fn rows_approx_eq(a: &Row, b: &Row, tol: f64) -> bool {
+    if !float_close(a.mult, b.mult, tol) || a.values.len() != b.values.len() {
+        return false;
+    }
+    a.values.iter().zip(b.values.iter()).all(|(x, y)| {
+        match (x.as_f64(), y.as_f64()) {
+            (Some(fx), Some(fy)) => float_close(fx, fy, tol),
+            _ => x == y,
+        }
+    })
+}
+
+fn float_close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|fl| fl.qualified_name())
+            .collect();
+        writeln!(f, "{} | #", names.join(" | "))?;
+        for row in &self.rows {
+            let vals: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{} | {}", vals.join(" | "), row.mult)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn rel(tuples: Vec<Vec<Value>>) -> Relation {
+        Relation::from_values(
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)]),
+            tuples,
+        )
+    }
+
+    #[test]
+    fn cardinality_weights_multiplicity() {
+        let mut r = rel(vec![vec![1.into(), 2.0.into()]]);
+        r.push(Row::with_mult(vec![2.into(), 3.0.into()], 2.5));
+        assert!((r.cardinality() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_merges_duplicates() {
+        let r = rel(vec![
+            vec![1.into(), 2.0.into()],
+            vec![1.into(), 2.0.into()],
+            vec![2.into(), 9.0.into()],
+        ]);
+        let n = r.normalize();
+        assert_eq!(n.len(), 2);
+        let first = &n.rows()[0];
+        assert_eq!(first.values[0], Value::Int(1));
+        assert!((first.mult - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_drops_zero_multiplicity() {
+        let mut r = rel(vec![]);
+        r.push(Row::with_mult(vec![1.into(), 1.0.into()], 1.0));
+        r.push(Row::with_mult(vec![1.into(), 1.0.into()], -1.0));
+        assert_eq!(r.normalize().len(), 0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_noise() {
+        let a = rel(vec![vec![1.into(), 1.0.into()]]);
+        let b = rel(vec![vec![1.into(), (1.0 + 1e-12).into()]]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = rel(vec![vec![1.into(), 1.1.into()]]);
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_order_insensitive() {
+        let a = rel(vec![
+            vec![1.into(), 1.0.into()],
+            vec![2.into(), 2.0.into()],
+        ]);
+        let b = rel(vec![
+            vec![2.into(), 2.0.into()],
+            vec![1.into(), 1.0.into()],
+        ]);
+        assert!(a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn row_key_projects() {
+        let row = Row::new(vec![1.into(), 2.0.into()]);
+        let k = row.key(&[1]);
+        assert_eq!(k.as_ref(), &[Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn approx_bytes_counts_strings() {
+        let schema = Schema::from_pairs(&[("s", DataType::Str)]);
+        let small = Relation::from_values(schema.clone(), vec![vec!["x".into()]]);
+        let large = Relation::from_values(schema, vec![vec!["xxxxxxxxxxxxxxxx".into()]]);
+        assert!(large.approx_bytes() > small.approx_bytes());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests on the relation substrate: bag normalization,
+//! mini-batch partitioning, and scaling invariants.
+
+use iolap_relation::{BatchedRelation, PartitionMode, Relation, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn int_relation(values: &[i64]) -> Relation {
+    Relation::from_values(
+        Schema::from_pairs(&[("v", iolap_relation::DataType::Int)]),
+        values.iter().map(|&v| vec![Value::Int(v)]).collect(),
+    )
+}
+
+proptest! {
+    /// Every partition mode is a permutation: each input row lands in
+    /// exactly one batch, none are lost or duplicated.
+    #[test]
+    fn partition_is_permutation(
+        n in 0usize..300,
+        batches in 1usize..12,
+        seed in any::<u64>(),
+        block in 1usize..20,
+    ) {
+        let values: Vec<i64> = (0..n as i64).collect();
+        let rel = int_relation(&values);
+        for mode in [
+            PartitionMode::RowShuffle,
+            PartitionMode::Sequential,
+            PartitionMode::BlockShuffle { block_rows: block },
+        ] {
+            let parts = BatchedRelation::partition(&rel, batches, seed, mode);
+            let mut seen: Vec<i64> = parts
+                .batches()
+                .iter()
+                .flat_map(|b| b.rows().iter().map(|r| r.values[0].as_i64().unwrap()))
+                .collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, values.clone());
+        }
+    }
+
+    /// The scaling multiplicity satisfies m_i · |D_i| == |D| for non-empty
+    /// prefixes, and is non-increasing in i.
+    #[test]
+    fn scale_after_is_consistent(
+        n in 1usize..200,
+        batches in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let values: Vec<i64> = (0..n as i64).collect();
+        let rel = int_relation(&values);
+        let parts = BatchedRelation::partition(&rel, batches, seed, PartitionMode::RowShuffle);
+        let mut prev = f64::INFINITY;
+        for i in 0..parts.num_batches() {
+            let seen = parts.rows_through(i);
+            let m = parts.scale_after(i);
+            if seen > 0 {
+                prop_assert!((m * seen as f64 - n as f64).abs() < 1e-9);
+            }
+            prop_assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+        prop_assert!((parts.scale_after(parts.num_batches() - 1) - 1.0).abs() < 1e-12
+            || parts.rows_through(parts.num_batches() - 1) == 0);
+    }
+
+    /// Normalization is idempotent and merges duplicates: total weighted
+    /// cardinality is preserved.
+    #[test]
+    fn normalize_preserves_cardinality(
+        values in prop::collection::vec((0i64..10, 0.0f64..5.0), 0..60),
+    ) {
+        let schema = Schema::from_pairs(&[("v", iolap_relation::DataType::Int)]);
+        let mut rel = Relation::empty(schema);
+        for (v, m) in &values {
+            rel.push(Row::with_mult(vec![Value::Int(*v)], *m));
+        }
+        let n1 = rel.normalize();
+        prop_assert!((n1.cardinality() - rel.cardinality()).abs() < 1e-6);
+        let n2 = n1.normalize();
+        prop_assert!(n1.approx_eq(&n2, 1e-9));
+        // No duplicate tuples remain.
+        let mut seen = std::collections::HashSet::new();
+        for row in n1.rows() {
+            prop_assert!(seen.insert(row.values.clone()));
+        }
+    }
+
+    /// `approx_eq` is reflexive and symmetric under row reordering.
+    #[test]
+    fn approx_eq_reflexive_and_order_free(
+        values in prop::collection::vec(0i64..50, 0..40),
+        seed in any::<u64>(),
+    ) {
+        let rel = int_relation(&values);
+        prop_assert!(rel.approx_eq(&rel, 0.0));
+        let parts = BatchedRelation::partition(
+            &rel,
+            1,
+            seed,
+            PartitionMode::RowShuffle,
+        );
+        let shuffled = parts.union_through(0);
+        prop_assert!(rel.approx_eq(&shuffled, 0.0));
+        prop_assert!(shuffled.approx_eq(&rel, 0.0));
+    }
+}

@@ -1,0 +1,444 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream for the recursive-descent parser. The token
+//! set covers the positive SPJA + nested-subquery dialect of the paper
+//! (§3.3) plus `HAVING`, `ORDER BY`, `LIMIT`, `IN (SELECT …)`, `BETWEEN`,
+//! `LIKE`, and function calls (built-in aggregates, UDFs, UDAFs).
+
+use std::fmt;
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+/// Recognized SQL keywords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Asc,
+    Desc,
+    Distinct,
+    Null,
+    True,
+    False,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Exists,
+    Union,
+    All,
+    Join,
+    Inner,
+    On,
+}
+
+impl Keyword {
+    fn parse(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "LIMIT" => Limit,
+            "AS" => As,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IN" => In,
+            "BETWEEN" => Between,
+            "LIKE" => Like,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "DISTINCT" => Distinct,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "EXISTS" => Exists,
+            "UNION" => Union,
+            "ALL" => All,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "ON" => On,
+            _ => return None,
+        })
+    }
+}
+
+/// Lexer errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LexError {
+    /// Unexpected character at offset.
+    UnexpectedChar(char, usize),
+    /// String literal not terminated.
+    UnterminatedString(usize),
+    /// Number could not be parsed.
+    BadNumber(String, usize),
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar(c, o) => write!(f, "unexpected character `{c}` at {o}"),
+            LexError::UnterminatedString(o) => write!(f, "unterminated string starting at {o}"),
+            LexError::BadNumber(s, o) => write!(f, "bad numeric literal `{s}` at {o}"),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `sql` into a token vector. Comments (`-- …`) and whitespace are
+/// skipped.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(tok(TokenKind::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(tok(TokenKind::RParen, start));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(tok(TokenKind::Comma, start));
+                i += 1;
+            }
+            '.' if !next_is_digit(bytes, i + 1) => {
+                tokens.push(tok(TokenKind::Dot, start));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(tok(TokenKind::Star, start));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(tok(TokenKind::Plus, start));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(tok(TokenKind::Minus, start));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(tok(TokenKind::Slash, start));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(tok(TokenKind::Percent, start));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(tok(TokenKind::Semicolon, start));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(tok(TokenKind::Eq, start));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(tok(TokenKind::Neq, start));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(tok(TokenKind::Le, start));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(tok(TokenKind::Neq, start));
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(tok(TokenKind::Lt, start));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Ge, start));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Gt, start));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(LexError::UnterminatedString(start)),
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(tok(TokenKind::Str(s), start));
+                i = j;
+            }
+            c if c.is_ascii_digit() || (c == '.' && next_is_digit(bytes, i + 1)) => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !is_float {
+                        is_float = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && j > i
+                        && bytes
+                            .get(j + 1)
+                            .is_some_and(|&n| n.is_ascii_digit() || n == b'-' || n == b'+')
+                    {
+                        is_float = true;
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &sql[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| LexError::BadNumber(text.into(), start))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| LexError::BadNumber(text.into(), start))?,
+                    )
+                };
+                tokens.push(tok(kind, start));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &sql[i..j];
+                let kind = match Keyword::parse(word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(tok(kind, start));
+                i = j;
+            }
+            other => return Err(LexError::UnexpectedChar(other, start)),
+        }
+    }
+    Ok(tokens)
+}
+
+fn tok(kind: TokenKind, offset: usize) -> Token {
+    Token { kind, offset }
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i).is_some_and(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_sbi_query() {
+        let ks = kinds(
+            "SELECT AVG(play_time) FROM Sessions \
+             WHERE buffer_time > (SELECT AVG(buffer_time) FROM Sessions)",
+        );
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(ks[1], TokenKind::Ident("AVG".into()));
+        assert!(ks.contains(&TokenKind::Gt));
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::LParen).count(), 3);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("1 2.5 .5 1e3 2.5E-2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(0.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escape() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn lex_comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Neq,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- hidden\n 1"),
+            vec![TokenKind::Keyword(Keyword::Select), TokenKind::Int(1)]
+        );
+    }
+
+    #[test]
+    fn lex_qualified_column() {
+        assert_eq!(
+            kinds("s.play_time"),
+            vec![
+                TokenKind::Ident("s".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("play_time".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(matches!(
+            tokenize("'oops"),
+            Err(LexError::UnterminatedString(0))
+        ));
+    }
+
+    #[test]
+    fn lex_unexpected_char_errors() {
+        assert!(matches!(
+            tokenize("SELECT #"),
+            Err(LexError::UnexpectedChar('#', _))
+        ));
+    }
+}

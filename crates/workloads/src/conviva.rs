@@ -1,0 +1,191 @@
+//! Synthetic video-QoE sessions workload (the paper's Conviva substitute).
+//!
+//! The paper's second workload is a 2 TB anonymized video content
+//! distribution log: a denormalized fact table of viewer sessions. That
+//! trace is proprietary, so we synthesize a sessions table with the QoE
+//! columns the paper's example queries reference (`buffer_time`,
+//! `play_time`, …) plus the dimensions its cited analyses group by (CDN,
+//! city, ISP, content type). Distributions are heavy-tailed where real QoE
+//! metrics are (session duration, join time), which is what makes the
+//! bootstrap ranges and the non-deterministic sets behave realistically.
+
+use iolap_relation::{Catalog, DataType, Relation, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CDN labels.
+pub const CDNS: [&str; 3] = ["cdn_alpha", "cdn_beta", "cdn_gamma"];
+
+/// Cities.
+pub const CITIES: [&str; 8] = [
+    "San Francisco", "Los Angeles", "New York", "Seattle",
+    "Chicago", "Austin", "Boston", "Denver",
+];
+
+/// ISPs.
+pub const ISPS: [&str; 5] = ["comnet", "fibertel", "skywave", "metrolink", "coastal"];
+
+/// Content types.
+pub const CONTENT_TYPES: [&str; 4] = ["live", "vod", "clip", "linear"];
+
+/// Countries (US-heavy, as video traffic is).
+pub const COUNTRIES: [&str; 3] = ["US", "CA", "MX"];
+
+/// The sessions schema.
+pub fn sessions_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("session_id", DataType::Int),
+        ("client_id", DataType::Int),
+        ("cdn", DataType::Str),
+        ("city", DataType::Str),
+        ("country", DataType::Str),
+        ("isp", DataType::Str),
+        ("content_type", DataType::Str),
+        ("buffer_time", DataType::Float),
+        ("play_time", DataType::Float),
+        ("join_time", DataType::Float),
+        ("bitrate", DataType::Float),
+        ("failed", DataType::Int),
+    ])
+}
+
+/// Standard normal via Box–Muller (no extra dependency).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal draw.
+fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Generate `n` sessions, deterministically seeded.
+pub fn conviva_sessions(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let cdn_idx = rng.gen_range(0..CDNS.len());
+        // Per-CDN quality offsets: one CDN buffers noticeably more — the
+        // kind of contrast the SBI-style analyses look for.
+        let cdn_buffer_mu: f64 = [2.6, 3.1, 2.9][cdn_idx];
+        let buffer_time = lognormal(&mut rng, cdn_buffer_mu, 0.8).min(600.0);
+        // Longer buffering shortens sessions (the SBI effect).
+        let play_time =
+            (lognormal(&mut rng, 5.4, 1.0) / (1.0 + buffer_time / 120.0)).min(14_400.0);
+        let join_time = lognormal(&mut rng, 0.9, 0.7).min(120.0);
+        let bitrate = 400.0 + rng.gen::<f64>() * 4600.0;
+        let failed = i64::from(rng.gen::<f64>() < 0.03);
+        rows.push(Row::new(vec![
+            Value::Int(i as i64),
+            Value::Int(rng.gen_range(0..(n / 4).max(1)) as i64),
+            Value::str(CDNS[cdn_idx]),
+            Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
+            Value::str(COUNTRIES[if rng.gen::<f64>() < 0.8 { 0 } else { rng.gen_range(1..COUNTRIES.len()) }]),
+            Value::str(ISPS[rng.gen_range(0..ISPS.len())]),
+            Value::str(CONTENT_TYPES[rng.gen_range(0..CONTENT_TYPES.len())]),
+            Value::Float((buffer_time * 10.0).round() / 10.0),
+            Value::Float((play_time * 10.0).round() / 10.0),
+            Value::Float((join_time * 100.0).round() / 100.0),
+            Value::Float(bitrate.round()),
+            Value::Int(failed),
+        ]));
+    }
+    Relation::new(sessions_schema(), rows)
+}
+
+/// Catalog with a `sessions` table of `n` rows.
+pub fn conviva_catalog(n: usize, seed: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.register("sessions", conviva_sessions(n, seed));
+    c
+}
+
+/// The paper's Figure 2(b) example table — the six SBI rows — for
+/// documentation, examples, and worked tests.
+pub fn figure2_sessions() -> Relation {
+    Relation::from_values(
+        Schema::from_pairs(&[
+            ("session_id", DataType::Int),
+            ("buffer_time", DataType::Float),
+            ("play_time", DataType::Float),
+        ]),
+        vec![
+            vec![Value::Int(1), Value::Float(36.0), Value::Float(238.0)],
+            vec![Value::Int(2), Value::Float(58.0), Value::Float(135.0)],
+            vec![Value::Int(3), Value::Float(17.0), Value::Float(617.0)],
+            vec![Value::Int(4), Value::Float(56.0), Value::Float(194.0)],
+            vec![Value::Int(5), Value::Float(19.0), Value::Float(308.0)],
+            vec![Value::Int(6), Value::Float(26.0), Value::Float(319.0)],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_deterministic() {
+        let a = conviva_sessions(500, 3);
+        let b = conviva_sessions(500, 3);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn heavy_tail_in_play_time() {
+        let rel = conviva_sessions(5000, 1);
+        let mut v: Vec<f64> = rel
+            .rows()
+            .iter()
+            .map(|r| r.values[8].as_f64().unwrap())
+            .collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[v.len() / 2];
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean > 1.3 * median, "mean {mean} median {median}");
+    }
+
+    #[test]
+    fn buffering_reduces_play_time() {
+        // Correlation used by SBI must be present: high-buffer sessions
+        // play less on average.
+        let rel = conviva_sessions(8000, 2);
+        let (mut hi_sum, mut hi_n, mut lo_sum, mut lo_n) = (0.0, 0.0, 0.0, 0.0);
+        for r in rel.rows() {
+            let b = r.values[7].as_f64().unwrap();
+            let p = r.values[8].as_f64().unwrap();
+            if b > 40.0 {
+                hi_sum += p;
+                hi_n += 1.0;
+            } else if b < 10.0 {
+                lo_sum += p;
+                lo_n += 1.0;
+            }
+        }
+        assert!(hi_n > 10.0 && lo_n > 10.0);
+        assert!(hi_sum / hi_n < lo_sum / lo_n);
+    }
+
+    #[test]
+    fn figure2_matches_paper() {
+        let rel = figure2_sessions();
+        assert_eq!(rel.len(), 6);
+        // t2's buffer_time is 58, t3's is 17 (Example 2's prune targets).
+        assert_eq!(rel.rows()[1].values[1], Value::Float(58.0));
+        assert_eq!(rel.rows()[2].values[1], Value::Float(17.0));
+    }
+
+    #[test]
+    fn failure_rate_low() {
+        let rel = conviva_sessions(5000, 4);
+        let failures: i64 = rel
+            .rows()
+            .iter()
+            .map(|r| r.values[11].as_i64().unwrap())
+            .sum();
+        let rate = failures as f64 / 5000.0;
+        assert!(rate > 0.005 && rate < 0.08, "rate {rate}");
+    }
+}

@@ -1,0 +1,361 @@
+//! The Conviva-style query workload C1–C12 (§8) plus the paper's SBI
+//! example query.
+//!
+//! The paper composes its query workload from the video-QoE analyses of its
+//! cited studies on the same dataset: "simple SPJA queries (C3, C5, C11,
+//! C12), complex queries with nested subqueries and HAVING clauses (C1, C2,
+//! C4, C6, C7, C8, C9, C10), UDF (C6, C7) and UDAF (C8, C9, C10)". We
+//! reconstruct that mix over the synthetic sessions table:
+//!
+//! * UDFs: `REBUF_RATIO(buffer, play)` (rebuffering ratio) and
+//!   `QOE_SCORE(join, buffer, bitrate)` (composite quality score).
+//! * UDAFs (all smooth/Hadamard-differentiable, per §3.3): `HARMONIC_MEAN`,
+//!   `GEO_MEAN`, and `RMS`.
+
+use crate::tpch_queries::QuerySpec;
+use iolap_engine::aggregate::{Accumulator, Udaf};
+use iolap_engine::registry::FnUdf;
+use iolap_engine::{ExprError, FunctionRegistry};
+use iolap_relation::{DataType, Value};
+use std::sync::Arc;
+
+/// The twelve Conviva-style queries plus `SBI` (Example 1).
+pub fn conviva_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "SBI",
+            name: "slow buffering impact (Example 1)",
+            sql: "SELECT AVG(play_time) FROM sessions \
+                  WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C1",
+            name: "impact of above-average join time on engagement",
+            sql: "SELECT AVG(play_time) FROM sessions \
+                  WHERE join_time > (SELECT AVG(join_time) FROM sessions)",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C2",
+            name: "per-CDN slow-buffering session counts",
+            sql: "SELECT s.cdn, COUNT(*) AS slow_sessions FROM sessions s \
+                  WHERE s.buffer_time > (SELECT AVG(i.buffer_time) FROM sessions i \
+                                         WHERE i.cdn = s.cdn) \
+                  GROUP BY s.cdn ORDER BY s.cdn",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C3",
+            name: "per-CDN engagement",
+            sql: "SELECT cdn, AVG(play_time) AS avg_play, COUNT(*) AS sessions \
+                  FROM sessions GROUP BY cdn ORDER BY cdn",
+            stream_table: "sessions",
+            nested: false,
+        },
+        QuerySpec {
+            id: "C4",
+            name: "cities with above-average bitrate (HAVING + subquery)",
+            sql: "SELECT city, AVG(bitrate) AS avg_bitrate FROM sessions \
+                  GROUP BY city \
+                  HAVING AVG(bitrate) > (SELECT AVG(bitrate) FROM sessions) \
+                  ORDER BY city",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C5",
+            name: "US play time by content type",
+            sql: "SELECT content_type, SUM(play_time) AS total_play FROM sessions \
+                  WHERE country = 'US' GROUP BY content_type ORDER BY content_type",
+            stream_table: "sessions",
+            nested: false,
+        },
+        QuerySpec {
+            id: "C6",
+            name: "engagement under above-average rebuffering (UDF)",
+            sql: "SELECT AVG(play_time) FROM sessions \
+                  WHERE REBUF_RATIO(buffer_time, play_time) > \
+                    (SELECT AVG(REBUF_RATIO(buffer_time, play_time)) FROM sessions)",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C7",
+            name: "cities with many low-QoE sessions (UDF + nested)",
+            sql: "SELECT city, COUNT(*) AS bad_sessions FROM sessions \
+                  WHERE QOE_SCORE(join_time, buffer_time, bitrate) < \
+                    (SELECT 0.8 * AVG(QOE_SCORE(join_time, buffer_time, bitrate)) \
+                     FROM sessions) \
+                  GROUP BY city ORDER BY city",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C8",
+            name: "harmonic-mean bitrate of engaged sessions (UDAF)",
+            sql: "SELECT HARMONIC_MEAN(bitrate) FROM sessions \
+                  WHERE play_time > (SELECT AVG(play_time) FROM sessions)",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C9",
+            name: "CDNs with above-average geometric-mean join time (UDAF)",
+            sql: "SELECT cdn, GEO_MEAN(join_time) AS gm FROM sessions \
+                  GROUP BY cdn \
+                  HAVING GEO_MEAN(join_time) > (SELECT GEO_MEAN(join_time) FROM sessions) \
+                  ORDER BY cdn",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C10",
+            name: "RMS bitrate of slow-buffering sessions per ISP (UDAF)",
+            sql: "SELECT isp, RMS(bitrate) AS rms_bitrate FROM sessions s \
+                  WHERE s.buffer_time > (SELECT AVG(i.buffer_time) FROM sessions i \
+                                         WHERE i.isp = s.isp) \
+                  GROUP BY isp ORDER BY isp",
+            stream_table: "sessions",
+            nested: true,
+        },
+        QuerySpec {
+            id: "C11",
+            name: "per-CDN join time",
+            sql: "SELECT cdn, AVG(join_time) AS avg_join FROM sessions \
+                  WHERE join_time > 0 GROUP BY cdn ORDER BY cdn",
+            stream_table: "sessions",
+            nested: false,
+        },
+        QuerySpec {
+            id: "C12",
+            name: "failures by ISP",
+            sql: "SELECT isp, COUNT(*) AS failures FROM sessions WHERE failed = 1 \
+                  GROUP BY isp ORDER BY isp",
+            stream_table: "sessions",
+            nested: false,
+        },
+    ]
+}
+
+/// Look up a query by id (`"C8"`).
+pub fn conviva_query(id: &str) -> Option<QuerySpec> {
+    conviva_queries().into_iter().find(|q| q.id == id)
+}
+
+// ---------------------------------------------------------------------------
+// UDFs
+// ---------------------------------------------------------------------------
+
+fn num(args: &[Value], i: usize, f: &str) -> Result<f64, ExprError> {
+    args.get(i)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| ExprError::Udf(format!("{f}: argument {i} must be numeric")))
+}
+
+/// `REBUF_RATIO(buffer, play)` = buffer / (buffer + play); 0 for idle rows.
+fn rebuf_ratio(args: &[Value]) -> Result<Value, ExprError> {
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let b = num(args, 0, "REBUF_RATIO")?;
+    let p = num(args, 1, "REBUF_RATIO")?;
+    let denom = b + p;
+    Ok(Value::Float(if denom <= 0.0 { 0.0 } else { b / denom }))
+}
+
+/// `QOE_SCORE(join, buffer, bitrate)`: 1 is perfect; degraded by startup
+/// delay and rebuffering, boosted by bitrate (normalized to 5 Mbps).
+fn qoe_score(args: &[Value]) -> Result<Value, ExprError> {
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let join = num(args, 0, "QOE_SCORE")?;
+    let buffer = num(args, 1, "QOE_SCORE")?;
+    let bitrate = num(args, 2, "QOE_SCORE")?;
+    let startup_penalty = 1.0 / (1.0 + join / 10.0);
+    let rebuffer_penalty = 1.0 / (1.0 + buffer / 60.0);
+    let quality = (bitrate / 5000.0).min(1.0);
+    Ok(Value::Float(startup_penalty * rebuffer_penalty * quality))
+}
+
+// ---------------------------------------------------------------------------
+// UDAFs
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_simple_udaf {
+    ($acc:ident, $udaf:ident, $name:literal, $update:expr, $output:expr) => {
+        /// Accumulator for the eponymous UDAF.
+        #[derive(Clone, Debug, Default)]
+        pub struct $acc {
+            n: f64,
+            acc: f64,
+        }
+
+        impl Accumulator for $acc {
+            fn update(&mut self, v: &Value, weight: f64) {
+                if let Some(x) = v.as_f64() {
+                    #[allow(clippy::redundant_closure_call)]
+                    if let Some(term) = ($update)(x) {
+                        self.n += weight;
+                        self.acc += weight * term;
+                    }
+                }
+            }
+            fn merge(&mut self, other: &dyn Accumulator) {
+                let o = other.as_any().downcast_ref::<$acc>().expect($name);
+                self.n += o.n;
+                self.acc += o.acc;
+            }
+            fn output(&self, _scale: f64) -> Value {
+                if self.n <= 0.0 {
+                    Value::Null
+                } else {
+                    #[allow(clippy::redundant_closure_call)]
+                    Value::Float(($output)(self.acc, self.n))
+                }
+            }
+            fn boxed_clone(&self) -> Box<dyn Accumulator> {
+                Box::new(self.clone())
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+
+        /// The UDAF descriptor.
+        #[derive(Clone, Copy, Debug)]
+        pub struct $udaf;
+
+        impl Udaf for $udaf {
+            fn name(&self) -> &str {
+                $name
+            }
+            fn accumulator(&self) -> Box<dyn Accumulator> {
+                Box::new($acc::default())
+            }
+        }
+    };
+}
+
+impl_simple_udaf!(
+    HarmonicMeanAcc,
+    HarmonicMean,
+    "HARMONIC_MEAN",
+    |x: f64| if x > 0.0 { Some(1.0 / x) } else { None },
+    |acc: f64, n: f64| n / acc
+);
+
+impl_simple_udaf!(
+    GeoMeanAcc,
+    GeoMean,
+    "GEO_MEAN",
+    |x: f64| if x > 0.0 { Some(x.ln()) } else { None },
+    |acc: f64, n: f64| (acc / n).exp()
+);
+
+impl_simple_udaf!(
+    RmsAcc,
+    Rms,
+    "RMS",
+    |x: f64| Some(x * x),
+    |acc: f64, n: f64| (acc / n).sqrt()
+);
+
+/// Function registry with the built-ins plus the Conviva UDFs and UDAFs.
+pub fn conviva_registry() -> FunctionRegistry {
+    let mut reg = FunctionRegistry::with_builtins();
+    reg.register_scalar(Arc::new(FnUdf::new(
+        "REBUF_RATIO",
+        DataType::Float,
+        rebuf_ratio,
+    )));
+    reg.register_scalar(Arc::new(FnUdf::new("QOE_SCORE", DataType::Float, qoe_score)));
+    reg.register_udaf(Arc::new(HarmonicMean));
+    reg.register_udaf(Arc::new(GeoMean));
+    reg.register_udaf(Arc::new(Rms));
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conviva::conviva_catalog;
+    use iolap_engine::{execute, plan_sql};
+
+    #[test]
+    fn all_queries_plan_and_execute() {
+        let cat = conviva_catalog(400, 42);
+        let reg = conviva_registry();
+        for q in conviva_queries() {
+            let pq = plan_sql(q.sql, &cat, &reg)
+                .unwrap_or_else(|e| panic!("{} failed to plan: {e}", q.id));
+            execute(&pq.plan, &cat).unwrap_or_else(|e| panic!("{} failed to run: {e}", q.id));
+        }
+    }
+
+    #[test]
+    fn udf_rebuf_ratio() {
+        assert_eq!(
+            rebuf_ratio(&[Value::Float(30.0), Value::Float(90.0)]).unwrap(),
+            Value::Float(0.25)
+        );
+        assert_eq!(
+            rebuf_ratio(&[Value::Float(0.0), Value::Float(0.0)]).unwrap(),
+            Value::Float(0.0)
+        );
+        assert_eq!(
+            rebuf_ratio(&[Value::Null, Value::Float(1.0)]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn udaf_harmonic_mean() {
+        let mut a = HarmonicMeanAcc::default();
+        for v in [2.0, 4.0] {
+            a.update(&Value::Float(v), 1.0);
+        }
+        // HM(2, 4) = 2 / (1/2 + 1/4) = 8/3.
+        let out = a.output(1.0).as_f64().unwrap();
+        assert!((out - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn udaf_geo_mean() {
+        let mut a = GeoMeanAcc::default();
+        for v in [2.0, 8.0] {
+            a.update(&Value::Float(v), 1.0);
+        }
+        assert!((a.output(1.0).as_f64().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn udaf_rms() {
+        let mut a = RmsAcc::default();
+        for v in [3.0, 4.0] {
+            a.update(&Value::Float(v), 1.0);
+        }
+        let expect = ((9.0 + 16.0) / 2.0_f64).sqrt();
+        assert!((a.output(1.0).as_f64().unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn udaf_weighted_updates() {
+        let mut a = GeoMeanAcc::default();
+        a.update(&Value::Float(2.0), 2.0); // counts twice
+        a.update(&Value::Float(8.0), 1.0);
+        let expect = (2.0_f64.ln() * 2.0 + 8.0_f64.ln()).exp().powf(1.0 / 3.0);
+        assert!((a.output(1.0).as_f64().unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_and_udaf_flags() {
+        let qs = conviva_queries();
+        let simple: Vec<&str> = qs.iter().filter(|q| !q.nested).map(|q| q.id).collect();
+        assert_eq!(simple, vec!["C3", "C5", "C11", "C12"]);
+    }
+}

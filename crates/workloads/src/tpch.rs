@@ -1,0 +1,342 @@
+//! TPC-H-lite: a laptop-scale synthetic dbgen.
+//!
+//! The paper evaluates on a 1 TB TPC-H dataset projected onto an SSB-like
+//! schema: `lineitem ⋈ orders` are denormalized into a single `lineorder`
+//! fact table, other relations unchanged (§8). This module generates the
+//! same schema at a configurable scale factor with the TPC-H spec's value
+//! shapes (uniform keys, date ranges, discrete flag domains), which is what
+//! drives selectivities and group cardinalities — the quantities the delta
+//! algorithm's behaviour depends on.
+//!
+//! Dates are encoded as `yyyymmdd` integers.
+
+use iolap_relation::{Catalog, DataType, Relation, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Region names (TPC-H spec).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Nation names (subset; 25 nations, 5 per region).
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE", // AFRICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES", // AMERICA
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM", // ASIA
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM", // EUROPE
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA", // MIDDLE EAST
+];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Part brands.
+pub const BRANDS: [&str; 5] = ["Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#51"];
+
+/// Part containers.
+pub const CONTAINERS: [&str; 4] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG"];
+
+/// Ship modes.
+pub const SHIPMODES: [&str; 5] = ["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"];
+
+/// Row counts per unit scale factor (spec ratios, shrunk 1000×).
+#[derive(Clone, Copy, Debug)]
+pub struct TpchSizes {
+    /// `lineorder` rows.
+    pub lineorder: usize,
+    /// `customer` rows.
+    pub customer: usize,
+    /// `supplier` rows.
+    pub supplier: usize,
+    /// `part` rows.
+    pub part: usize,
+    /// `partsupp` rows.
+    pub partsupp: usize,
+}
+
+impl TpchSizes {
+    /// Spec-ratio sizes at scale factor `sf` (SF 1.0 ≈ 6000 lineorder rows
+    /// here; the paper's 1 TB is SF ≈ 1000 of the real benchmark).
+    pub fn at(sf: f64) -> TpchSizes {
+        let s = |base: usize| ((base as f64 * sf).round() as usize).max(1);
+        TpchSizes {
+            lineorder: s(6000),
+            customer: s(150),
+            supplier: s(10),
+            part: s(200),
+            partsupp: s(800),
+        }
+    }
+}
+
+/// Generate the TPC-H-lite catalog at scale factor `sf`, deterministically
+/// seeded.
+pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
+    let sizes = TpchSizes::at(sf);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+
+    // region
+    let region = Relation::from_values(
+        Schema::from_pairs(&[("r_regionkey", DataType::Int), ("r_name", DataType::Str)]),
+        REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, n)| vec![Value::Int(i as i64), Value::str(*n)])
+            .collect(),
+    );
+    catalog.register("region", region);
+
+    // nation: 5 per region
+    let nation = Relation::from_values(
+        Schema::from_pairs(&[
+            ("n_nationkey", DataType::Int),
+            ("n_name", DataType::Str),
+            ("n_regionkey", DataType::Int),
+        ]),
+        NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(*n),
+                    Value::Int((i / 5) as i64),
+                ]
+            })
+            .collect(),
+    );
+    catalog.register("nation", nation);
+
+    // supplier
+    let supplier = Relation::from_values(
+        Schema::from_pairs(&[
+            ("s_suppkey", DataType::Int),
+            ("s_name", DataType::Str),
+            ("s_nationkey", DataType::Int),
+            ("s_acctbal", DataType::Float),
+        ]),
+        (0..sizes.supplier)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(format!("Supplier#{i:06}")),
+                    Value::Int(rng.gen_range(0..25)),
+                    Value::Float((rng.gen::<f64>() * 10999.0 - 999.0).round() / 1.0),
+                ]
+            })
+            .collect(),
+    );
+    catalog.register("supplier", supplier);
+
+    // customer
+    let customer = Relation::from_values(
+        Schema::from_pairs(&[
+            ("c_custkey", DataType::Int),
+            ("c_name", DataType::Str),
+            ("c_nationkey", DataType::Int),
+            ("c_mktsegment", DataType::Str),
+            ("c_acctbal", DataType::Float),
+            ("c_phone", DataType::Str),
+        ]),
+        (0..sizes.customer)
+            .map(|i| {
+                let nation = rng.gen_range(0..25i64);
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(format!("Customer#{i:06}")),
+                    Value::Int(nation),
+                    Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                    Value::Float((rng.gen::<f64>() * 10999.0 - 999.0).round()),
+                    Value::str(format!("{:02}-{:03}-{:03}", nation + 10, i % 999, (i * 7) % 999)),
+                ]
+            })
+            .collect(),
+    );
+    catalog.register("customer", customer);
+
+    // part
+    let part = Relation::from_values(
+        Schema::from_pairs(&[
+            ("p_partkey", DataType::Int),
+            ("p_name", DataType::Str),
+            ("p_brand", DataType::Str),
+            ("p_type", DataType::Str),
+            ("p_size", DataType::Int),
+            ("p_container", DataType::Str),
+            ("p_retailprice", DataType::Float),
+        ]),
+        (0..sizes.part)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(format!("part {i}")),
+                    Value::str(BRANDS[rng.gen_range(0..BRANDS.len())]),
+                    Value::str(["PROMO BURNISHED", "STANDARD PLATED", "ECONOMY ANODIZED"][rng.gen_range(0..3)]),
+                    Value::Int(rng.gen_range(1..=50)),
+                    Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+                    Value::Float((900.0 + (i % 1000) as f64 / 10.0).round()),
+                ]
+            })
+            .collect(),
+    );
+    catalog.register("part", part);
+
+    // partsupp: ~4 suppliers per part
+    let partsupp = Relation::from_values(
+        Schema::from_pairs(&[
+            ("ps_partkey", DataType::Int),
+            ("ps_suppkey", DataType::Int),
+            ("ps_availqty", DataType::Int),
+            ("ps_supplycost", DataType::Float),
+        ]),
+        (0..sizes.partsupp)
+            .map(|i| {
+                vec![
+                    Value::Int((i % sizes.part) as i64),
+                    Value::Int(rng.gen_range(0..sizes.supplier) as i64),
+                    Value::Int(rng.gen_range(1..=9999)),
+                    Value::Float((rng.gen::<f64>() * 999.0 + 1.0).round()),
+                ]
+            })
+            .collect(),
+    );
+    catalog.register("partsupp", partsupp);
+
+    // lineorder: denormalized lineitem ⋈ orders
+    let lineorder_schema = Schema::from_pairs(&[
+        ("lo_orderkey", DataType::Int),
+        ("lo_linenumber", DataType::Int),
+        ("lo_custkey", DataType::Int),
+        ("lo_partkey", DataType::Int),
+        ("lo_suppkey", DataType::Int),
+        ("lo_orderdate", DataType::Int),
+        ("lo_shippriority", DataType::Int),
+        ("lo_quantity", DataType::Float),
+        ("lo_extendedprice", DataType::Float),
+        ("lo_discount", DataType::Float),
+        ("lo_tax", DataType::Float),
+        ("lo_returnflag", DataType::Str),
+        ("lo_linestatus", DataType::Str),
+        ("lo_shipdate", DataType::Int),
+        ("lo_shipmode", DataType::Str),
+    ]);
+    let mut rows = Vec::with_capacity(sizes.lineorder);
+    let mut orderkey = 0i64;
+    let mut line_in_order = 0i64;
+    let mut order_custkey = 0i64;
+    let mut order_date = 0i64;
+    let mut lines_left = 0i64;
+    for _ in 0..sizes.lineorder {
+        if lines_left == 0 {
+            orderkey += 1;
+            line_in_order = 0;
+            lines_left = rng.gen_range(1..=7);
+            order_custkey = rng.gen_range(0..sizes.customer) as i64;
+            order_date = random_date(&mut rng, 1992, 1998);
+        }
+        line_in_order += 1;
+        lines_left -= 1;
+        let quantity = rng.gen_range(1..=50) as f64;
+        let price_per_unit = 900.0 + rng.gen_range(0..10000) as f64 / 10.0;
+        let shipdate = order_date + rng.gen_range(1..=121);
+        let returnflag = if shipdate <= 19950617 {
+            ["R", "A"][rng.gen_range(0..2)]
+        } else {
+            "N"
+        };
+        let linestatus = if shipdate > 19950617 { "O" } else { "F" };
+        rows.push(Row::new(vec![
+            Value::Int(orderkey),
+            Value::Int(line_in_order),
+            Value::Int(order_custkey),
+            Value::Int(rng.gen_range(0..sizes.part) as i64),
+            Value::Int(rng.gen_range(0..sizes.supplier) as i64),
+            Value::Int(order_date),
+            Value::Int(0),
+            Value::Float(quantity),
+            Value::Float((quantity * price_per_unit).round()),
+            Value::Float(rng.gen_range(0..=10) as f64 / 100.0),
+            Value::Float(rng.gen_range(0..=8) as f64 / 100.0),
+            Value::str(returnflag),
+            Value::str(linestatus),
+            Value::Int(shipdate),
+            Value::str(SHIPMODES[rng.gen_range(0..SHIPMODES.len())]),
+        ]));
+    }
+    catalog.register("lineorder", Relation::new(lineorder_schema, rows));
+
+    catalog
+}
+
+/// Random `yyyymmdd` between Jan 1 of `from_year` and Dec 28 of `to_year`.
+fn random_date(rng: &mut StdRng, from_year: i64, to_year: i64) -> i64 {
+    let y = rng.gen_range(from_year..=to_year);
+    let m = rng.gen_range(1..=12i64);
+    let d = rng.gen_range(1..=28i64);
+    y * 10000 + m * 100 + d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_tables() {
+        let c = tpch_catalog(0.01, 1);
+        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "lineorder"] {
+            assert!(c.contains(t), "missing {t}");
+        }
+        assert_eq!(c.get("region").unwrap().len(), 5);
+        assert_eq!(c.get("nation").unwrap().len(), 25);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = tpch_catalog(0.01, 7);
+        let b = tpch_catalog(0.01, 7);
+        assert!(a
+            .get("lineorder")
+            .unwrap()
+            .approx_eq(&b.get("lineorder").unwrap(), 0.0));
+        let c = tpch_catalog(0.01, 8);
+        assert!(!a
+            .get("lineorder")
+            .unwrap()
+            .approx_eq(&c.get("lineorder").unwrap(), 0.0));
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let s1 = TpchSizes::at(1.0);
+        let s2 = TpchSizes::at(2.0);
+        assert_eq!(s2.lineorder, 2 * s1.lineorder);
+    }
+
+    #[test]
+    fn lineorder_value_domains() {
+        let c = tpch_catalog(0.02, 3);
+        let lo = c.get("lineorder").unwrap();
+        for row in lo.rows() {
+            let q = row.values[7].as_f64().unwrap();
+            assert!((1.0..=50.0).contains(&q));
+            let disc = row.values[9].as_f64().unwrap();
+            assert!((0.0..=0.10001).contains(&disc));
+            let date = row.values[5].as_i64().unwrap();
+            assert!((19920101..=19981231).contains(&date));
+            let rf = row.values[11].as_str().unwrap();
+            assert!(["R", "A", "N"].contains(&rf));
+        }
+    }
+
+    #[test]
+    fn partsupp_covers_every_part() {
+        let c = tpch_catalog(0.05, 4);
+        let parts = c.get("part").unwrap().len();
+        let ps = c.get("partsupp").unwrap();
+        let mut seen = vec![false; parts];
+        for row in ps.rows() {
+            seen[row.values[0].as_i64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

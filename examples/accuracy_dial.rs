@@ -1,0 +1,74 @@
+//! The accuracy–latency dial: stop the query as soon as the estimate is
+//! good enough (§1: "the user is satisfied with the accuracy of the query
+//! results and stops the query").
+//!
+//! ```text
+//! cargo run --release --example accuracy_dial -- 2.0
+//! ```
+//!
+//! Runs the Conviva C8 query (harmonic-mean bitrate of engaged sessions — a
+//! UDAF over a nested-subquery filter) and stops when the relative standard
+//! deviation drops below the target percentage (default 2%, the paper's
+//! Fig 7(a) walkthrough). Compares against the batch engine's exact answer
+//! and latency.
+
+use iolap_baselines::run_baseline;
+use iolap_core::{IolapConfig, IolapDriver};
+use iolap_workloads::{conviva_catalog, conviva_query, conviva_registry};
+use std::time::Duration;
+
+fn main() {
+    let target_pct: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2.0);
+
+    let catalog = conviva_catalog(60_000, 11);
+    let registry = conviva_registry();
+    let q = conviva_query("C8").expect("C8 registered");
+    println!("query C8: {}\n  {}\n", q.name, q.sql);
+
+    // Exact baseline for reference.
+    let baseline = run_baseline(q.sql, &catalog, &registry).expect("baseline");
+    let exact = baseline.relation.rows()[0].values[0].as_f64().unwrap();
+    println!(
+        "batch engine (exact): {:.2} in {:.1} ms\n",
+        exact,
+        baseline.elapsed.as_secs_f64() * 1e3
+    );
+
+    let config = IolapConfig::with_batches(40);
+    let mut driver =
+        IolapDriver::from_sql(q.sql, &catalog, &registry, "sessions", config).expect("compile");
+
+    let mut spent = Duration::ZERO;
+    println!("target accuracy: relative stddev < {target_pct}%\n");
+    while let Some(step) = driver.step() {
+        let report = step.expect("batch");
+        spent += report.elapsed;
+        let estimate = report.result.relation.rows()[0].values[0]
+            .as_f64()
+            .unwrap_or(f64::NAN);
+        let rsd = report.result.max_relative_std().unwrap_or(f64::INFINITY) * 100.0;
+        println!(
+            "batch {:>2}: estimate {:>8.2}  (rsd {:>5.2}%, {:>4.0}% of data, {:>6.1} ms elapsed)",
+            report.batch + 1,
+            estimate,
+            rsd,
+            report.fraction * 100.0,
+            spent.as_secs_f64() * 1e3
+        );
+        if rsd < target_pct {
+            let err = 100.0 * (estimate - exact).abs() / exact.abs();
+            println!(
+                "\nstopped early: {:.2} vs exact {:.2} ({err:.2}% off), \
+                 {:.1}x faster than the batch engine",
+                estimate,
+                exact,
+                baseline.elapsed.as_secs_f64() / spent.as_secs_f64()
+            );
+            return;
+        }
+    }
+    println!("\nprocessed everything (target stricter than the data allows).");
+}

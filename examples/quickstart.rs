@@ -1,0 +1,54 @@
+//! Quickstart: the paper's Example 1 ("Slow Buffering Impact") run
+//! incrementally.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Loads a synthetic video-sessions table, registers the SBI query, and
+//! streams mini-batches: after every batch you get the current approximate
+//! `AVG(play_time)` with a bootstrap confidence interval, exactly the
+//! interactive loop the paper's §1–§2 describe. The final batch is the
+//! exact answer.
+
+use iolap_core::{IolapConfig, IolapDriver};
+use iolap_engine::FunctionRegistry;
+use iolap_workloads::conviva_catalog;
+
+fn main() {
+    // A 20k-row synthetic sessions table stands in for the paper's 2 TB
+    // Conviva log (same schema shape; see iolap-workloads docs).
+    let catalog = conviva_catalog(20_000, 7);
+    let registry = FunctionRegistry::with_builtins();
+
+    let sql = "SELECT AVG(play_time) FROM sessions \
+               WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)";
+    println!("SBI query:\n  {sql}\n");
+
+    // 10 mini-batches, 100 bootstrap trials, slack ε = 2.0 — the paper's
+    // defaults (§8).
+    let config = IolapConfig::with_batches(10);
+    let mut driver = IolapDriver::from_sql(sql, &catalog, &registry, "sessions", config)
+        .expect("compile query");
+
+    println!(
+        "{:>6} {:>8} {:>14} {:>24} {:>10}",
+        "batch", "data %", "AVG(play_time)", "95% confidence interval", "latency"
+    );
+    while let Some(step) = driver.step() {
+        let report = step.expect("batch");
+        let row = &report.result.relation.rows()[0];
+        let est = report.result.estimates[0][0].as_ref();
+        let (lo, hi) = est.map(|e| (e.ci_lo, e.ci_hi)).unwrap_or((0.0, 0.0));
+        println!(
+            "{:>6} {:>7.0}% {:>14.2} {:>11.2} – {:>10.2} {:>8.1}ms",
+            report.batch + 1,
+            report.fraction * 100.0,
+            row.values[0].as_f64().unwrap_or(f64::NAN),
+            lo,
+            hi,
+            report.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    println!("\nThe last line is the exact answer (all data processed).");
+}

@@ -1,0 +1,104 @@
+//! Ad-hoc incremental SQL over the bundled workloads.
+//!
+//! ```text
+//! cargo run --release --example sql_shell -- conviva \
+//!   "SELECT cdn, AVG(play_time) FROM sessions GROUP BY cdn ORDER BY cdn"
+//! cargo run --release --example sql_shell -- tpch \
+//!   "SELECT SUM(lo_extendedprice * lo_discount) FROM lineorder \
+//!    WHERE lo_discount BETWEEN 0.05 AND 0.07" lineorder 16
+//! ```
+//!
+//! Arguments: `<workload> <sql> [stream_table] [batches]`. Prints the online
+//! operator tree (with uncertainty annotations), then every partial result
+//! with its error estimates — the paper's interactive loop, for any query in
+//! the supported dialect.
+
+use iolap_core::{rewrite, IolapConfig, IolapDriver};
+use iolap_engine::plan_sql;
+use iolap_workloads::{conviva_catalog, conviva_registry, tpch_catalog};
+use std::collections::HashSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: sql_shell <tpch|conviva> <sql> [stream_table] [batches]");
+        std::process::exit(2);
+    }
+    let (catalog, registry, default_stream) = match args[0].as_str() {
+        "tpch" => (
+            tpch_catalog(1.0, 1),
+            iolap_engine::FunctionRegistry::with_builtins(),
+            "lineorder",
+        ),
+        "conviva" => (conviva_catalog(10_000, 1), conviva_registry(), "sessions"),
+        other => {
+            eprintln!("unknown workload `{other}` (use tpch or conviva)");
+            std::process::exit(2);
+        }
+    };
+    let sql = &args[1];
+    let stream = args.get(2).map(String::as_str).unwrap_or(default_stream);
+    let batches: usize = args
+        .get(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    let pq = match plan_sql(sql, &catalog, &registry) {
+        Ok(pq) => pq,
+        Err(e) => {
+            eprintln!("plan error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let streamed: HashSet<String> = [stream.to_ascii_lowercase()].into();
+    match rewrite(&pq, &streamed) {
+        Ok(oq) => println!("online plan:\n{}", oq.root.explain()),
+        Err(e) => {
+            eprintln!("rewrite error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut driver = IolapDriver::from_plan(
+        &pq,
+        &catalog,
+        stream,
+        IolapConfig::with_batches(batches),
+    )
+    .expect("driver");
+    while let Some(step) = driver.step() {
+        let report = step.expect("batch");
+        println!(
+            "--- batch {}/{} ({:.0}% of {}, {:.1} ms{}) ---",
+            report.batch + 1,
+            batches,
+            report.fraction * 100.0,
+            stream,
+            report.elapsed.as_secs_f64() * 1e3,
+            if report.recovered { ", range recovery" } else { "" },
+        );
+        println!("{}", report.result.names.join(" | "));
+        for (row, ests) in report
+            .result
+            .relation
+            .rows()
+            .iter()
+            .take(12)
+            .zip(report.result.estimates.iter())
+        {
+            let cells: Vec<String> = row
+                .values
+                .iter()
+                .zip(ests.iter())
+                .map(|(v, e)| match e {
+                    Some(e) => format!("{v} (±{:.2})", e.std_error),
+                    None => v.to_string(),
+                })
+                .collect();
+            println!("{}", cells.join(" | "));
+        }
+        if report.result.relation.len() > 12 {
+            println!("… {} more rows", report.result.relation.len() - 12);
+        }
+    }
+}

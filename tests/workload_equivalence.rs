@@ -1,0 +1,166 @@
+//! Workspace integration tests: every evaluation query (TPC-H Q1–Q22
+//! subset, Conviva C1–C12 + SBI) runs end-to-end through the iOLAP driver
+//! with per-batch Theorem-1 equivalence against the batch oracle, and
+//! through the HDA comparator for final-answer agreement.
+
+use iolap_baselines::HdaDriver;
+use iolap_core::{IolapConfig, IolapDriver};
+use iolap_engine::{execute, plan_sql, FunctionRegistry, PlannedQuery};
+use iolap_relation::{BatchedRelation, Catalog, PartitionMode, Relation, Row};
+use iolap_workloads::{
+    conviva_catalog, conviva_queries, conviva_registry, tpch_catalog, tpch_queries, QuerySpec,
+};
+
+fn config(batches: usize) -> IolapConfig {
+    let mut c = IolapConfig::with_batches(batches).trials(25).seed(17);
+    c.partition_mode = PartitionMode::RowShuffle;
+    c
+}
+
+/// Run one query through iOLAP and assert per-batch equivalence with the
+/// scaled-prefix batch oracle.
+fn check_query(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, batches: usize) {
+    let pq: PlannedQuery = plan_sql(q.sql, cat, registry)
+        .unwrap_or_else(|e| panic!("{}: plan error {e}", q.id));
+    let cfg = config(batches);
+    let stream = cat.get(q.stream_table).unwrap();
+    let parts = BatchedRelation::partition(&stream, batches, cfg.seed, cfg.partition_mode);
+    let mut driver = IolapDriver::from_plan(&pq, cat, q.stream_table, cfg)
+        .unwrap_or_else(|e| panic!("{}: driver error {e}", q.id));
+
+    let mut i = 0;
+    while let Some(step) = driver.step() {
+        let report = step.unwrap_or_else(|e| panic!("{}: batch {i} error {e}", q.id));
+        let prefix = parts.union_through(i);
+        let m = parts.scale_after(i);
+        let mut oracle_cat = cat.clone();
+        oracle_cat.register(
+            q.stream_table,
+            Relation::new(
+                prefix.schema().clone(),
+                prefix
+                    .rows()
+                    .iter()
+                    .map(|r| Row::with_mult(r.values.to_vec(), r.mult * m))
+                    .collect(),
+            ),
+        );
+        let expected = execute(&pq.plan, &oracle_cat).unwrap();
+        assert!(
+            report.result.relation.approx_eq(&expected, 1e-6),
+            "{} batch {i}: iOLAP != oracle\n== iOLAP ==\n{}== oracle ==\n{}",
+            q.id,
+            report.result.relation,
+            expected
+        );
+        i += 1;
+    }
+    assert_eq!(i, batches, "{}: unexpected batch count", q.id);
+}
+
+/// Final-batch agreement between HDA and the exact answer.
+fn check_hda_final(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, batches: usize) {
+    let pq = plan_sql(q.sql, cat, registry).unwrap();
+    let mut hda = HdaDriver::from_plan(&pq, cat, q.stream_table, config(batches)).unwrap();
+    let reports = hda.run_to_completion().unwrap();
+    let exact = execute(&pq.plan, cat).unwrap();
+    let last = &reports.last().unwrap().result.relation;
+    assert!(
+        last.approx_eq(&exact, 1e-6),
+        "{}: HDA final != exact\n{}\nvs\n{}",
+        q.id,
+        last,
+        exact
+    );
+}
+
+// --------------------------------------------------------------- TPC-H lite
+
+#[test]
+fn tpch_all_queries_theorem1() {
+    let cat = tpch_catalog(0.04, 99);
+    let registry = FunctionRegistry::with_builtins();
+    for q in tpch_queries() {
+        check_query(&q, &cat, &registry, 5);
+    }
+}
+
+#[test]
+fn tpch_nested_queries_hda_final() {
+    let cat = tpch_catalog(0.03, 100);
+    let registry = FunctionRegistry::with_builtins();
+    for q in tpch_queries().into_iter().filter(|q| q.nested) {
+        check_hda_final(&q, &cat, &registry, 4);
+    }
+}
+
+// ------------------------------------------------------------------ Conviva
+
+#[test]
+fn conviva_all_queries_theorem1() {
+    let cat = conviva_catalog(600, 23);
+    let registry = conviva_registry();
+    for q in conviva_queries() {
+        check_query(&q, &cat, &registry, 5);
+    }
+}
+
+#[test]
+fn conviva_nested_queries_hda_final() {
+    let cat = conviva_catalog(400, 24);
+    let registry = conviva_registry();
+    for q in conviva_queries().into_iter().filter(|q| q.nested) {
+        check_hda_final(&q, &cat, &registry, 4);
+    }
+}
+
+// ------------------------------------------------------- behavioural shapes
+
+#[test]
+fn iolap_recomputes_less_than_hda_on_nested_queries() {
+    // The non-deterministic set shrinks relative to the data as ranges
+    // tighten (∝ √n), while HDA recomputes the whole prefix (∝ n) — the
+    // Figure 8 contrast. The gap needs enough data to open up.
+    let cat = conviva_catalog(4000, 25);
+    let registry = conviva_registry();
+    let q = conviva_queries().into_iter().find(|q| q.id == "SBI").unwrap();
+    let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+
+    let mut iolap = IolapDriver::from_plan(&pq, &cat, "sessions", config(16)).unwrap();
+    let iolap_reports = iolap.run_to_completion().unwrap();
+    let mut hda = HdaDriver::from_plan(&pq, &cat, "sessions", config(16)).unwrap();
+    let hda_reports = hda.run_to_completion().unwrap();
+
+    let iolap_late: usize = iolap_reports[10..].iter().map(|r| r.stats.recomputed_tuples).sum();
+    let hda_late: usize = hda_reports[10..].iter().map(|r| r.stats.recomputed_tuples).sum();
+    assert!(
+        iolap_late * 2 < hda_late,
+        "iOLAP late recompute {iolap_late} should be well below HDA {hda_late}"
+    );
+}
+
+#[test]
+fn ablation_ladder_recomputation() {
+    // Fig 9(a): full iOLAP ≤ OPT1-only < no-opts (HDA-like), measured by
+    // recomputed tuples.
+    let cat = conviva_catalog(600, 26);
+    let registry = conviva_registry();
+    let q = conviva_queries().into_iter().find(|q| q.id == "C2").unwrap();
+    let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+
+    let total = |opt1: bool, opt2: bool| -> usize {
+        let cfg = config(6).optimizations(opt1, opt2);
+        let mut d = IolapDriver::from_plan(&pq, &cat, "sessions", cfg).unwrap();
+        d.run_to_completion()
+            .unwrap()
+            .iter()
+            .map(|r| r.stats.recomputed_tuples)
+            .sum()
+    };
+    let full = total(true, true);
+    let none = total(false, false);
+    assert!(
+        full < none,
+        "optimizations must reduce recomputation: full={full} none={none}"
+    );
+}
