@@ -15,13 +15,11 @@
 //!   previously processed data* `D_i` each batch — the `n·O(p²)` behaviour
 //!   the paper's Figure 8 quantifies.
 
-use iolap_core::{BatchReport, BatchStats, DriverError, IolapConfig, IolapDriver, QueryResult};
-use iolap_engine::{
-    execute, AggCall, EngineError, FunctionRegistry, Plan, PlannedQuery,
+use iolap_core::{
+    BatchReport, BatchStats, DriverError, IolapConfig, IolapDriver, Metrics, QueryResult, Span,
 };
-use iolap_relation::{
-    BatchedRelation, Catalog, DataType, Field, Relation, Row, Schema, Value,
-};
+use iolap_engine::{execute, AggCall, EngineError, FunctionRegistry, Plan, PlannedQuery};
+use iolap_relation::{BatchedRelation, Catalog, DataType, Field, Relation, Row, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -140,6 +138,9 @@ impl HdaDriver {
         config: IolapConfig,
     ) -> Result<Self, DriverError> {
         let stream_table = stream_table.to_ascii_lowercase();
+        if config.num_batches == 0 {
+            return Err(DriverError::Setup("num_batches must be at least 1".into()));
+        }
         // Extract inner aggregates: every Aggregate that feeds an operator
         // other than the root spine of Project/Select/Sort nodes.
         let mut views = Vec::new();
@@ -222,31 +223,31 @@ impl NestedState {
     fn run_batch(&mut self, i: usize) -> Result<BatchReport, DriverError> {
         let start = Instant::now();
         let mut stats = BatchStats::default();
+        let mut metrics = Metrics::new();
         let scale = self.batches.scale_after(i);
 
         // 1. Delta-maintain the inner views (the higher-order part).
+        let view_span = Span::start();
         let mut delta_catalog = self.catalog.clone();
-        delta_catalog.register(
-            self.stream_table.clone(),
-            self.batches.batch(i).clone(),
-        );
+        delta_catalog.register(self.stream_table.clone(), self.batches.batch(i).clone());
         // Views that read only dimension tables are computed once (batch 0).
         for v in &mut self.views {
             if v.recompute {
                 continue; // handled below against D_i
             }
             if v.reads_stream || i == 0 {
-                let folded = v
-                    .fold_delta(&delta_catalog)
-                    .map_err(DriverError::Engine)?;
+                let folded = v.fold_delta(&delta_catalog).map_err(DriverError::Engine)?;
                 stats.shipped_bytes += folded * 64;
             }
         }
+        view_span.stop(&mut metrics, "hda.view_fold_ns");
 
         // 2. Recompute the outer query from scratch on D_i — the cost that
         // grows linearly per batch (quadratic in total).
+        let outer_span = Span::start();
         let prefix = self.batches.union_through(i);
         stats.recomputed_tuples += prefix.len();
+        metrics.add("hda.prefix_rows", prefix.len() as u64);
         let mut outer_catalog = self.catalog.clone();
         let scaled = Relation::new(
             prefix.schema().clone(),
@@ -263,14 +264,13 @@ impl NestedState {
                 v.state.clear();
                 let mut view_catalog = outer_catalog.clone();
                 view_catalog.register(self.stream_table.clone(), scaled.clone());
-                let folded = v
-                    .fold_delta(&view_catalog)
-                    .map_err(DriverError::Engine)?;
+                let folded = v.fold_delta(&view_catalog).map_err(DriverError::Engine)?;
                 stats.recomputed_tuples += folded;
             }
             outer_catalog.register(v.table.clone(), v.materialize(scale));
         }
         let relation = execute(&self.outer_plan, &outer_catalog).map_err(DriverError::Engine)?;
+        outer_span.stop(&mut metrics, "hda.outer_exec_ns");
         stats.shipped_bytes += relation.approx_bytes() + prefix.approx_bytes();
 
         let estimates = vec![Vec::new(); relation.len()];
@@ -284,9 +284,9 @@ impl NestedState {
             batch: i,
             result,
             stats,
+            metrics,
             elapsed: start.elapsed(),
-            fraction: self.batches.rows_through(i) as f64
-                / self.batches.total_rows().max(1) as f64,
+            fraction: self.batches.rows_through(i) as f64 / self.batches.total_rows().max(1) as f64,
             recovered: false,
             state_bytes_join: 0,
             state_bytes_other,

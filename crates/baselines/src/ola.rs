@@ -115,15 +115,9 @@ mod tests {
         let cat = conviva_catalog(200, 1);
         let reg = conviva_registry();
         let q = conviva_query("SBI").unwrap();
-        let err = OlaDriver::from_sql(
-            q.sql,
-            &cat,
-            &reg,
-            "sessions",
-            IolapConfig::with_batches(4),
-        )
-        .err()
-        .expect("must reject nested");
+        let err = OlaDriver::from_sql(q.sql, &cat, &reg, "sessions", IolapConfig::with_batches(4))
+            .err()
+            .expect("must reject nested");
         assert!(matches!(err, DriverError::Setup(_)));
     }
 
@@ -133,13 +127,8 @@ mod tests {
         let cat = conviva_catalog(200, 1);
         let reg = conviva_registry();
         let sql = "SELECT AVG(play_time) FROM sessions WHERE cdn = 'cdn_alpha'";
-        assert!(OlaDriver::from_sql(
-            sql,
-            &cat,
-            &reg,
-            "sessions",
-            IolapConfig::with_batches(3)
-        )
-        .is_ok());
+        assert!(
+            OlaDriver::from_sql(sql, &cat, &reg, "sessions", IolapConfig::with_batches(3)).is_ok()
+        );
     }
 }

@@ -19,10 +19,8 @@ fn ola_hda_iolap_agree_per_batch_on_flat_queries() {
     let registry = conviva_registry();
     for id in ["C3", "C5", "C11", "C12"] {
         let q = conviva_query(id).unwrap();
-        let mut ola =
-            OlaDriver::from_sql(q.sql, &cat, &registry, "sessions", config(5)).unwrap();
-        let mut hda =
-            HdaDriver::from_sql(q.sql, &cat, &registry, "sessions", config(5)).unwrap();
+        let mut ola = OlaDriver::from_sql(q.sql, &cat, &registry, "sessions", config(5)).unwrap();
+        let mut hda = HdaDriver::from_sql(q.sql, &cat, &registry, "sessions", config(5)).unwrap();
         let mut iolap =
             IolapDriver::from_sql(q.sql, &cat, &registry, "sessions", config(5)).unwrap();
         loop {
@@ -58,14 +56,23 @@ fn all_engines_converge_to_exact_answer() {
             IolapDriver::from_sql(q.sql, &cat, &registry, "sessions", config(4)).unwrap();
         let reports = iolap.run_to_completion().unwrap();
         assert!(
-            reports.last().unwrap().result.relation.approx_eq(&exact, 1e-6),
+            reports
+                .last()
+                .unwrap()
+                .result
+                .relation
+                .approx_eq(&exact, 1e-6),
             "{id}: iOLAP final != exact"
         );
-        let mut hda =
-            HdaDriver::from_sql(q.sql, &cat, &registry, "sessions", config(4)).unwrap();
+        let mut hda = HdaDriver::from_sql(q.sql, &cat, &registry, "sessions", config(4)).unwrap();
         let hreports = hda.run_to_completion().unwrap();
         assert!(
-            hreports.last().unwrap().result.relation.approx_eq(&exact, 1e-6),
+            hreports
+                .last()
+                .unwrap()
+                .result
+                .relation
+                .approx_eq(&exact, 1e-6),
             "{id}: HDA final != exact"
         );
     }

@@ -56,7 +56,9 @@ fn bench_classify(c: &mut Criterion) {
         0,
         key.clone(),
         vec![Value::Float(35.0)],
-        vec![Arc::from((0..100).map(|i| 30.0 + (i % 10) as f64).collect::<Vec<_>>())],
+        vec![Arc::from(
+            (0..100).map(|i| 30.0 + (i % 10) as f64).collect::<Vec<_>>(),
+        )],
         2.0,
     );
     let pred = Expr::Cmp {

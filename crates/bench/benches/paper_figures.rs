@@ -128,21 +128,17 @@ fn fig9fg_batch_size(c: &mut Criterion) {
     let q = w.queries.iter().find(|q| q.id == "C3").unwrap().clone();
     let mut g = quick(c);
     for batches in [4usize, 8, 16] {
-        g.bench_with_input(
-            BenchmarkId::new("fig9fg/batches", batches),
-            &q,
-            |b, q| {
-                b.iter(|| {
-                    total_latency(&w.run_iolap(
-                        q,
-                        IolapConfig {
-                            num_batches: batches,
-                            ..s.config()
-                        },
-                    ))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("fig9fg/batches", batches), &q, |b, q| {
+            b.iter(|| {
+                total_latency(&w.run_iolap(
+                    q,
+                    IolapConfig {
+                        num_batches: batches,
+                        ..s.config()
+                    },
+                ))
+            })
+        });
     }
     g.finish();
 }

@@ -4,7 +4,12 @@
 //! cargo run --release -p iolap-bench --bin experiments -- all
 //! cargo run --release -p iolap-bench --bin experiments -- fig7a fig8 fig9d
 //! IOLAP_SCALE=0.5 cargo run --release -p iolap-bench --bin experiments -- fig10
+//! cargo run --release -p iolap-bench --bin experiments -- all --json BENCH_PR1.json
 //! ```
+//!
+//! `--json <path>` additionally writes a machine-readable record of every
+//! workload query — per-batch timings, driver stats, and the per-operator
+//! metrics breakdown — after the selected experiments finish.
 //!
 //! Absolute numbers differ from the paper (its substrate was a 20-node
 //! Spark/EC2 cluster over 1–2 TB; ours is a single-process engine over
@@ -16,18 +21,35 @@ use iolap_core::IolapConfig;
 use iolap_relation::BatchedRelation;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     let scale = ExpScale::from_env();
     let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "fig7a", "fig7b", "fig7c", "fig8ab", "fig8cd", "fig8ef", "fig9a",
-            "fig9bc", "fig9de", "fig9fg", "fig10ab", "fig10cd", "fig10ef", "trials",
+            "table1", "fig7a", "fig7b", "fig7c", "fig8ab", "fig8cd", "fig8ef", "fig9a", "fig9bc",
+            "fig9de", "fig9fg", "fig10ab", "fig10cd", "fig10ef", "trials", "metrics",
         ]
     } else {
         args.iter().map(String::as_str).collect()
     };
 
     println!("iOLAP experiment harness (scale: {scale:?})");
+    let mut unknown = false;
     for exp in which {
         match exp {
             "table1" => table1(&scale),
@@ -45,7 +67,26 @@ fn main() {
             "fig10cd" => fig9bc(&scale, false),
             "fig10ef" => fig9de(&scale, true),
             "trials" => trials_sweep(&scale),
-            other => eprintln!("unknown experiment `{other}`"),
+            "metrics" => metrics_breakdown(&scale),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                unknown = true;
+            }
+        }
+    }
+    if unknown {
+        std::process::exit(2);
+    }
+
+    if let Some(path) = json_path {
+        section(&format!("benchmark record → {path}"));
+        let workloads = [tpch_workload(&scale), conviva_workload(&scale)];
+        match json::write_bench_json(&path, &scale, &workloads) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -53,7 +94,10 @@ fn main() {
 /// Table 1: batch sizes for the streamed relations.
 fn table1(scale: &ExpScale) {
     section("Table 1: mini-batch sizes for streamed relations");
-    println!("{:<22} {:>14} {:>18}", "workload (relation)", "total rows", "rows per batch");
+    println!(
+        "{:<22} {:>14} {:>18}",
+        "workload (relation)", "total rows", "rows per batch"
+    );
     let t = tpch_workload(scale);
     for rel in ["lineorder", "partsupp", "customer"] {
         let n = t.catalog.get(rel).unwrap().len();
@@ -83,7 +127,10 @@ fn fig7a(scale: &ExpScale) {
     let baseline = w.run_baseline(&q);
     let reports = w.run_iolap(&q, scale.config());
     println!("baseline latency: {} ms", ms(baseline.elapsed));
-    println!("{:>6} {:>12} {:>12} {:>22}", "batch", "time(ms)", "frac(%)", "relative stddev (%)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>22}",
+        "batch", "time(ms)", "frac(%)", "relative stddev (%)"
+    );
     let mut acc = std::time::Duration::ZERO;
     for r in &reports {
         acc += r.elapsed;
@@ -193,7 +240,10 @@ fn fig9a(scale: &ExpScale) {
     let full = w.run_iolap(&q, scale.config());
     let opt1_only = w.run_iolap(&q, scale.config().optimizations(true, false));
     let hda = w.run_hda(&q, scale.config());
-    println!("{:>6} {:>14} {:>14} {:>14}", "batch", "HDA", "OPT1", "OPT1+OPT2");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "batch", "HDA", "OPT1", "OPT1+OPT2"
+    );
     for i in 0..full.len() {
         println!(
             "{:>6} {:>14} {:>14} {:>14}",
@@ -230,8 +280,16 @@ fn fig9bc(scale: &ExpScale, tpch: bool) {
     let mut shipped_rows = Vec::new();
     for q in &w.queries {
         let reports = w.run_iolap(q, scale.config());
-        let max_join = reports.iter().map(|r| r.state_bytes_join).max().unwrap_or(0);
-        let max_other = reports.iter().map(|r| r.state_bytes_other).max().unwrap_or(0);
+        let max_join = reports
+            .iter()
+            .map(|r| r.state_bytes_join)
+            .max()
+            .unwrap_or(0);
+        let max_other = reports
+            .iter()
+            .map(|r| r.state_bytes_other)
+            .max()
+            .unwrap_or(0);
         let baseline_bytes = w.catalog.get(q.stream_table).unwrap().approx_bytes();
         println!(
             "{:<6} {:>16.1} {:>18.1} {:>18.1}",
@@ -269,7 +327,10 @@ fn fig9bc(scale: &ExpScale, tpch: bool) {
 fn fig9de(scale: &ExpScale, tpch: bool) {
     let (w, ids): (Workload, Vec<&str>) = if tpch {
         section("Fig 10(e,f): slack sweeps, TPC-H nested queries");
-        (tpch_workload(scale), vec!["Q11", "Q17", "Q18", "Q20", "Q22"])
+        (
+            tpch_workload(scale),
+            vec!["Q11", "Q17", "Q18", "Q20", "Q22"],
+        )
     } else {
         section("Fig 9(d,e): slack sweeps, Conviva nested queries");
         (
@@ -399,6 +460,31 @@ fn trials_sweep(scale: &ExpScale) {
             ms(total_latency(&reports)),
             rsd,
             reports.last().unwrap().stats.recomputed_tuples
+        );
+    }
+}
+
+/// Extension (not in the paper): per-operator metrics breakdown for one
+/// representative nested query per workload, summed over all batches —
+/// where each query's time and traffic actually go.
+fn metrics_breakdown(scale: &ExpScale) {
+    for (w, id) in [
+        (tpch_workload(scale), "Q11"),
+        (conviva_workload(scale), "SBI"),
+    ] {
+        section(&format!(
+            "Per-operator metrics, {} {id} (all batches)",
+            w.name
+        ));
+        let q = w.queries.iter().find(|q| q.id == id).unwrap().clone();
+        let (reports, cumulative) = w.run_iolap_with_metrics(&q, scale.config());
+        print!("{cumulative}");
+        let recovered = reports.iter().filter(|r| r.recovered).count();
+        println!(
+            "batches: {} | recoveries: {} | instrumented span total: {:.2} ms",
+            reports.len(),
+            recovered,
+            cumulative.total_span_ns() as f64 / 1e6
         );
     }
 }

@@ -3,11 +3,18 @@ fn main() {
     let cat = iolap_workloads::tpch_catalog(4.0, 2016);
     let reg = iolap_engine::FunctionRegistry::with_builtins();
     let q = iolap_workloads::tpch_query("Q3").unwrap();
-    for (label, trials, ckpt) in [("t=100", 100usize, 1usize), ("t=0", 0, 1), ("t=100,ckpt=99", 100, 99)] {
-        let mut cfg = iolap_core::IolapConfig::with_batches(20).trials(trials).seed(2016);
+    for (label, trials, ckpt) in [
+        ("t=100", 100usize, 1usize),
+        ("t=0", 0, 1),
+        ("t=100,ckpt=99", 100, 99),
+    ] {
+        let mut cfg = iolap_core::IolapConfig::with_batches(20)
+            .trials(trials)
+            .seed(2016);
         cfg.checkpoint_interval = ckpt;
         let t0 = Instant::now();
-        let mut d = iolap_core::IolapDriver::from_sql(q.sql, &cat, &reg, q.stream_table, cfg).unwrap();
+        let mut d =
+            iolap_core::IolapDriver::from_sql(q.sql, &cat, &reg, q.stream_table, cfg).unwrap();
         d.run_to_completion().unwrap();
         eprintln!("Q3 {label}: {:?}", t0.elapsed());
     }

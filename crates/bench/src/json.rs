@@ -1,0 +1,177 @@
+//! Hand-rolled JSON emission for the benchmark record (`--json` flag of the
+//! `experiments` binary).
+//!
+//! The offline build carries no serde; the schema here is small and stable
+//! enough that string assembly is the simpler dependency-free choice. The
+//! emitted document captures, for every workload query: the exact-baseline
+//! latency, then per-batch wall-clock, driver stats, and the per-operator
+//! metrics breakdown recorded by `iolap_core::metrics`.
+
+use crate::{total_latency, ExpScale, Workload};
+use iolap_core::{BatchReport, Metrics};
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite JSON number; non-finite floats become `null` (JSON has no NaN).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render a [`Metrics`] bag grouped by operator prefix:
+/// `{"agg": {"agg.fold_ns": 12, ...}, "join": {...}}`.
+pub fn metrics_json(m: &Metrics) -> String {
+    let mut out = String::from("{");
+    let mut first_group = true;
+    for (op, entries) in m.by_operator() {
+        if !first_group {
+            out.push(',');
+        }
+        first_group = false;
+        let _ = write!(out, "\"{}\":{{", escape(op));
+        let mut first = true;
+        for (name, v) in entries {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{v}", escape(name));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// One batch report as a JSON object.
+pub fn batch_json(r: &BatchReport) -> String {
+    format!(
+        concat!(
+            "{{\"batch\":{},\"elapsed_ms\":{},\"fraction\":{},",
+            "\"recovered\":{},\"recomputed_tuples\":{},\"shipped_bytes\":{},",
+            "\"failures\":{},\"state_bytes_join\":{},\"state_bytes_other\":{},",
+            "\"operators\":{}}}"
+        ),
+        r.batch,
+        num(r.elapsed.as_secs_f64() * 1e3),
+        num(r.fraction),
+        r.recovered,
+        r.stats.recomputed_tuples,
+        r.stats.shipped_bytes,
+        r.stats.failures,
+        r.state_bytes_join,
+        r.state_bytes_other,
+        metrics_json(&r.metrics),
+    )
+}
+
+/// Run every query of `workloads` through the iOLAP driver and write the
+/// full per-query / per-batch / per-operator record to `path`.
+pub fn write_bench_json(
+    path: &str,
+    scale: &ExpScale,
+    workloads: &[Workload],
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        concat!(
+            "\"scale\":{{\"tpch_sf\":{},\"conviva_rows\":{},\"batches\":{},",
+            "\"trials\":{},\"seed\":{}}},\n\"workloads\":[\n"
+        ),
+        num(scale.tpch_sf),
+        scale.conviva_rows,
+        scale.batches,
+        scale.trials,
+        scale.seed,
+    );
+    for (wi, w) in workloads.iter().enumerate() {
+        if wi > 0 {
+            out.push_str(",\n");
+        }
+        let _ = writeln!(out, "{{\"name\":\"{}\",\"queries\":[", escape(w.name));
+        for (qi, q) in w.queries.iter().enumerate() {
+            if qi > 0 {
+                out.push_str(",\n");
+            }
+            let baseline = w.run_baseline(q);
+            let (reports, cumulative) = w.run_iolap_with_metrics(q, scale.config());
+            let _ = write!(
+                out,
+                concat!(
+                    "{{\"id\":\"{}\",\"nested\":{},\"stream_table\":\"{}\",",
+                    "\"baseline_ms\":{},\"total_ms\":{},\"cumulative\":{},",
+                    "\"batches\":[\n"
+                ),
+                escape(q.id),
+                q.nested,
+                escape(q.stream_table),
+                num(baseline.elapsed.as_secs_f64() * 1e3),
+                num(total_latency(&reports).as_secs_f64() * 1e3),
+                metrics_json(&cumulative),
+            );
+            for (bi, r) in reports.iter().enumerate() {
+                if bi > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&batch_json(r));
+            }
+            out.push_str("\n]}");
+        }
+        out.push_str("\n]}");
+    }
+    out.push_str("\n]\n}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn metrics_json_groups() {
+        let mut m = Metrics::new();
+        m.add("agg.fold_ns", 5);
+        m.add("agg.fold_rows", 2);
+        m.add("join.probe_rows", 7);
+        let s = metrics_json(&m);
+        assert_eq!(
+            s,
+            "{\"agg\":{\"agg.fold_ns\":5,\"agg.fold_rows\":2},\
+             \"join\":{\"join.probe_rows\":7}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+}

@@ -9,8 +9,10 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use iolap_baselines::{run_baseline_plan, BaselineReport, HdaDriver};
-use iolap_core::{BatchReport, IolapConfig, IolapDriver};
+use iolap_core::{BatchReport, IolapConfig, IolapDriver, Metrics};
 use iolap_engine::{plan_sql, FunctionRegistry, PlannedQuery};
 use iolap_relation::{Catalog, PartitionMode};
 use iolap_workloads::QuerySpec;
@@ -122,8 +124,7 @@ pub fn conviva_workload(scale: &ExpScale) -> Workload {
 impl Workload {
     /// Plan one of this workload's queries.
     pub fn plan(&self, q: &QuerySpec) -> PlannedQuery {
-        plan_sql(q.sql, &self.catalog, &self.registry)
-            .unwrap_or_else(|e| panic!("{}: {e}", q.id))
+        plan_sql(q.sql, &self.catalog, &self.registry).unwrap_or_else(|e| panic!("{}: {e}", q.id))
     }
 
     /// Run a query through iOLAP to completion.
@@ -131,7 +132,25 @@ impl Workload {
         let pq = self.plan(q);
         let mut d = IolapDriver::from_plan(&pq, &self.catalog, q.stream_table, config)
             .unwrap_or_else(|e| panic!("{}: {e}", q.id));
-        d.run_to_completion().unwrap_or_else(|e| panic!("{}: {e}", q.id))
+        d.run_to_completion()
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id))
+    }
+
+    /// Run a query through iOLAP to completion, also returning the
+    /// driver's cumulative metrics (for the `--json` record).
+    pub fn run_iolap_with_metrics(
+        &self,
+        q: &QuerySpec,
+        config: IolapConfig,
+    ) -> (Vec<BatchReport>, Metrics) {
+        let pq = self.plan(q);
+        let mut d = IolapDriver::from_plan(&pq, &self.catalog, q.stream_table, config)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let reports = d
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let cumulative = d.metrics().clone();
+        (reports, cumulative)
     }
 
     /// Run a query through HDA to completion.
@@ -139,7 +158,8 @@ impl Workload {
         let pq = self.plan(q);
         let mut d = HdaDriver::from_plan(&pq, &self.catalog, q.stream_table, config)
             .unwrap_or_else(|e| panic!("{}: {e}", q.id));
-        d.run_to_completion().unwrap_or_else(|e| panic!("{}: {e}", q.id))
+        d.run_to_completion()
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id))
     }
 
     /// Run the exact batch baseline, timed.

@@ -334,8 +334,8 @@ mod tests {
         let mut t = RangeTracker::new(0.0);
         t.observe(&[0.0, 100.0]); // batch 0: wide
         t.observe(&[40.0, 50.0]); // batch 1: narrow
-        // Batch 2 envelope [60, 70] escapes batch 1's range but fits batch
-        // 0's → replay from after batch 0.
+                                  // Batch 2 envelope [60, 70] escapes batch 1's range but fits batch
+                                  // 0's → replay from after batch 0.
         match t.observe(&[60.0, 70.0]) {
             RangeOutcome::Failure { replay_from } => assert_eq!(replay_from, Some(0)),
             other => panic!("{other:?}"),

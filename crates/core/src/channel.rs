@@ -83,10 +83,7 @@ impl ORow {
     pub fn approx_bytes(&self) -> usize {
         let mut n = std::mem::size_of::<ORow>();
         for v in self.values.iter() {
-            n += std::mem::size_of::<Value>();
-            if let Value::Str(s) = v {
-                n += s.len();
-            }
+            n += std::mem::size_of::<Value>() + v.approx_heap_bytes();
         }
         if let Some(w) = &self.weights {
             n += w.len() * std::mem::size_of::<f64>();

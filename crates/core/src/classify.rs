@@ -381,7 +381,11 @@ mod tests {
         let unc = gt_pred();
         // false AND uncertain = false; true OR uncertain = true.
         assert_eq!(
-            classify(&Expr::And(Box::new(f.clone()), Box::new(unc.clone())), &row, &reg),
+            classify(
+                &Expr::And(Box::new(f.clone()), Box::new(unc.clone())),
+                &row,
+                &reg
+            ),
             Decision::AlwaysFalse
         );
         assert_eq!(

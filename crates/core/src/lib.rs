@@ -22,6 +22,7 @@ pub mod channel;
 pub mod classify;
 pub mod config;
 pub mod driver;
+pub mod metrics;
 pub mod ops;
 pub mod ops_agg;
 pub mod ops_join;
@@ -34,6 +35,7 @@ pub use channel::{BatchData, ORow};
 pub use classify::{classify, interval_of, Decision, IntervalValue};
 pub use config::IolapConfig;
 pub use driver::{BatchReport, DriverError, IolapDriver};
+pub use metrics::{Metrics, Span};
 pub use ops::{BatchCtx, BatchStats, OnlineOp};
 pub use registry::AggRegistry;
 pub use rewriter::{rewrite, OnlineQuery, RewriteError};

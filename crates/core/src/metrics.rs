@@ -1,0 +1,199 @@
+//! Per-operator observability: a lightweight, zero-dependency registry of
+//! monotonic counters, wall-clock spans, and byte gauges.
+//!
+//! The paper's query controller (§7) "monitors the correctness of all the
+//! variation ranges" and reports per-batch latency, #tuples recomputed, and
+//! state sizes. This module generalizes that bookkeeping: every online
+//! operator, the rewriter, the bootstrap fold, and the driver's
+//! checkpoint/restore/replay paths record named metrics into the
+//! [`BatchCtx`](crate::ops::BatchCtx), and each
+//! [`BatchReport`](crate::driver::BatchReport) carries the per-batch slice.
+//!
+//! Metric names are dotted: the prefix before the first `.` names the
+//! operator or subsystem (`agg`, `join`, `select`, `scan`, `project`,
+//! `range`, `registry`, `ckpt`, `recovery`, `sink`, `rewrite`), the suffix
+//! names the measurement. Time spans end in `_ns` (nanoseconds), byte
+//! gauges in `_bytes`; everything else is a plain count. Names are
+//! `&'static str` and increments are batched per operator call, so the
+//! instrumentation overhead on the hot fold/probe paths stays in the noise
+//! (well under the ~5% budget of the Fig 7(a) latency path).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// A flat, ordered bag of named `u64` metrics.
+///
+/// Deliberately minimal: no hierarchy beyond the name convention, no
+/// float math, no interior mutability. Merging is pointwise addition, so
+/// per-batch metrics sum into per-query totals and per-worker slices sum
+/// into per-batch ones.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// Empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `v` to counter `name` (creating it at zero).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.values.entry(name).or_insert(0) += v;
+    }
+
+    /// Record the elapsed nanoseconds since `start` under `name`.
+    /// Convention: `name` ends in `_ns`.
+    #[inline]
+    pub fn record_since(&mut self, name: &'static str, start: Instant) {
+        self.add(name, start.elapsed().as_nanos() as u64);
+    }
+
+    /// Current value of `name` (zero when never recorded).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether any metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of distinct metric names.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Pointwise-add all of `other` into `self`.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, v) in &other.values {
+            self.add(name, *v);
+        }
+    }
+
+    /// All `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// Metrics grouped by operator prefix (the segment before the first
+    /// `.`), preserving name order within each group.
+    pub fn by_operator(&self) -> BTreeMap<&'static str, Vec<(&'static str, u64)>> {
+        let mut out: BTreeMap<&'static str, Vec<(&'static str, u64)>> = BTreeMap::new();
+        for (name, v) in &self.values {
+            let op = name.split('.').next().unwrap_or(name);
+            out.entry(op).or_default().push((name, *v));
+        }
+        out
+    }
+
+    /// Total nanoseconds across every `*_ns` span (a rough "instrumented
+    /// time" figure; spans of nested operators overlap, so this is an
+    /// upper bound, not wall-clock).
+    pub fn total_span_ns(&self) -> u64 {
+        self.values
+            .iter()
+            .filter(|(n, _)| n.ends_with("_ns"))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (op, entries) in self.by_operator() {
+            writeln!(f, "{op}:")?;
+            for (name, v) in entries {
+                if name.ends_with("_ns") {
+                    writeln!(f, "  {name:<28} {:>12.3} ms", v as f64 / 1e6)?;
+                } else {
+                    writeln!(f, "  {name:<28} {v:>12}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A started wall-clock span; finish with [`Span::stop`].
+///
+/// ```
+/// # use iolap_core::metrics::{Metrics, Span};
+/// # let mut m = Metrics::new();
+/// let span = Span::start();
+/// // ... work ...
+/// span.stop(&mut m, "agg.fold_ns");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Span(Instant);
+
+impl Span {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Span(Instant::now())
+    }
+
+    /// Record the elapsed nanoseconds under `name`.
+    pub fn stop(self, metrics: &mut Metrics, name: &'static str) {
+        metrics.record_since(name, self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = Metrics::new();
+        a.add("agg.fold_rows", 10);
+        a.add("agg.fold_rows", 5);
+        a.add("join.probe_rows", 3);
+        assert_eq!(a.get("agg.fold_rows"), 15);
+        assert_eq!(a.get("missing"), 0);
+
+        let mut b = Metrics::new();
+        b.add("agg.fold_rows", 1);
+        b.add("scan.rows", 7);
+        a.merge(&b);
+        assert_eq!(a.get("agg.fold_rows"), 16);
+        assert_eq!(a.get("scan.rows"), 7);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn groups_by_prefix() {
+        let mut m = Metrics::new();
+        m.add("agg.fold_ns", 100);
+        m.add("agg.fold_rows", 2);
+        m.add("join.probe_rows", 9);
+        let groups = m.by_operator();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups["agg"].len(), 2);
+        assert_eq!(groups["join"], vec![("join.probe_rows", 9)]);
+    }
+
+    #[test]
+    fn spans_accumulate_time() {
+        let mut m = Metrics::new();
+        let s = Span::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.stop(&mut m, "test.span_ns");
+        assert!(m.get("test.span_ns") >= 1_000_000);
+        assert_eq!(m.total_span_ns(), m.get("test.span_ns"));
+    }
+
+    #[test]
+    fn display_renders_groups() {
+        let mut m = Metrics::new();
+        m.add("agg.fold_ns", 2_000_000);
+        m.add("agg.fold_rows", 41);
+        let s = m.to_string();
+        assert!(s.contains("agg:"));
+        assert!(s.contains("agg.fold_rows"));
+        assert!(s.contains("ms"));
+    }
+}

@@ -64,6 +64,9 @@ pub struct BatchCtx<'a> {
     pub parallelism: usize,
     /// Instrumentation.
     pub stats: BatchStats,
+    /// Named per-operator counters and spans for this batch (see
+    /// [`crate::metrics`] for the naming convention).
+    pub metrics: crate::metrics::Metrics,
     /// Range outcomes collected from aggregate publications, tagged with
     /// the attribute they belong to.
     pub outcomes: Vec<(iolap_relation::AggRef, RangeOutcome)>,
@@ -283,6 +286,7 @@ impl ScanOp {
             }
             out.exhausted = true;
         }
+        ctx.metrics.add("scan.rows", out.delta_certain.len() as u64);
         Ok(out)
     }
 }
@@ -338,18 +342,12 @@ impl SelectOp {
 
         if !self.uncertain_pred {
             for row in input.delta_certain {
-                if self
-                    .predicate
-                    .eval_predicate(&row.to_row(), &ctx.eval())?
-                {
+                if self.predicate.eval_predicate(&row.to_row(), &ctx.eval())? {
                     out.delta_certain.push(row);
                 }
             }
             for row in input.uncertain {
-                if self
-                    .predicate
-                    .eval_predicate(&row.to_row(), &ctx.eval())?
-                {
+                if self.predicate.eval_predicate(&row.to_row(), &ctx.eval())? {
                     out.uncertain.push(row);
                 }
             }
@@ -358,6 +356,8 @@ impl SelectOp {
         }
 
         // Uncertain predicate: classify fresh certain rows.
+        let classify_span = crate::metrics::Span::start();
+        let fresh = input.delta_certain.len();
         for row in input.delta_certain {
             let decision = if ctx.opt1 {
                 classify(&self.predicate, &row.to_row(), ctx.registry)
@@ -377,6 +377,12 @@ impl SelectOp {
         // Re-evaluate the saved non-deterministic set — THE recomputation
         // the optimizations minimize.
         ctx.stats.recomputed_tuples += self.state.len();
+        if ctx.opt1 {
+            // Every fresh row and every saved row is checked against the
+            // variation ranges once this batch.
+            ctx.metrics
+                .add("range.checks", (fresh + self.state.len()) as u64);
+        }
         if !ctx.opt2 {
             // OPT2 ablation: without lineage + lazy evaluation, updating an
             // uncertain attribute means regenerating the tuple (§4.3:
@@ -419,6 +425,8 @@ impl SelectOp {
         for row in &decided {
             mark_pruning_refs(&self.predicate, row, ctx);
         }
+        let promoted_count = promoted.len();
+        let dropped = decided.len() - promoted_count;
         out.delta_certain.extend(promoted);
         // Uncertain-channel input rows are counted where they are saved
         // (upstream state); filtering them here is derived work.
@@ -433,6 +441,13 @@ impl SelectOp {
                 out.uncertain.push(row);
             }
         }
+
+        ctx.metrics.add("select.fresh_rows", fresh as u64);
+        ctx.metrics.add("select.promoted", promoted_count as u64);
+        ctx.metrics.add("select.dropped", dropped as u64);
+        ctx.metrics
+            .add("select.nondet_rows", self.state.len() as u64);
+        classify_span.stop(&mut ctx.metrics, "select.classify_ns");
 
         out.exhausted = input.exhausted && self.state.is_empty() && out.uncertain.is_empty();
         Ok(out)
@@ -532,6 +547,7 @@ impl ProjectOp {
 
     fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
         let input = self.child.process(ctx)?;
+        let rows = input.delta_certain.len() + input.uncertain.len();
         let mut out = BatchData::empty(self.schema.clone());
         for row in &input.delta_certain {
             out.delta_certain.push(self.project_row(row, ctx)?);
@@ -539,6 +555,7 @@ impl ProjectOp {
         for row in &input.uncertain {
             out.uncertain.push(self.project_row(row, ctx)?);
         }
+        ctx.metrics.add("project.rows", rows as u64);
         out.exhausted = input.exhausted;
         Ok(out)
     }

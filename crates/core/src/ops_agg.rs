@@ -77,9 +77,7 @@ impl TrialState {
                 a: vec![0.0; trials],
                 b: vec![0.0; trials],
             },
-            None => TrialState::Generic(
-                (0..trials).map(|_| AccBox(kind.accumulator())).collect(),
-            ),
+            None => TrialState::Generic((0..trials).map(|_| AccBox(kind.accumulator())).collect()),
         }
     }
 
@@ -119,9 +117,7 @@ impl TrialState {
                                 }
                             }
                             FastKind::Sum | FastKind::Avg => {
-                                for ((ta, tb), w) in
-                                    a.iter_mut().zip(b.iter_mut()).zip(ws.iter())
-                                {
+                                for ((ta, tb), w) in a.iter_mut().zip(b.iter_mut()).zip(ws.iter()) {
                                     *ta += m * w * x;
                                     *tb += m * w;
                                 }
@@ -178,20 +174,13 @@ impl TrialState {
                     }
                 }
             },
-            TrialState::Generic(accs) => {
-                accs[t].0.output_f64(scale).unwrap_or(f64::NAN)
-            }
+            TrialState::Generic(accs) => accs[t].0.output_f64(scale).unwrap_or(f64::NAN),
         }
     }
 
     fn merge(&mut self, other: &TrialState) {
         match (self, other) {
-            (
-                TrialState::Fast { a, b, .. },
-                TrialState::Fast {
-                    a: oa, b: ob, ..
-                },
-            ) => {
+            (TrialState::Fast { a, b, .. }, TrialState::Fast { a: oa, b: ob, .. }) => {
                 for (x, y) in a.iter_mut().zip(oa.iter()) {
                     *x += y;
                 }
@@ -211,9 +200,7 @@ impl TrialState {
     fn approx_bytes(&self) -> usize {
         match self {
             TrialState::Fast { a, b, .. } => (a.len() + b.len()) * 8,
-            TrialState::Generic(accs) => {
-                accs.iter().map(|x| x.0.approx_bytes()).sum()
-            }
+            TrialState::Generic(accs) => accs.iter().map(|x| x.0.approx_bytes()).sum(),
         }
     }
 
@@ -262,7 +249,11 @@ impl GroupSketch {
 
     fn approx_bytes(&self) -> usize {
         self.accs.iter().map(|a| a.0.approx_bytes()).sum::<usize>()
-            + self.trials.iter().map(TrialState::approx_bytes).sum::<usize>()
+            + self
+                .trials
+                .iter()
+                .map(TrialState::approx_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -348,7 +339,10 @@ impl AggregateOp {
 
     /// Bytes held in sketch + retained-row state.
     pub fn state_bytes(&self) -> usize {
-        self.sketch.values().map(GroupSketch::approx_bytes).sum::<usize>()
+        self.sketch
+            .values()
+            .map(GroupSketch::approx_bytes)
+            .sum::<usize>()
             + self
                 .unsketchable_rows
                 .iter()
@@ -411,27 +405,44 @@ impl AggregateOp {
             }
             return Ok(map);
         }
-        type PartialSketches = Vec<Result<HashMap<Arc<[Value]>, GroupSketch>, EngineError>>;
+        type PartialSketch = Result<HashMap<Arc<[Value]>, GroupSketch>, EngineError>;
         let chunk = rows.len().div_ceil(workers);
         let registry: &crate::registry::AggRegistry = ctx.registry;
         let trials = ctx.trials;
-        let partials: PartialSketches =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = rows
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move |_| {
-                            let mut map = HashMap::new();
-                            for row in part {
-                                self.fold_row(&mut map, row, certain, registry, trials)?;
-                            }
-                            Ok(map)
-                        })
+        // A panicking worker (e.g. a poisoned UDAF) must not abort the
+        // process: `scope` joins every handle, and a panic surfaces as an
+        // `Err` from `join`, which we convert into an `EngineError` so the
+        // driver can report a failed batch and keep going.
+        let partials: Vec<PartialSketch> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut map = HashMap::new();
+                        for row in part {
+                            self.fold_row(&mut map, row, certain, registry, trials)?;
+                        }
+                        Ok(map)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("fold worker panicked");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic payload".to_string());
+                        Err(EngineError::Plan(format!(
+                            "aggregate fold worker panicked: {msg}"
+                        )))
+                    }
+                })
+                .collect()
+        });
         let mut merged: HashMap<Arc<[Value]>, GroupSketch> = HashMap::new();
         for partial in partials {
             for (k, v) in partial? {
@@ -455,7 +466,13 @@ impl AggregateOp {
         let sketchable = self.sketchable();
         if sketchable {
             // Fold fresh certain rows into the persistent sketch.
+            // (Workers cannot write `&mut Metrics`, so folds are timed and
+            // counted here, around the call.)
+            let fold_span = crate::metrics::Span::start();
             let delta = self.fold_rows(&input.delta_certain, true, ctx)?;
+            fold_span.stop(&mut ctx.metrics, "agg.fold_ns");
+            ctx.metrics
+                .add("agg.fold_rows", input.delta_certain.len() as u64);
             let mut sketch = std::mem::take(&mut self.sketch);
             for (k, v) in delta {
                 match sketch.get_mut(&k) {
@@ -467,7 +484,8 @@ impl AggregateOp {
             }
             self.sketch = sketch;
         } else {
-            self.unsketchable_rows.extend(input.delta_certain.iter().cloned());
+            self.unsketchable_rows
+                .extend(input.delta_certain.iter().cloned());
         }
 
         // Keys touched by this batch: fresh certain rows and everything on
@@ -481,11 +499,18 @@ impl AggregateOp {
 
         // Temporary sketch over recomputed rows: the uncertain channel plus
         // (when unsketchable) all retained certain rows.
+        let fold_span = crate::metrics::Span::start();
         let mut temp = self.fold_rows(&input.uncertain, false, ctx)?;
+        fold_span.stop(&mut ctx.metrics, "agg.fold_ns");
+        ctx.metrics
+            .add("agg.fold_rows", input.uncertain.len() as u64);
         if !sketchable {
             ctx.stats.recomputed_tuples += self.unsketchable_rows.len();
             let rows = std::mem::take(&mut self.unsketchable_rows);
+            let refold_span = crate::metrics::Span::start();
             let certain_part = self.fold_rows(&rows, true, ctx)?;
+            refold_span.stop(&mut ctx.metrics, "agg.fold_ns");
+            ctx.metrics.add("agg.refold_rows", rows.len() as u64);
             for (k, v) in certain_part {
                 match temp.get_mut(&k) {
                     Some(existing) => existing.merge(&v),
@@ -524,9 +549,11 @@ impl AggregateOp {
         // Kind-based, not value-based: on the final batch m_i == 1.0 but
         // untouched groups still need their scale refreshed from the
         // previous batch's value.
-        let any_extensive =
-            self.scale_stream && self.aggs.iter().any(|c| c.kind.extensive());
+        let any_extensive = self.scale_stream && self.aggs.iter().any(|c| c.kind.extensive());
         let mut emitted_uncertain = false;
+        let publish_span = crate::metrics::Span::start();
+        let mut groups_published = 0u64;
+        let mut scale_refreshes = 0u64;
         for key in all_keys {
             if !touched.contains(&key) {
                 // Delta publication: the group's unscaled sketch is
@@ -537,6 +564,7 @@ impl AggregateOp {
                         ctx.registry
                             .refresh_scale(self.agg_id, &key, &scales, ctx.batch_index);
                     self.push_outcomes(&key, outcomes, ctx);
+                    scale_refreshes += 1;
                 }
                 continue;
             }
@@ -561,8 +589,9 @@ impl AggregateOp {
                 current.push(merged.accs[c].0.output(1.0));
                 if call.kind.smooth() {
                     let n = merged.trials[c].len();
-                    let tv: Vec<f64> =
-                        (0..n).map(|t| merged.trials[c].output_f64(t, 1.0)).collect();
+                    let tv: Vec<f64> = (0..n)
+                        .map(|t| merged.trials[c].output_f64(t, 1.0))
+                        .collect();
                     trials_cols.push(tv.into());
                 } else {
                     // Non-smooth aggregates (MIN/MAX/COUNT DISTINCT, §3.3)
@@ -582,6 +611,7 @@ impl AggregateOp {
                 ctx.batch_index,
             );
             self.push_outcomes(&key, outcomes, ctx);
+            groups_published += 1;
 
             // Emit the group row downstream.
             let emit_needed = !self.emitted_certain.contains(&key);
@@ -613,6 +643,10 @@ impl AggregateOp {
                 emitted_uncertain = true;
             }
         }
+
+        ctx.metrics.add("agg.groups_published", groups_published);
+        ctx.metrics.add("agg.scale_refreshes", scale_refreshes);
+        publish_span.stop(&mut ctx.metrics, "agg.publish_ns");
 
         // SQL semantics: a global aggregate over an empty input still yields
         // one row of "empty" outputs. Emit it transiently until real groups

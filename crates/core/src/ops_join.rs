@@ -80,6 +80,9 @@ impl JoinOp {
         let l = self.left.process(ctx)?;
         let r = self.right.process(ctx)?;
         ctx.stats.shipped_bytes += l.approx_bytes() + r.approx_bytes();
+        let probe_span = crate::metrics::Span::start();
+        let probe_rows =
+            l.delta_certain.len() + r.delta_certain.len() + l.uncertain.len() + r.uncertain.len();
         let mut out = BatchData::empty(self.schema.clone());
 
         let lkeys: Vec<Vec<Value>> = keys_of(&l.delta_certain, &self.left_keys, ctx)?;
@@ -155,6 +158,12 @@ impl JoinOp {
             self.right_acc = None;
         }
 
+        ctx.metrics.add("join.probe_rows", probe_rows as u64);
+        ctx.metrics.add(
+            "join.output_rows",
+            (out.delta_certain.len() + out.uncertain.len()) as u64,
+        );
+        probe_span.stop(&mut ctx.metrics, "join.probe_ns");
         out.exhausted = self.left_exhausted && self.right_exhausted;
         Ok(out)
     }
@@ -213,25 +222,29 @@ impl SemiJoinOp {
         let l = self.left.process(ctx)?;
         let r = self.right.process(ctx)?;
         ctx.stats.shipped_bytes += l.approx_bytes() + r.approx_bytes();
+        let probe_span = crate::metrics::Span::start();
+        let probe_rows =
+            l.delta_certain.len() + r.delta_certain.len() + l.uncertain.len() + r.uncertain.len();
         let mut out = BatchData::empty(l.schema.clone());
 
-        for (row, key) in r
-            .delta_certain
-            .iter()
-            .zip(keys_of(&r.delta_certain, &self.right_keys, ctx)?)
+        for (row, key) in
+            r.delta_certain
+                .iter()
+                .zip(keys_of(&r.delta_certain, &self.right_keys, ctx)?)
         {
             if row.mult > 0.0 {
                 self.certain_keys.insert(key);
             }
         }
-        let uncertain_keys: HashSet<Vec<Value>> =
-            keys_of(&r.uncertain, &self.right_keys, ctx)?.into_iter().collect();
+        let uncertain_keys: HashSet<Vec<Value>> = keys_of(&r.uncertain, &self.right_keys, ctx)?
+            .into_iter()
+            .collect();
 
         // Fresh certain left rows.
-        for (row, key) in l
-            .delta_certain
-            .iter()
-            .zip(keys_of(&l.delta_certain, &self.left_keys, ctx)?)
+        for (row, key) in
+            l.delta_certain
+                .iter()
+                .zip(keys_of(&l.delta_certain, &self.left_keys, ctx)?)
         {
             if self.certain_keys.contains(&key) {
                 out.delta_certain.push(row.clone());
@@ -270,6 +283,10 @@ impl SemiJoinOp {
             }
         }
 
+        ctx.metrics.add("join.probe_rows", probe_rows as u64);
+        ctx.metrics
+            .add("join.pending_rows", self.pending.len() as u64);
+        probe_span.stop(&mut ctx.metrics, "join.probe_ns");
         self.right_exhausted |= r.exhausted;
         self.left_exhausted |= l.exhausted;
         out.exhausted = self.left_exhausted

@@ -18,6 +18,7 @@ use iolap_bootstrap::{RangeOutcome, RangeTracker, VariationRange};
 use iolap_engine::{EvalContext, Expr, RefMode, RefResolver};
 use iolap_relation::{AggRef, PendingCell, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Payload of a `Value::Pending` cell: the static lineage function `f`
@@ -88,7 +89,7 @@ fn scale_value(v: &Value, s: f64) -> Value {
 }
 
 /// The shared registry. Cloning snapshots it (used by checkpointing).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct AggRegistry {
     groups: HashMap<(u32, Arc<[Value]>), GroupEntry>,
     /// Attributes whose variation range produced a near-deterministic
@@ -106,6 +107,22 @@ pub struct AggRegistry {
     quarantined: std::collections::HashSet<AggRef>,
     /// Bytes published this batch (the broadcast cost; Fig 9(c)).
     published_bytes: usize,
+    /// Lineage dereferences served (metric `registry.derefs`). Atomic
+    /// because resolution runs through `&self` during expression
+    /// evaluation, including inside parallel fold workers.
+    derefs: AtomicU64,
+}
+
+impl Clone for AggRegistry {
+    fn clone(&self) -> Self {
+        AggRegistry {
+            groups: self.groups.clone(),
+            used_for_pruning: self.used_for_pruning.clone(),
+            quarantined: self.quarantined.clone(),
+            published_bytes: self.published_bytes,
+            derefs: AtomicU64::new(self.derefs.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl AggRegistry {
@@ -126,7 +143,15 @@ impl AggRegistry {
         slack: f64,
     ) -> Vec<RangeOutcome> {
         let cols = current.len();
-        self.publish_at(agg_id, key, current, trials, vec![1.0; cols], slack, usize::MAX)
+        self.publish_at(
+            agg_id,
+            key,
+            current,
+            trials,
+            vec![1.0; cols],
+            slack,
+            usize::MAX,
+        )
     }
 
     /// Like [`AggRegistry::publish`], with per-column scale factors and the
@@ -224,8 +249,7 @@ impl AggRegistry {
             entry.scale[c] = s;
             match entry.stats[c] {
                 Some((lo, hi, sd)) if changed => {
-                    outcomes
-                        .push(entry.trackers[c].observe_summary(lo * s, hi * s, sd * s, batch));
+                    outcomes.push(entry.trackers[c].observe_summary(lo * s, hi * s, sd * s, batch));
                 }
                 _ => outcomes.push(RangeOutcome::Ok),
             }
@@ -248,6 +272,14 @@ impl AggRegistry {
     /// Exclude `r` from future pruning (after a failure while in use).
     pub fn quarantine(&mut self, r: AggRef) {
         self.quarantined.insert(r);
+    }
+
+    /// Re-admit `r` for pruning. Called once a recovery replay completes:
+    /// the tracker has adopted a fresh range at the failed batch and every
+    /// decision that depended on the violated range has been recomputed, so
+    /// monitoring can resume (§5.1).
+    pub fn unquarantine(&mut self, r: &AggRef) {
+        self.quarantined.remove(r);
     }
 
     /// Whether `r` is quarantined.
@@ -273,6 +305,12 @@ impl AggRegistry {
     /// Bytes published (broadcast) so far; the driver diffs this per batch.
     pub fn published_bytes(&self) -> usize {
         self.published_bytes
+    }
+
+    /// Lineage dereferences served so far (cumulative; the driver diffs
+    /// this per batch into the `registry.derefs` metric).
+    pub fn deref_count(&self) -> u64 {
+        self.derefs.load(Ordering::Relaxed)
     }
 
     /// Rough memory footprint of the registry.
@@ -314,6 +352,7 @@ impl AggRegistry {
 
 impl RefResolver for AggRegistry {
     fn resolve(&self, r: &AggRef, mode: RefMode) -> Value {
+        self.derefs.fetch_add(1, Ordering::Relaxed);
         let Some(entry) = self.groups.get(&(r.agg, r.key.clone())) else {
             return Value::Null;
         };
@@ -333,6 +372,7 @@ impl RefResolver for AggRegistry {
     }
 
     fn resolve_pending(&self, cell: &PendingCell, mode: RefMode) -> Value {
+        self.derefs.fetch_add(1, Ordering::Relaxed);
         let Some(thunk) = cell.payload.downcast_ref::<ThunkPayload>() else {
             return Value::Null;
         };
@@ -411,7 +451,13 @@ mod tests {
     #[test]
     fn failure_reported_on_escape() {
         let mut reg = AggRegistry::new();
-        reg.publish(0, key(), vec![Value::Float(10.0)], vec![Arc::from(vec![9.0, 11.0])], 0.0);
+        reg.publish(
+            0,
+            key(),
+            vec![Value::Float(10.0)],
+            vec![Arc::from(vec![9.0, 11.0])],
+            0.0,
+        );
         let outs = reg.publish(
             0,
             key(),

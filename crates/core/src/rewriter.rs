@@ -63,10 +63,7 @@ pub struct OnlineQuery {
 /// Rewrite a planned query for online execution. `streamed` is the set of
 /// relation names processed in mini-batches (§2: the user specifies which
 /// input relations are streamed).
-pub fn rewrite(
-    pq: &PlannedQuery,
-    streamed: &HashSet<String>,
-) -> Result<OnlineQuery, RewriteError> {
+pub fn rewrite(pq: &PlannedQuery, streamed: &HashSet<String>) -> Result<OnlineQuery, RewriteError> {
     // Peel presentation (ORDER BY/LIMIT) into the sink. The planner places
     // Sort either at the very top (unions) or directly below the final
     // projection (single-block queries, where sort keys may reference
@@ -160,12 +157,8 @@ fn peel_presentation(plan: &Plan) -> (Option<Plan>, Presentation, Option<usize>)
 /// inside extensive aggregate outputs).
 fn stream_factor(plan: &Plan, streamed: &HashSet<String>) -> u32 {
     match plan {
-        Plan::Scan { table, .. } => {
-            u32::from(streamed.contains(&table.to_ascii_lowercase()))
-        }
-        Plan::Select { input, .. } | Plan::Sort { input, .. } => {
-            stream_factor(input, streamed)
-        }
+        Plan::Scan { table, .. } => u32::from(streamed.contains(&table.to_ascii_lowercase())),
+        Plan::Select { input, .. } | Plan::Sort { input, .. } => stream_factor(input, streamed),
         Plan::Project { input, .. } => stream_factor(input, streamed),
         Plan::Join { left, right, .. } => {
             stream_factor(left, streamed) + stream_factor(right, streamed)
@@ -238,12 +231,7 @@ fn build(plan: &Plan, streamed: &HashSet<String>) -> Result<OnlineOp, RewriteErr
         } => {
             let l = build(left, streamed)?;
             let r = build(right, streamed)?;
-            OnlineOp::SemiJoin(SemiJoinOp::new(
-                l,
-                r,
-                left_keys.clone(),
-                right_keys.clone(),
-            ))
+            OnlineOp::SemiJoin(SemiJoinOp::new(l, r, left_keys.clone(), right_keys.clone()))
         }
         Plan::Union { inputs } => {
             let children = inputs
@@ -261,10 +249,8 @@ fn build(plan: &Plan, streamed: &HashSet<String>) -> Result<OnlineOp, RewriteErr
         } => {
             let ann = annotate(input, streamed)?;
             let child = build(input, streamed)?;
-            let arg_uncertain: Vec<bool> = aggs
-                .iter()
-                .map(|a| ann.expr_uncertain(&a.input))
-                .collect();
+            let arg_uncertain: Vec<bool> =
+                aggs.iter().map(|a| ann.expr_uncertain(&a.input)).collect();
             OnlineOp::Aggregate(AggregateOp::new(
                 child,
                 group_cols.clone(),
@@ -348,9 +334,7 @@ mod tests {
 
     #[test]
     fn sort_peels_into_presentation() {
-        let q = rewrite_sql(
-            "SELECT session_id FROM sessions ORDER BY play_time DESC LIMIT 3",
-        );
+        let q = rewrite_sql("SELECT session_id FROM sessions ORDER BY play_time DESC LIMIT 3");
         assert_eq!(q.sink.presentation.sort_keys.len(), 1);
         assert_eq!(q.sink.presentation.limit, Some(3));
         assert_eq!(q.sink.stream_factor, 1, "plain SPJ output scales by m_i");

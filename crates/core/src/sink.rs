@@ -275,13 +275,7 @@ mod tests {
             2.0,
         );
         let schema = Schema::from_pairs(&[("avg", DataType::Float)]);
-        let mut sink = Sink::new(
-            schema,
-            vec!["avg".into()],
-            Presentation::default(),
-            0,
-            None,
-        );
+        let mut sink = Sink::new(schema, vec!["avg".into()], Presentation::default(), 0, None);
         sink.ingest(
             vec![ORow::new(vec![Value::Ref(AggRef {
                 agg: 0,

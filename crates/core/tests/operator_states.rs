@@ -154,9 +154,8 @@ fn nondeterministic_set_shrinks_relative_to_data() {
     )
     .unwrap();
     let reports = d.run_to_completion().unwrap();
-    let frac = |r: &iolap_core::BatchReport| {
-        r.stats.recomputed_tuples as f64 / (r.fraction * 3000.0)
-    };
+    let frac =
+        |r: &iolap_core::BatchReport| r.stats.recomputed_tuples as f64 / (r.fraction * 3000.0);
     let early = frac(&reports[1]);
     let late = frac(reports.last().unwrap());
     assert!(

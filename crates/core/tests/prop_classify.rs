@@ -44,11 +44,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
         (-50.0f64..50.0).prop_map(|x| Expr::Lit(Value::Float(x))),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![
-            Just(ArithOp::Add),
-            Just(ArithOp::Sub),
-            Just(ArithOp::Mul),
-        ])
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul),],
+        )
             .prop_map(|(l, r, op)| Expr::Arith {
                 op,
                 left: Box::new(l),

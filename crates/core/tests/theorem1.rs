@@ -65,8 +65,7 @@ fn catalog(n: usize, seed: u64) -> Catalog {
 fn assert_theorem1(sql: &str, cat: &Catalog, config: IolapConfig) -> Vec<usize> {
     let registry = FunctionRegistry::with_builtins();
     let pq = plan_sql(sql, cat, &registry).expect("plan");
-    let mut driver =
-        IolapDriver::from_plan(&pq, cat, "sessions", config.clone()).expect("driver");
+    let mut driver = IolapDriver::from_plan(&pq, cat, "sessions", config.clone()).expect("driver");
 
     // Reconstruct the same partition to know each prefix D_i.
     let stream = cat.get("sessions").unwrap();
@@ -120,7 +119,11 @@ fn default_config(batches: usize) -> IolapConfig {
 #[test]
 fn global_average() {
     let cat = catalog(200, 1);
-    assert_theorem1("SELECT AVG(play_time) FROM sessions", &cat, default_config(8));
+    assert_theorem1(
+        "SELECT AVG(play_time) FROM sessions",
+        &cat,
+        default_config(8),
+    );
 }
 
 #[test]
@@ -264,8 +267,7 @@ fn order_by_limit_presentation() {
     let sql = "SELECT city, SUM(play_time) AS total FROM sessions \
                GROUP BY city ORDER BY total DESC LIMIT 2";
     let pq = plan_sql(sql, &cat, &registry).unwrap();
-    let mut driver =
-        IolapDriver::from_plan(&pq, &cat, "sessions", default_config(4)).unwrap();
+    let mut driver = IolapDriver::from_plan(&pq, &cat, "sessions", default_config(4)).unwrap();
     let reports = driver.run_to_completion().unwrap();
     let final_rel = &reports.last().unwrap().result.relation;
     assert_eq!(final_rel.len(), 2);
@@ -293,7 +295,10 @@ fn error_estimates_shrink() {
     .unwrap();
     let reports = driver.run_to_completion().unwrap();
     let first = reports[0].result.max_relative_std().unwrap();
-    let last = reports[reports.len() - 2].result.max_relative_std().unwrap();
+    let last = reports[reports.len() - 2]
+        .result
+        .max_relative_std()
+        .unwrap();
     assert!(
         last < first,
         "relative stddev should shrink: first={first} last={last}"

@@ -192,7 +192,10 @@ impl Accumulator for ExtremeAcc {
         }
     }
     fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other.as_any().downcast_ref::<ExtremeAcc>().expect("MIN/MAX");
+        let o = other
+            .as_any()
+            .downcast_ref::<ExtremeAcc>()
+            .expect("MIN/MAX");
         if let Some(b) = &o.best {
             self.update(b, 1.0);
         }
@@ -519,13 +522,37 @@ mod tests {
     #[test]
     fn variance_and_stddev() {
         let mut v = VarianceAcc::default();
-        feed(&mut v, &[(2.0, 1.0), (4.0, 1.0), (4.0, 1.0), (4.0, 1.0), (5.0, 1.0), (5.0, 1.0), (7.0, 1.0), (9.0, 1.0)]);
+        feed(
+            &mut v,
+            &[
+                (2.0, 1.0),
+                (4.0, 1.0),
+                (4.0, 1.0),
+                (4.0, 1.0),
+                (5.0, 1.0),
+                (5.0, 1.0),
+                (7.0, 1.0),
+                (9.0, 1.0),
+            ],
+        );
         assert_eq!(v.output(1.0), Value::Float(4.0));
         let mut s = VarianceAcc {
             stddev: true,
             ..Default::default()
         };
-        feed(&mut s, &[(2.0, 1.0), (4.0, 1.0), (4.0, 1.0), (4.0, 1.0), (5.0, 1.0), (5.0, 1.0), (7.0, 1.0), (9.0, 1.0)]);
+        feed(
+            &mut s,
+            &[
+                (2.0, 1.0),
+                (4.0, 1.0),
+                (4.0, 1.0),
+                (4.0, 1.0),
+                (5.0, 1.0),
+                (5.0, 1.0),
+                (7.0, 1.0),
+                (9.0, 1.0),
+            ],
+        );
         assert_eq!(s.output(1.0), Value::Float(2.0));
     }
 

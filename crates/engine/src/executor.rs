@@ -484,8 +484,7 @@ mod tests {
         rel.push(Row::with_mult(vec![1.into(), 10.0.into()], 2.0));
         rel.push(Row::with_mult(vec![1.into(), 20.0.into()], 1.0));
         rel.push(Row::with_mult(vec![2.into(), 5.0.into()], 1.0));
-        let out_schema =
-            Schema::from_pairs(&[("g", DataType::Int), ("s", DataType::Float)]);
+        let out_schema = Schema::from_pairs(&[("g", DataType::Int), ("s", DataType::Float)]);
         let out = aggregate(
             &rel,
             &[0],
@@ -508,10 +507,7 @@ mod tests {
     fn global_aggregate_on_empty_input() {
         let schema = Schema::from_pairs(&[("v", DataType::Float)]);
         let rel = Relation::empty(schema);
-        let out_schema = Schema::from_pairs(&[
-            ("c", DataType::Float),
-            ("s", DataType::Float),
-        ]);
+        let out_schema = Schema::from_pairs(&[("c", DataType::Float), ("s", DataType::Float)]);
         let out = aggregate(
             &rel,
             &[],

@@ -411,9 +411,7 @@ impl Expr {
                     .iter()
                     .map(|(c, v)| (c.remap_columns(map), v.remap_columns(map)))
                     .collect(),
-                else_expr: else_expr
-                    .as_ref()
-                    .map(|e| Box::new(e.remap_columns(map))),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.remap_columns(map))),
             },
             Expr::Like { expr, pattern } => Expr::Like {
                 expr: Box::new(expr.remap_columns(map)),
@@ -576,7 +574,10 @@ mod tests {
 
     #[test]
     fn compare_null_is_false() {
-        assert_eq!(compare(CmpOp::Eq, &Value::Null, &Value::Null), Value::Bool(false));
+        assert_eq!(
+            compare(CmpOp::Eq, &Value::Null, &Value::Null),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -606,10 +607,7 @@ mod tests {
     #[test]
     fn case_when_falls_through_to_else() {
         let e = Expr::Case {
-            when_then: vec![(
-                Expr::Lit(Value::Bool(false)),
-                Expr::Lit(Value::Int(1)),
-            )],
+            when_then: vec![(Expr::Lit(Value::Bool(false)), Expr::Lit(Value::Int(1)))],
             else_expr: Some(Box::new(Expr::Lit(Value::Int(2)))),
         };
         assert_eq!(e.eval(&row(vec![]), &ctx()).unwrap(), Value::Int(2));

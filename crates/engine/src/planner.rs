@@ -83,8 +83,8 @@ pub fn plan_sql(
     catalog: &Catalog,
     registry: &FunctionRegistry,
 ) -> Result<PlannedQuery, PlanError> {
-    let stmt = iolap_sql::parse(sql)
-        .map_err(|e| PlanError::Invalid(format!("parse error: {e}")))?;
+    let stmt =
+        iolap_sql::parse(sql).map_err(|e| PlanError::Invalid(format!("parse error: {e}")))?;
     let iolap_sql::Statement::Query(q) = stmt;
     plan_query(&q, catalog, registry)
 }
@@ -232,9 +232,8 @@ impl<'a> Planner<'a> {
                 }
                 Err(PlanError::Schema(SchemaError::NotFound(_))) => {
                     // Try correlated equi-predicate: local = outer.
-                    let outer_schema = outer.ok_or_else(|| {
-                        self.try_compile(&c, &combined).unwrap_err()
-                    })?;
+                    let outer_schema =
+                        outer.ok_or_else(|| self.try_compile(&c, &combined).unwrap_err())?;
                     let (local_ast, outer_key) =
                         self.split_correlated(&c, &combined, outer_schema)?;
                     correlated.push((local_ast, outer_key));
@@ -268,16 +267,16 @@ impl<'a> Planner<'a> {
             let right_schema = &table_schemas[ti + 1];
             let mut left_keys = Vec::new();
             let mut right_keys = Vec::new();
-            equi.retain(|c| {
-                match self.extract_join_keys(c, &cum_schema, right_schema) {
+            equi.retain(
+                |c| match self.extract_join_keys(c, &cum_schema, right_schema) {
                     Some((lk, rk)) => {
                         left_keys.push(lk);
                         right_keys.push(rk);
                         false
                     }
                     None => true,
-                }
-            });
+                },
+            );
             let schema = cum_schema.join(right_schema);
             plan = Plan::Join {
                 left: Box::new(plan),
@@ -299,8 +298,7 @@ impl<'a> Planner<'a> {
         }
 
         // -------------------------------------------------- WHERE subqueries
-        let (mut plan, cum_schema) =
-            self.attach_subquery_conjuncts(plan, cum_schema, with_subs)?;
+        let (mut plan, cum_schema) = self.attach_subquery_conjuncts(plan, cum_schema, with_subs)?;
 
         // ----------------------------------------------- aggregation + SELECT
         // Expand wildcards against the FROM schema (not subquery columns).
@@ -374,9 +372,13 @@ impl<'a> Planner<'a> {
             let resolved = items
                 .iter()
                 .find(|(_, alias)| match (alias, g) {
-                    (Some(a), ast::Expr::Column { qualifier: None, name }) => {
-                        a.eq_ignore_ascii_case(name)
-                    }
+                    (
+                        Some(a),
+                        ast::Expr::Column {
+                            qualifier: None,
+                            name,
+                        },
+                    ) => a.eq_ignore_ascii_case(name),
                     _ => false,
                 })
                 .map(|(e, _)| e.clone())
@@ -391,10 +393,7 @@ impl<'a> Planner<'a> {
         let mut pre_fields = Vec::new();
         for (i, g) in group_asts.iter().enumerate() {
             let pe = self.compile_expr(g, &cum_schema, &HashMap::new())?;
-            pre_fields.push(Field::new(
-                format!("__g{i}"),
-                infer_type(&pe, &cum_schema),
-            ));
+            pre_fields.push(Field::new(format!("__g{i}"), infer_type(&pe, &cum_schema)));
             pre_exprs.push(pe);
         }
         for (i, (_, arg, _, _)) in agg_calls.iter().enumerate() {
@@ -418,10 +417,7 @@ impl<'a> Planner<'a> {
         let mut calls = Vec::new();
         for (i, (_, _, kind, _)) in agg_calls.iter().enumerate() {
             let input_ty = pre_schema.field(g + i).data_type;
-            agg_fields.push(Field::new(
-                format!("__a{i}"),
-                kind.return_type(input_ty),
-            ));
+            agg_fields.push(Field::new(format!("__a{i}"), kind.return_type(input_ty)));
             calls.push(AggCall {
                 kind: kind.clone(),
                 input: Expr::Col(g + i),
@@ -696,9 +692,7 @@ impl<'a> Planner<'a> {
             } => ast::Expr::Case {
                 when_then: when_then
                     .iter()
-                    .map(|(c, v)| {
-                        Ok((self.extract_rec(c, out)?, self.extract_rec(v, out)?))
-                    })
+                    .map(|(c, v)| Ok((self.extract_rec(c, out)?, self.extract_rec(v, out)?)))
                     .collect::<Result<_, PlanError>>()?,
                 else_expr: match else_expr {
                     Some(x) => Some(Box::new(self.extract_rec(x, out)?)),
@@ -749,9 +743,7 @@ impl<'a> Planner<'a> {
         } = c
         {
             for (x, y) in [(a, b), (b, a)] {
-                if let (Ok(lk), Ok(rk)) =
-                    (self.try_compile(x, left), self.try_compile(y, right))
-                {
+                if let (Ok(lk), Ok(rk)) = (self.try_compile(x, left), self.try_compile(y, right)) {
                     return Some((lk, rk));
                 }
             }
@@ -1098,7 +1090,10 @@ fn substitute_alias(e: &ast::Expr, items: &[(ast::Expr, Option<String>)]) -> ast
     } = e
     {
         for (expr, alias) in items {
-            if alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(name)) {
+            if alias
+                .as_deref()
+                .is_some_and(|a| a.eq_ignore_ascii_case(name))
+            {
                 return expr.clone();
             }
         }
@@ -1243,10 +1238,8 @@ mod tests {
 
     #[test]
     fn plan_sbi_uncorrelated_subquery() {
-        let out = run(
-            "SELECT AVG(play_time) FROM sessions \
-             WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
-        );
+        let out = run("SELECT AVG(play_time) FROM sessions \
+             WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)");
         // avg buffer = 35.333; above: t1 (238), t2 (135), t4 (194) → 189.
         assert_eq!(out.len(), 1);
         let v = out.rows()[0].values[0].as_f64().unwrap();
@@ -1256,11 +1249,9 @@ mod tests {
     #[test]
     fn plan_correlated_subquery() {
         // Per-city SBI: sessions with buffer above their own city average.
-        let out = run(
-            "SELECT COUNT(*) FROM sessions s \
+        let out = run("SELECT COUNT(*) FROM sessions s \
              WHERE s.buffer_time > (SELECT AVG(i.buffer_time) FROM sessions i \
-                                    WHERE i.city = s.city)",
-        );
+                                    WHERE i.city = s.city)");
         // SF avg = (36+58+19)/3 = 37.667 → only t2 (58). LA avg = (17+56+26)/3
         // = 33 → only t4 (56). Count = 2.
         assert_eq!(out.rows()[0].values[0], Value::Float(2.0));
@@ -1300,25 +1291,19 @@ mod tests {
 
     #[test]
     fn plan_in_subquery_semijoin() {
-        let out = run(
-            "SELECT session_id FROM sessions WHERE city IN \
-             (SELECT name FROM cities WHERE state = 'NY')",
-        );
+        let out = run("SELECT session_id FROM sessions WHERE city IN \
+             (SELECT name FROM cities WHERE state = 'NY')");
         assert_eq!(out.len(), 0);
-        let out = run(
-            "SELECT session_id FROM sessions WHERE city IN \
-             (SELECT name FROM cities WHERE state = 'CA')",
-        );
+        let out = run("SELECT session_id FROM sessions WHERE city IN \
+             (SELECT name FROM cities WHERE state = 'CA')");
         assert_eq!(out.len(), 6);
     }
 
     #[test]
     fn plan_having_with_subquery() {
         // Cities whose average play time exceeds the global average.
-        let out = run(
-            "SELECT city, AVG(play_time) FROM sessions GROUP BY city \
-             HAVING AVG(play_time) > (SELECT AVG(play_time) FROM sessions)",
-        );
+        let out = run("SELECT city, AVG(play_time) FROM sessions GROUP BY city \
+             HAVING AVG(play_time) > (SELECT AVG(play_time) FROM sessions)");
         // global avg = 301.83; SF avg = 227, LA avg = 376.67 → only LA.
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0].values[0], Value::str("LA"));
@@ -1334,9 +1319,7 @@ mod tests {
 
     #[test]
     fn plan_case_when_inside_aggregate() {
-        let out = run(
-            "SELECT SUM(CASE WHEN city = 'SF' THEN 1 ELSE 0 END) FROM sessions",
-        );
+        let out = run("SELECT SUM(CASE WHEN city = 'SF' THEN 1 ELSE 0 END) FROM sessions");
         assert_eq!(out.rows()[0].values[0], Value::Float(3.0));
     }
 
@@ -1355,10 +1338,8 @@ mod tests {
 
     #[test]
     fn plan_union_all() {
-        let out = run(
-            "SELECT session_id FROM sessions WHERE city = 'SF' \
-             UNION ALL SELECT session_id FROM sessions WHERE city = 'LA'",
-        );
+        let out = run("SELECT session_id FROM sessions WHERE city = 'SF' \
+             UNION ALL SELECT session_id FROM sessions WHERE city = 'LA'");
         assert_eq!(out.len(), 6);
     }
 

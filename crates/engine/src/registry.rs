@@ -107,7 +107,8 @@ macro_rules! math1 {
             ret: DataType::Float,
             f: |args| match num_arg(args, 0, $name)? {
                 None => Ok(Value::Null),
-                Some(x) => {
+                Some(x) =>
+                {
                     #[allow(clippy::redundant_closure_call)]
                     Ok(Value::Float(($f)(x)))
                 }
@@ -148,7 +149,10 @@ fn builtin_scalars() -> Vec<Arc<dyn ScalarUdf>> {
                     Some(n) if n >= 1 => (n - 1) as usize,
                     _ => return Err(ExprError::Udf("SUBSTR: bad start".into())),
                 };
-                let len = args.get(2).and_then(|v| v.as_i64()).map(|n| n.max(0) as usize);
+                let len = args
+                    .get(2)
+                    .and_then(|v| v.as_i64())
+                    .map(|n| n.max(0) as usize);
                 let tail: String = s.chars().skip(start).collect();
                 let out = match len {
                     Some(l) => tail.chars().take(l).collect::<String>(),
@@ -231,11 +235,17 @@ mod tests {
     fn length_and_case() {
         let r = FunctionRegistry::with_builtins();
         assert_eq!(
-            r.scalar("LENGTH").unwrap().invoke(&[Value::str("abcd")]).unwrap(),
+            r.scalar("LENGTH")
+                .unwrap()
+                .invoke(&[Value::str("abcd")])
+                .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
-            r.scalar("UPPER").unwrap().invoke(&[Value::str("ab")]).unwrap(),
+            r.scalar("UPPER")
+                .unwrap()
+                .invoke(&[Value::str("ab")])
+                .unwrap(),
             Value::str("AB")
         );
     }

@@ -73,10 +73,7 @@ fn empty_table_group_by_is_empty() {
 
 #[test]
 fn cross_join_with_empty_is_empty() {
-    assert_eq!(
-        run("SELECT t.a FROM t, empty WHERE t.a = empty.a").len(),
-        0
-    );
+    assert_eq!(run("SELECT t.a FROM t, empty WHERE t.a = empty.a").len(), 0);
 }
 
 #[test]
@@ -101,10 +98,7 @@ fn division_by_zero_is_a_runtime_error() {
     let c = catalog();
     let r = FunctionRegistry::with_builtins();
     let pq = plan_sql("SELECT a / 0 FROM t", &c, &r).unwrap();
-    assert!(matches!(
-        execute(&pq.plan, &c),
-        Err(EngineError::Expr(_))
-    ));
+    assert!(matches!(execute(&pq.plan, &c), Err(EngineError::Expr(_))));
 }
 
 #[test]
@@ -146,9 +140,7 @@ fn planner_reports_unknown_function() {
 #[test]
 fn qualified_star_resolution_after_join() {
     // Self-join with aliases: qualified columns disambiguate.
-    let out = run(
-        "SELECT x.a, y.a FROM t x, t y WHERE x.a = y.a ORDER BY x.a",
-    );
+    let out = run("SELECT x.a, y.a FROM t x, t y WHERE x.a = y.a ORDER BY x.a");
     assert_eq!(out.len(), 3);
     assert_eq!(out.rows()[0].values[0], out.rows()[0].values[1]);
 }

@@ -51,23 +51,26 @@ pub struct BatchedRelation {
 }
 
 impl BatchedRelation {
-    /// Partition `rel` into `num_batches` mini-batches using `mode`,
-    /// deterministically seeded by `seed`.
+    /// Partition `rel` into at most `num_batches` mini-batches using
+    /// `mode`, deterministically seeded by `seed`.
     ///
     /// Every row of `rel` lands in exactly one batch; batch sizes differ by
-    /// at most one block (or one row for `RowShuffle`).
+    /// at most one block (or one row for `RowShuffle`). When `rel` has
+    /// fewer rows than `num_batches`, the batch count is clamped to the row
+    /// count (no empty batches are fabricated) — check `num_batches()` for
+    /// the count actually produced. A `num_batches` of zero is treated as
+    /// one; callers that consider it an error should validate before
+    /// partitioning (the iOLAP driver reports it as a setup error).
     pub fn partition(rel: &Relation, num_batches: usize, seed: u64, mode: PartitionMode) -> Self {
-        assert!(num_batches > 0, "need at least one batch");
+        let num_batches = num_batches.max(1);
         let mut rows: Vec<Row> = rel.rows().to_vec();
         let mut rng = StdRng::seed_from_u64(seed);
         match mode {
             PartitionMode::RowShuffle => rows.shuffle(&mut rng),
             PartitionMode::BlockShuffle { block_rows } => {
                 let block_rows = block_rows.max(1);
-                let mut blocks: Vec<Vec<Row>> = rows
-                    .chunks(block_rows)
-                    .map(|c| c.to_vec())
-                    .collect();
+                let mut blocks: Vec<Vec<Row>> =
+                    rows.chunks(block_rows).map(|c| c.to_vec()).collect();
                 blocks.shuffle(&mut rng);
                 rows = blocks.into_iter().flatten().collect();
             }
@@ -95,23 +98,28 @@ impl BatchedRelation {
                         positioned.push(((j as f64 + 0.5) / n, k, row));
                     }
                 }
-                positioned.sort_by(|(a, ka, _), (b, kb, _)| {
-                    a.total_cmp(b).then(ka.cmp(kb))
-                });
+                positioned.sort_by(|(a, ka, _), (b, kb, _)| a.total_cmp(b).then(ka.cmp(kb)));
                 rows = positioned.into_iter().map(|(_, _, r)| r).collect();
             }
         }
         let total_rows = rows.len();
-        let per = total_rows.div_ceil(num_batches).max(1);
-        let mut batches: Vec<Relation> = rows
-            .chunks(per)
-            .map(|c| Relation::new(rel.schema().clone(), c.to_vec()))
+        // Balanced split into exactly `min(num_batches, total_rows)`
+        // batches (fixed-size chunking can silently produce fewer): every
+        // batch holds `total/n` or `total/n + 1` rows, so per-batch scales
+        // and fractions never divide over an empty prefix, and
+        // `num_batches()` reports the count actually produced. The one
+        // exception is an empty input relation, which keeps a single empty
+        // batch so the stream still has a well-formed shape.
+        let n = num_batches.min(total_rows.max(1));
+        let base = total_rows / n;
+        let rem = total_rows % n;
+        let mut it = rows.into_iter();
+        let batches: Vec<Relation> = (0..n)
+            .map(|i| {
+                let take = base + usize::from(i < rem);
+                Relation::new(rel.schema().clone(), it.by_ref().take(take).collect())
+            })
             .collect();
-        // Guarantee exactly `num_batches` entries so drivers can iterate a
-        // fixed count; trailing batches may be empty for tiny inputs.
-        while batches.len() < num_batches {
-            batches.push(Relation::empty(rel.schema().clone()));
-        }
         BatchedRelation {
             batches,
             total_rows,
@@ -268,12 +276,8 @@ mod tests {
     #[test]
     fn block_shuffle_keeps_blocks_contiguous() {
         let rel = int_rel(40);
-        let b = BatchedRelation::partition(
-            &rel,
-            4,
-            7,
-            PartitionMode::BlockShuffle { block_rows: 10 },
-        );
+        let b =
+            BatchedRelation::partition(&rel, 4, 7, PartitionMode::BlockShuffle { block_rows: 10 });
         // Each batch of 10 rows must be one original block: consecutive ids.
         for i in 0..4 {
             let vals: Vec<i64> = b
@@ -307,25 +311,45 @@ mod tests {
     }
 
     #[test]
-    fn more_batches_than_rows_pads_empty() {
+    fn more_batches_than_rows_clamps() {
         let rel = int_rel(3);
         let b = BatchedRelation::partition(&rel, 5, 0, PartitionMode::RowShuffle);
-        assert_eq!(b.num_batches(), 5);
+        // Clamped to the row count: no empty batches are fabricated, so
+        // every per-batch scale divides over a non-empty prefix.
+        assert_eq!(b.num_batches(), 3);
         assert_eq!(b.total_rows(), 3);
-        assert_eq!(
-            b.batches().iter().map(|r| r.len()).sum::<usize>(),
-            3
-        );
+        assert!(b.batches().iter().all(|r| r.len() == 1));
+        for i in 0..b.num_batches() {
+            assert!(b.scale_after(i).is_finite());
+            assert!(b.scale_after(i) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_batches_clamps_to_one() {
+        let rel = int_rel(4);
+        let b = BatchedRelation::partition(&rel, 0, 0, PartitionMode::Sequential);
+        assert_eq!(b.num_batches(), 1);
+        assert_eq!(b.batch(0).len(), 4);
+        assert!((b.scale_after(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relation_keeps_one_empty_batch() {
+        let rel = int_rel(0);
+        let b = BatchedRelation::partition(&rel, 4, 0, PartitionMode::RowShuffle);
+        assert_eq!(b.num_batches(), 1);
+        assert_eq!(b.total_rows(), 0);
+        assert_eq!(b.batch(0).len(), 0);
+        // Empty-prefix guard: scale stays 1.0 instead of dividing by zero.
+        assert!((b.scale_after(0) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn stratified_shuffle_balances_strata() {
         // 90 rows in 3 strata of different sizes; each batch must hold a
         // near-proportional share of every stratum.
-        let schema = Schema::from_pairs(&[
-            ("g", DataType::Int),
-            ("v", DataType::Int),
-        ]);
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Int)]);
         let mut rows = Vec::new();
         for (stratum, count) in [(0i64, 60usize), (1, 24), (2, 6)] {
             for i in 0..count {
@@ -333,12 +357,8 @@ mod tests {
             }
         }
         let rel = Relation::from_values(schema, rows);
-        let parts = BatchedRelation::partition(
-            &rel,
-            6,
-            9,
-            PartitionMode::StratifiedShuffle { column: 0 },
-        );
+        let parts =
+            BatchedRelation::partition(&rel, 6, 9, PartitionMode::StratifiedShuffle { column: 0 });
         for i in 0..6 {
             let mut counts = [0usize; 3];
             for row in parts.batch(i).rows() {
@@ -358,12 +378,8 @@ mod tests {
             .map(|i| vec![Value::Int(i % 4), Value::Int(i)])
             .collect();
         let rel = Relation::from_values(schema, rows);
-        let parts = BatchedRelation::partition(
-            &rel,
-            5,
-            3,
-            PartitionMode::StratifiedShuffle { column: 0 },
-        );
+        let parts =
+            BatchedRelation::partition(&rel, 5, 3, PartitionMode::StratifiedShuffle { column: 0 });
         let mut seen: Vec<i64> = parts
             .batches()
             .iter()

@@ -178,30 +178,25 @@ impl Relation {
 
 /// Rough per-row footprint in bytes (used for state accounting).
 pub fn row_approx_bytes(row: &Row) -> usize {
-    let mut n = std::mem::size_of::<Row>();
-    for v in row.values.iter() {
-        n += std::mem::size_of::<Value>();
-        match v {
-            Value::Str(s) => n += s.len(),
-            Value::Ref(r) => {
-                n += r.key.len() * std::mem::size_of::<Value>();
-            }
-            _ => {}
-        }
-    }
-    n
+    std::mem::size_of::<Row>()
+        + row
+            .values
+            .iter()
+            .map(|v| std::mem::size_of::<Value>() + v.approx_heap_bytes())
+            .sum::<usize>()
 }
 
 fn rows_approx_eq(a: &Row, b: &Row, tol: f64) -> bool {
     if !float_close(a.mult, b.mult, tol) || a.values.len() != b.values.len() {
         return false;
     }
-    a.values.iter().zip(b.values.iter()).all(|(x, y)| {
-        match (x.as_f64(), y.as_f64()) {
+    a.values
+        .iter()
+        .zip(b.values.iter())
+        .all(|(x, y)| match (x.as_f64(), y.as_f64()) {
             (Some(fx), Some(fy)) => float_close(fx, fy, tol),
             _ => x == y,
-        }
-    })
+        })
 }
 
 fn float_close(a: f64, b: f64, tol: f64) -> bool {
@@ -278,14 +273,8 @@ mod tests {
 
     #[test]
     fn approx_eq_order_insensitive() {
-        let a = rel(vec![
-            vec![1.into(), 1.0.into()],
-            vec![2.into(), 2.0.into()],
-        ]);
-        let b = rel(vec![
-            vec![2.into(), 2.0.into()],
-            vec![1.into(), 1.0.into()],
-        ]);
+        let a = rel(vec![vec![1.into(), 1.0.into()], vec![2.into(), 2.0.into()]]);
+        let b = rel(vec![vec![2.into(), 2.0.into()], vec![1.into(), 1.0.into()]]);
         assert!(a.approx_eq(&b, 1e-9));
     }
 

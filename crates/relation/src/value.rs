@@ -103,6 +103,23 @@ impl Value {
         Value::Str(Arc::from(s.as_ref()))
     }
 
+    /// Rough bytes this value occupies beyond `size_of::<Value>()` (heap
+    /// payload: string bytes, lineage-ref keys). The single source of truth
+    /// for state/shipped-byte accounting — `row_approx_bytes` and the
+    /// operator channels both build on it.
+    pub fn approx_heap_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            Value::Ref(r) => {
+                r.key.len() * std::mem::size_of::<Value>()
+                    + r.key.iter().map(Value::approx_heap_bytes).sum::<usize>()
+            }
+            // The thunk payload is an opaque shared Arc; charge the cell.
+            Value::Pending(_) => std::mem::size_of::<PendingCell>(),
+            _ => 0,
+        }
+    }
+
     /// Data type of this value, if it is a concrete scalar.
     pub fn data_type(&self) -> DataType {
         match self {
@@ -400,18 +417,12 @@ mod tests {
     #[test]
     fn total_cmp_numeric_coercion() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(
-            Value::Float(2.0).total_cmp(&Value::Int(2)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Int(2)), Ordering::Equal);
     }
 
     #[test]
     fn unify_types() {
-        assert_eq!(
-            DataType::Int.unify(DataType::Float),
-            Some(DataType::Float)
-        );
+        assert_eq!(DataType::Int.unify(DataType::Float), Some(DataType::Float));
         assert_eq!(DataType::Null.unify(DataType::Str), Some(DataType::Str));
         assert_eq!(DataType::Str.unify(DataType::Int), None);
     }

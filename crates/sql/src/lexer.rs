@@ -231,22 +231,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(tok(TokenKind::Neq, start));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(tok(TokenKind::Le, start));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(tok(TokenKind::Neq, start));
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(tok(TokenKind::Lt, start));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(tok(TokenKind::Le, start));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(tok(TokenKind::Neq, start));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(tok(TokenKind::Lt, start));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(tok(TokenKind::Ge, start));
@@ -384,10 +382,7 @@ mod tests {
 
     #[test]
     fn lex_strings_with_escape() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![TokenKind::Str("it's".into())]
-        );
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
     }
 
     #[test]

@@ -19,5 +19,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{BinaryOp, Expr, OrderItem, Query, SelectBlock, SelectItem, Statement, TableRef, UnaryOp};
+pub use ast::{
+    BinaryOp, Expr, OrderItem, Query, SelectBlock, SelectItem, Statement, TableRef, UnaryOp,
+};
 pub use parser::{parse, parse_query, ParseError};

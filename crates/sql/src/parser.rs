@@ -371,9 +371,9 @@ impl Parser {
             }
             self.expect(&TokenKind::RParen, ")")?;
             let mut it = alternatives.into_iter();
-            let first = it.next().ok_or_else(|| {
-                ParseError::Unsupported("empty IN list".into())
-            })?;
+            let first = it
+                .next()
+                .ok_or_else(|| ParseError::Unsupported("empty IN list".into()))?;
             let mut acc = Expr::binary(left.clone(), BinaryOp::Eq, first);
             for alt in it {
                 acc = Expr::binary(
@@ -599,10 +599,7 @@ mod tests {
             "SELECT o_orderkey FROM lineorder WHERE o_orderkey IN \
              (SELECT l_orderkey FROM lineorder GROUP BY l_orderkey HAVING SUM(l_quantity) > 300)",
         );
-        assert!(matches!(
-            b.where_clause.unwrap(),
-            Expr::InSubquery { .. }
-        ));
+        assert!(matches!(b.where_clause.unwrap(), Expr::InSubquery { .. }));
     }
 
     #[test]
@@ -686,9 +683,7 @@ mod tests {
 
     #[test]
     fn parse_case_when() {
-        let b = block(
-            "SELECT SUM(CASE WHEN a > 1 THEN b ELSE 0 END) FROM t",
-        );
+        let b = block("SELECT SUM(CASE WHEN a > 1 THEN b ELSE 0 END) FROM t");
         match &b.items[0] {
             SelectItem::Expr {
                 expr: Expr::Function { args, .. },
@@ -700,10 +695,8 @@ mod tests {
 
     #[test]
     fn parse_union_all_order_limit() {
-        let q = parse_query(
-            "SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a DESC LIMIT 5",
-        )
-        .unwrap();
+        let q = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a DESC LIMIT 5")
+            .unwrap();
         assert_eq!(q.branches.len(), 2);
         assert_eq!(q.order_by.len(), 1);
         assert!(!q.order_by[0].asc);
@@ -712,10 +705,7 @@ mod tests {
 
     #[test]
     fn reject_not_exists() {
-        let err = parse_query(
-            "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)",
-        )
-        .unwrap_err();
+        let err = parse_query("SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)").unwrap_err();
         assert!(matches!(err, ParseError::Unsupported(_)));
     }
 
@@ -757,7 +747,13 @@ mod tests {
             SelectItem::Expr {
                 expr: Expr::Binary { left, .. },
                 ..
-            } => assert!(matches!(**left, Expr::Unary { op: UnaryOp::Neg, .. })),
+            } => assert!(matches!(
+                **left,
+                Expr::Unary {
+                    op: UnaryOp::Neg,
+                    ..
+                }
+            )),
             _ => panic!(),
         }
     }

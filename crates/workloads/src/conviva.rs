@@ -18,8 +18,14 @@ pub const CDNS: [&str; 3] = ["cdn_alpha", "cdn_beta", "cdn_gamma"];
 
 /// Cities.
 pub const CITIES: [&str; 8] = [
-    "San Francisco", "Los Angeles", "New York", "Seattle",
-    "Chicago", "Austin", "Boston", "Denver",
+    "San Francisco",
+    "Los Angeles",
+    "New York",
+    "Seattle",
+    "Chicago",
+    "Austin",
+    "Boston",
+    "Denver",
 ];
 
 /// ISPs.
@@ -72,8 +78,7 @@ pub fn conviva_sessions(n: usize, seed: u64) -> Relation {
         let cdn_buffer_mu: f64 = [2.6, 3.1, 2.9][cdn_idx];
         let buffer_time = lognormal(&mut rng, cdn_buffer_mu, 0.8).min(600.0);
         // Longer buffering shortens sessions (the SBI effect).
-        let play_time =
-            (lognormal(&mut rng, 5.4, 1.0) / (1.0 + buffer_time / 120.0)).min(14_400.0);
+        let play_time = (lognormal(&mut rng, 5.4, 1.0) / (1.0 + buffer_time / 120.0)).min(14_400.0);
         let join_time = lognormal(&mut rng, 0.9, 0.7).min(120.0);
         let bitrate = 400.0 + rng.gen::<f64>() * 4600.0;
         let failed = i64::from(rng.gen::<f64>() < 0.03);
@@ -82,7 +87,13 @@ pub fn conviva_sessions(n: usize, seed: u64) -> Relation {
             Value::Int(rng.gen_range(0..(n / 4).max(1)) as i64),
             Value::str(CDNS[cdn_idx]),
             Value::str(CITIES[rng.gen_range(0..CITIES.len())]),
-            Value::str(COUNTRIES[if rng.gen::<f64>() < 0.8 { 0 } else { rng.gen_range(1..COUNTRIES.len()) }]),
+            Value::str(
+                COUNTRIES[if rng.gen::<f64>() < 0.8 {
+                    0
+                } else {
+                    rng.gen_range(1..COUNTRIES.len())
+                }],
+            ),
             Value::str(ISPS[rng.gen_range(0..ISPS.len())]),
             Value::str(CONTENT_TYPES[rng.gen_range(0..CONTENT_TYPES.len())]),
             Value::Float((buffer_time * 10.0).round() / 10.0),

@@ -273,7 +273,11 @@ pub fn conviva_registry() -> FunctionRegistry {
         DataType::Float,
         rebuf_ratio,
     )));
-    reg.register_scalar(Arc::new(FnUdf::new("QOE_SCORE", DataType::Float, qoe_score)));
+    reg.register_scalar(Arc::new(FnUdf::new(
+        "QOE_SCORE",
+        DataType::Float,
+        qoe_score,
+    )));
     reg.register_udaf(Arc::new(HarmonicMean));
     reg.register_udaf(Arc::new(GeoMean));
     reg.register_udaf(Arc::new(Rms));

@@ -19,15 +19,41 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 
 /// Nation names (subset; 25 nations, 5 per region).
 pub const NATIONS: [&str; 25] = [
-    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE", // AFRICA
-    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES", // AMERICA
-    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM", // ASIA
-    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM", // EUROPE
-    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA", // MIDDLE EAST
+    "ALGERIA",
+    "ETHIOPIA",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE", // AFRICA
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "PERU",
+    "UNITED STATES", // AMERICA
+    "CHINA",
+    "INDIA",
+    "INDONESIA",
+    "JAPAN",
+    "VIETNAM", // ASIA
+    "FRANCE",
+    "GERMANY",
+    "ROMANIA",
+    "RUSSIA",
+    "UNITED KINGDOM", // EUROPE
+    "EGYPT",
+    "IRAN",
+    "IRAQ",
+    "JORDAN",
+    "SAUDI ARABIA", // MIDDLE EAST
 ];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Part brands.
 pub const BRANDS: [&str; 5] = ["Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#51"];
@@ -147,7 +173,12 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
                     Value::Int(nation),
                     Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
                     Value::Float((rng.gen::<f64>() * 10999.0 - 999.0).round()),
-                    Value::str(format!("{:02}-{:03}-{:03}", nation + 10, i % 999, (i * 7) % 999)),
+                    Value::str(format!(
+                        "{:02}-{:03}-{:03}",
+                        nation + 10,
+                        i % 999,
+                        (i * 7) % 999
+                    )),
                 ]
             })
             .collect(),
@@ -171,7 +202,10 @@ pub fn tpch_catalog(sf: f64, seed: u64) -> Catalog {
                     Value::Int(i as i64),
                     Value::str(format!("part {i}")),
                     Value::str(BRANDS[rng.gen_range(0..BRANDS.len())]),
-                    Value::str(["PROMO BURNISHED", "STANDARD PLATED", "ECONOMY ANODIZED"][rng.gen_range(0..3)]),
+                    Value::str(
+                        ["PROMO BURNISHED", "STANDARD PLATED", "ECONOMY ANODIZED"]
+                            [rng.gen_range(0..3)],
+                    ),
                     Value::Int(rng.gen_range(1..=50)),
                     Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
                     Value::Float((900.0 + (i % 1000) as f64 / 10.0).round()),
@@ -283,7 +317,15 @@ mod tests {
     #[test]
     fn catalog_has_all_tables() {
         let c = tpch_catalog(0.01, 1);
-        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "lineorder"] {
+        for t in [
+            "region",
+            "nation",
+            "supplier",
+            "customer",
+            "part",
+            "partsupp",
+            "lineorder",
+        ] {
             assert!(c.contains(t), "missing {t}");
         }
         assert_eq!(c.get("region").unwrap().len(), 5);

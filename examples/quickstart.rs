@@ -28,8 +28,8 @@ fn main() {
     // 10 mini-batches, 100 bootstrap trials, slack ε = 2.0 — the paper's
     // defaults (§8).
     let config = IolapConfig::with_batches(10);
-    let mut driver = IolapDriver::from_sql(sql, &catalog, &registry, "sessions", config)
-        .expect("compile query");
+    let mut driver =
+        IolapDriver::from_sql(sql, &catalog, &registry, "sessions", config).expect("compile query");
 
     println!(
         "{:>6} {:>8} {:>14} {:>24} {:>10}",

@@ -38,10 +38,7 @@ fn main() {
     };
     let sql = &args[1];
     let stream = args.get(2).map(String::as_str).unwrap_or(default_stream);
-    let batches: usize = args
-        .get(3)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(10);
+    let batches: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(10);
 
     let pq = match plan_sql(sql, &catalog, &registry) {
         Ok(pq) => pq,
@@ -59,13 +56,9 @@ fn main() {
         }
     }
 
-    let mut driver = IolapDriver::from_plan(
-        &pq,
-        &catalog,
-        stream,
-        IolapConfig::with_batches(batches),
-    )
-    .expect("driver");
+    let mut driver =
+        IolapDriver::from_plan(&pq, &catalog, stream, IolapConfig::with_batches(batches))
+            .expect("driver");
     while let Some(step) = driver.step() {
         let report = step.expect("batch");
         println!(
@@ -75,7 +68,11 @@ fn main() {
             report.fraction * 100.0,
             stream,
             report.elapsed.as_secs_f64() * 1e3,
-            if report.recovered { ", range recovery" } else { "" },
+            if report.recovered {
+                ", range recovery"
+            } else {
+                ""
+            },
         );
         println!("{}", report.result.names.join(" | "));
         for (row, ests) in report

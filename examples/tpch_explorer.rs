@@ -27,7 +27,10 @@ fn main() {
         eprintln!("unknown query `{id}`; try Q1 Q3 Q5 Q6 Q7 Q11 Q17 Q18 Q20 Q22");
         std::process::exit(1);
     };
-    println!("{} — {}\nstreams: {}\n\n{}\n", q.id, q.name, q.stream_table, q.sql);
+    println!(
+        "{} — {}\nstreams: {}\n\n{}\n",
+        q.id, q.name, q.stream_table, q.sql
+    );
 
     let catalog = tpch_catalog(2.0, 42);
     let registry = FunctionRegistry::with_builtins();
@@ -60,15 +63,17 @@ fn main() {
             a.stats.recomputed_tuples,
             b.elapsed.as_secs_f64() * 1e3,
             b.stats.recomputed_tuples,
-            if a.recovered { "   (range recovery)" } else { "" },
+            if a.recovered {
+                "   (range recovery)"
+            } else {
+                ""
+            },
         );
         if a.batch + 1 == batches {
             // Final batches are exact; confirm all three agree.
             let ok_iolap = a.result.relation.approx_eq(&baseline.relation, 1e-6);
             let ok_hda = b.result.relation.approx_eq(&baseline.relation, 1e-6);
-            println!(
-                "\nfinal answers agree with the batch engine: iOLAP={ok_iolap} HDA={ok_hda}"
-            );
+            println!("\nfinal answers agree with the batch engine: iOLAP={ok_iolap} HDA={ok_hda}");
         }
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, full test suite.
+# Everything runs offline (--offline); the workspace vendors its only
+# external deps as path shims under shims/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release --offline
+
+echo "== cargo test"
+cargo test --workspace --release --offline -q
+
+echo "== tier-1 gate passed"

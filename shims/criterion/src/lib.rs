@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] tuning knobs,
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is simple
+//! wall-clock sampling: each benchmark is warmed up, then timed for
+//! `sample_size` samples, and a median per-iteration time is printed.
+//! There is no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement backends, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock measurement (the only backend this shim provides).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Names a parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Passed to each benchmark closure; drives the timing loop.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    /// Median per-iteration time, filled in by [`Bencher::iter`].
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1/samples of the budget?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / self.samples.max(1) as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort_unstable();
+        self.result = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.criterion.filter {
+            let full = format!("{}/{}", self.group_name, id);
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        // Warm-up: run the routine until the warm-up budget elapses. The
+        // closure owns the routine, so just invoke it once with a tiny
+        // sample budget first.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm = Bencher {
+            samples: 1,
+            measurement_time: Duration::from_millis(1),
+            result: None,
+        };
+        while Instant::now() < warm_deadline {
+            f(&mut warm);
+        }
+        f(&mut b);
+        match b.result {
+            Some(t) => println!(
+                "{:<50} {:>12.3} µs/iter",
+                format!("{}/{}", self.group_name, id),
+                t.as_secs_f64() * 1e6
+            ),
+            None => println!(
+                "{:<50} (no measurement: Bencher::iter never called)",
+                format!("{}/{}", self.group_name, id)
+            ),
+        }
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Benchmark a closure with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Match cargo-bench conventions loosely: a positional arg filters
+        // benchmark names; `--bench` etc. are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Called by `criterion_group!`'s generated runner.
+    pub fn final_summary(&self) {}
+}
+
+/// Collect benchmark functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz_never".into()),
+        };
+        let mut g = c.benchmark_group("t");
+        let mut ran = false;
+        g.bench_function("noop", |_b| ran = true);
+        assert!(!ran);
+    }
+}

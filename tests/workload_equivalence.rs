@@ -20,8 +20,8 @@ fn config(batches: usize) -> IolapConfig {
 /// Run one query through iOLAP and assert per-batch equivalence with the
 /// scaled-prefix batch oracle.
 fn check_query(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, batches: usize) {
-    let pq: PlannedQuery = plan_sql(q.sql, cat, registry)
-        .unwrap_or_else(|e| panic!("{}: plan error {e}", q.id));
+    let pq: PlannedQuery =
+        plan_sql(q.sql, cat, registry).unwrap_or_else(|e| panic!("{}: plan error {e}", q.id));
     let cfg = config(batches);
     let stream = cat.get(q.stream_table).unwrap();
     let parts = BatchedRelation::partition(&stream, batches, cfg.seed, cfg.partition_mode);
@@ -55,7 +55,15 @@ fn check_query(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, batche
         );
         i += 1;
     }
-    assert_eq!(i, batches, "{}: unexpected batch count", q.id);
+    // The partitioner clamps to the row count when the stream is smaller
+    // than the requested batch count.
+    assert_eq!(i, parts.num_batches(), "{}: unexpected batch count", q.id);
+    assert_eq!(
+        parts.num_batches(),
+        batches.min(stream.len().max(1)),
+        "{}: clamping contract",
+        q.id
+    );
 }
 
 /// Final-batch agreement between HDA and the exact answer.
@@ -123,7 +131,10 @@ fn iolap_recomputes_less_than_hda_on_nested_queries() {
     // Figure 8 contrast. The gap needs enough data to open up.
     let cat = conviva_catalog(4000, 25);
     let registry = conviva_registry();
-    let q = conviva_queries().into_iter().find(|q| q.id == "SBI").unwrap();
+    let q = conviva_queries()
+        .into_iter()
+        .find(|q| q.id == "SBI")
+        .unwrap();
     let pq = plan_sql(q.sql, &cat, &registry).unwrap();
 
     let mut iolap = IolapDriver::from_plan(&pq, &cat, "sessions", config(16)).unwrap();
@@ -131,8 +142,14 @@ fn iolap_recomputes_less_than_hda_on_nested_queries() {
     let mut hda = HdaDriver::from_plan(&pq, &cat, "sessions", config(16)).unwrap();
     let hda_reports = hda.run_to_completion().unwrap();
 
-    let iolap_late: usize = iolap_reports[10..].iter().map(|r| r.stats.recomputed_tuples).sum();
-    let hda_late: usize = hda_reports[10..].iter().map(|r| r.stats.recomputed_tuples).sum();
+    let iolap_late: usize = iolap_reports[10..]
+        .iter()
+        .map(|r| r.stats.recomputed_tuples)
+        .sum();
+    let hda_late: usize = hda_reports[10..]
+        .iter()
+        .map(|r| r.stats.recomputed_tuples)
+        .sum();
     assert!(
         iolap_late * 2 < hda_late,
         "iOLAP late recompute {iolap_late} should be well below HDA {hda_late}"
@@ -145,7 +162,10 @@ fn ablation_ladder_recomputation() {
     // recomputed tuples.
     let cat = conviva_catalog(600, 26);
     let registry = conviva_registry();
-    let q = conviva_queries().into_iter().find(|q| q.id == "C2").unwrap();
+    let q = conviva_queries()
+        .into_iter()
+        .find(|q| q.id == "C2")
+        .unwrap();
     let pq = plan_sql(q.sql, &cat, &registry).unwrap();
 
     let total = |opt1: bool, opt2: bool| -> usize {
