@@ -1,0 +1,51 @@
+//! `srclint` — offline source-lint gate.
+//!
+//! Scans `crates/**/*.rs` for rules `L001`–`L003`, subtracts the audited
+//! exceptions in `scripts/lint-allow.txt`, prints whatever remains, and
+//! exits nonzero if anything does. Wired into `scripts/check.sh`; needs no
+//! network and no third-party lint registry.
+
+use iolap_analyze::{lint_tree, repo_root, Allowlist, Rule};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let allow = match Allowlist::load(&root.join("scripts/lint-allow.txt")) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("srclint: cannot read allowlist: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = match lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("srclint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total = findings.len();
+    let (allowed, violations): (Vec<_>, Vec<_>) =
+        findings.into_iter().partition(|f| allow.allows(f));
+    for f in &violations {
+        println!("{f}");
+    }
+    let summary: Vec<String> = Rule::lint_rules()
+        .iter()
+        .map(|rule| {
+            let n = violations.iter().filter(|f| f.rule == *rule).count();
+            format!("{}={n}", rule.id())
+        })
+        .collect();
+    eprintln!(
+        "srclint: {total} finding(s), {} allowlisted, {} violation(s) [{}]",
+        allowed.len(),
+        violations.len(),
+        summary.join(" ")
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,132 @@
+//! Structured diagnostics shared by the plan verifier and the source lints.
+
+use std::fmt;
+
+/// Every rule the analyzer can report. `V…` rules come from the static plan
+/// verifier (independent re-derivation of the §4.1 uncertainty tags over the
+/// rewritten online operator tree, cross-checked against the rewriter's
+/// configuration); `L…` rules come from the offline source lints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Select over uncertain attributes not configured for variation-range
+    /// partitioning (§5), or spuriously configured over certain attributes.
+    V001,
+    /// Aggregate lineage configuration disagrees with the derived tags: an
+    /// output that must be a lineage `Ref` (§6.1) would be emitted plain, or
+    /// a deterministic output would be wrapped in a ref.
+    V002,
+    /// Projection mode disagrees with the derived column tags: a `Plain`
+    /// mode would eagerly evaluate (and drop lineage from) an uncertain
+    /// column, or a lineage-preserving mode wraps a certain column.
+    V003,
+    /// A strict operator consumes uncertain attributes: join/semi-join keys
+    /// or group-by columns over uncertain (possibly thunked) values (§3.3).
+    V004,
+    /// Join/semi-join key expression invokes a nondeterministic UDF (§3.3:
+    /// keys must be deterministic under sampling).
+    V005,
+    /// Result-scaling configuration disagrees with the derived stream tags:
+    /// aggregate `scale_stream` or sink `stream_factor` mismatch (§2's
+    /// `Q(D_i, m_i)` scaling).
+    V006,
+    /// Checkpoint-state mismatch (§4.2/§5.1): an operator whose state must
+    /// survive recovery replay registers none, or a §4.2-stateless operator
+    /// (PROJECT/UNION) claims checkpoint state.
+    V007,
+    /// Root annotation cross-check: the rewriter's recorded root tags
+    /// disagree with the independently derived root tags.
+    V008,
+    /// No `unwrap()`/`expect()`/panic macros in `crates/core/src/ops*.rs`
+    /// hot paths — errors must propagate as `EngineError`.
+    L001,
+    /// No direct `HashMap`/`HashSet` iteration in files whose iteration
+    /// order can reach a `Sink` or `BatchReport` (determinism).
+    L002,
+    /// No `Instant::now()` outside `metrics.rs` — all timing goes through
+    /// `iolap_core::metrics::Span`.
+    L003,
+}
+
+impl Rule {
+    /// Stable rule identifier, e.g. `"V003"`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::V001 => "V001",
+            Rule::V002 => "V002",
+            Rule::V003 => "V003",
+            Rule::V004 => "V004",
+            Rule::V005 => "V005",
+            Rule::V006 => "V006",
+            Rule::V007 => "V007",
+            Rule::V008 => "V008",
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+        }
+    }
+
+    /// Short human-readable rule name.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Rule::V001 => "select-partitioning-mismatch",
+            Rule::V002 => "aggregate-lineage-mismatch",
+            Rule::V003 => "projection-mode-mismatch",
+            Rule::V004 => "strict-consumer-of-uncertainty",
+            Rule::V005 => "nondeterministic-key",
+            Rule::V006 => "scale-config-mismatch",
+            Rule::V007 => "checkpoint-state-mismatch",
+            Rule::V008 => "root-annotation-mismatch",
+            Rule::L001 => "no-panic-hot",
+            Rule::L002 => "no-unordered-iter-output",
+            Rule::L003 => "no-instant-outside-metrics",
+        }
+    }
+
+    /// All plan-verifier rules, in id order (for zero-filled counters).
+    pub fn verifier_rules() -> &'static [Rule] {
+        &[
+            Rule::V001,
+            Rule::V002,
+            Rule::V003,
+            Rule::V004,
+            Rule::V005,
+            Rule::V006,
+            Rule::V007,
+            Rule::V008,
+        ]
+    }
+
+    /// All source-lint rules, in id order (for zero-filled counters).
+    pub fn lint_rules() -> &'static [Rule] {
+        &[Rule::L001, Rule::L002, Rule::L003]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id(), self.title())
+    }
+}
+
+/// One plan-verifier finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Operator path from the root, e.g. `Aggregate[id=0]/Select/Scan(sessions)`.
+    pub path: String,
+    /// Output column the finding is about, when column-specific.
+    pub column: Option<usize>,
+    /// What disagreed.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.rule, self.path)?;
+        if let Some(c) = self.column {
+            write!(f, " col {c}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}

@@ -1,0 +1,34 @@
+//! `iolap-analyze` — static analysis for the iOLAP reproduction.
+//!
+//! Two independent prongs, one diagnostic vocabulary (`Rule`):
+//!
+//! 1. **Plan verifier** (`verify`): an abstract interpreter over the
+//!    rewritten online operator tree that re-derives the §4.1 uncertainty
+//!    tags (`u#`, `uA`) from first principles — deliberately *without*
+//!    reusing `iolap-core::annotate` — and cross-checks everything the
+//!    rewriter configured: variation-range partitioning on selects (§5),
+//!    lineage refs on uncertain aggregate outputs (§6.1), no strict
+//!    consumers of folded-lineage thunks, deterministic join/group keys
+//!    (§3.3), stream-scaling factors (§2), and checkpoint-state registration
+//!    (§4.2/§5.1). Rules `V001`–`V008`.
+//! 2. **Source lints** (`lint_tree` / the `srclint` binary): hand-rolled
+//!    offline textual checks over `crates/**/*.rs` — no panics in operator
+//!    hot paths, no order-sensitive hash iteration on report-reaching paths,
+//!    no clock reads outside the metrics layer. Rules `L001`–`L003`, with an
+//!    audited-exception allowlist at `scripts/lint-allow.txt`.
+//!
+//! Debug builds of `iolap-core::IolapDriver` consult an installed verifier
+//! before executing batch 0; call [`install`] (the bench workloads do) to
+//! activate it.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lint;
+pub mod tags;
+pub mod verify;
+
+pub use diag::{Diagnostic, Rule};
+pub use lint::{lint_counts, lint_source, lint_tree, repo_root, Allowlist, LintFinding};
+pub use tags::{derive, expr_uncertain, Tags};
+pub use verify::{install, rule_counts, verify, verify_planned, verify_report};

@@ -1,0 +1,449 @@
+//! Offline source lints: hand-rolled (zero registry dependencies) textual
+//! checks enforcing repo rules that rustc/clippy cannot express.
+//!
+//! Rules:
+//!
+//! * **L001 `no-panic-hot`** — no `.unwrap()`, `.expect(`, or panic-family
+//!   macros in the online-operator hot paths (`crates/core/src/ops.rs`,
+//!   `ops_agg.rs`, `ops_join.rs`). A bad row must surface as an
+//!   `EngineError` the driver can report, not abort the process mid-batch.
+//! * **L002 `no-unordered-iter-output`** — no direct `HashMap`/`HashSet`
+//!   iteration in files whose iteration order can reach a `Sink` or a
+//!   `BatchReport` (`crates/core/src/registry.rs`, `sink.rs`,
+//!   `crates/baselines/src/hda.rs`): two runs of the same query must
+//!   produce byte-identical reports.
+//! * **L003 `no-instant-outside-metrics`** — no `Instant` outside
+//!   `crates/core/src/metrics.rs`; all timing goes through `Span` so the
+//!   metrics layer stays the single clock authority.
+//!
+//! Lines inside `#[cfg(test)]` modules (everything from the first such
+//! attribute to end of file — the repo convention keeps test modules last)
+//! and `//` comment lines are not linted. Audited exceptions live in
+//! `scripts/lint-allow.txt`, one per line:
+//!
+//! ```text
+//! RULE  FILE-SUFFIX  SUBSTRING-OF-FLAGGED-LINE
+//! ```
+
+use crate::diag::Rule;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source-lint finding.
+#[derive(Clone, Debug)]
+pub struct LintFinding {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The flagged source line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}:{}: {}",
+            self.rule, self.file, self.line, self.text
+        )
+    }
+}
+
+/// Parsed allowlist of audited exceptions.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Each non-comment line is
+    /// `RULE<ws>FILE<ws>SUBSTRING` where SUBSTRING is the rest of the line.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (Some(rule), Some(file)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let substr = parts.next().unwrap_or("").trim().to_string();
+            entries.push((rule.to_string(), file.to_string(), substr));
+        }
+        Allowlist { entries }
+    }
+
+    /// Load from a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> io::Result<Allowlist> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Allowlist::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether `finding` matches an audited exception: rule equal, file a
+    /// path-suffix match, and the entry substring contained in the flagged
+    /// line.
+    pub fn allows(&self, finding: &LintFinding) -> bool {
+        self.entries.iter().any(|(rule, file, substr)| {
+            rule == finding.rule.id()
+                && finding.file.ends_with(file.as_str())
+                && finding.text.contains(substr.as_str())
+        })
+    }
+
+    /// Number of entries (reporting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no exceptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+const L001_FILES: &[&str] = &[
+    "crates/core/src/ops.rs",
+    "crates/core/src/ops_agg.rs",
+    "crates/core/src/ops_join.rs",
+];
+
+const L001_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+const L002_FILES: &[&str] = &[
+    "crates/core/src/registry.rs",
+    "crates/core/src/sink.rs",
+    "crates/baselines/src/hda.rs",
+];
+
+/// Lint one file's source. `rel_path` is repo-relative with forward
+/// slashes; rules are dispatched on it.
+pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let lines = logical_lines(content);
+    let lines: Vec<(usize, &str)> = lines.iter().map(|(n, s)| (*n, s.as_str())).collect();
+
+    if L001_FILES.contains(&rel_path) {
+        for (no, line) in &lines {
+            for pat in L001_PATTERNS {
+                if line.contains(pat) {
+                    findings.push(finding(Rule::L001, rel_path, *no, line));
+                    break;
+                }
+            }
+        }
+    }
+
+    if L002_FILES.contains(&rel_path) {
+        let tracked = tracked_hash_idents(&lines);
+        for (no, line) in &lines {
+            if tracked.iter().any(|id| unordered_iteration(line, id)) {
+                findings.push(finding(Rule::L002, rel_path, *no, line));
+            }
+        }
+    }
+
+    if rel_path.starts_with("crates/core/src/") && rel_path != "crates/core/src/metrics.rs" {
+        for (no, line) in &lines {
+            if contains_word(line, "Instant") {
+                findings.push(finding(Rule::L003, rel_path, *no, line));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Lint every `crates/**/*.rs` file under `repo_root`. Files are visited in
+/// sorted order so the report itself is deterministic.
+pub fn lint_tree(repo_root: &Path) -> io::Result<Vec<LintFinding>> {
+    let mut files = Vec::new();
+    collect_rs_files(&repo_root.join("crates"), &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &content));
+    }
+    Ok(findings)
+}
+
+/// The repo root, located from this crate's manifest directory. Valid for
+/// in-workspace builds (which is the only place the lints run).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Per-rule finding counts, zero-filled across all lint rules.
+pub fn lint_counts(findings: &[LintFinding]) -> Vec<(Rule, usize)> {
+    Rule::lint_rules()
+        .iter()
+        .map(|&r| (r, findings.iter().filter(|f| f.rule == r).count()))
+        .collect()
+}
+
+fn finding(rule: Rule, file: &str, line: usize, text: &str) -> LintFinding {
+    LintFinding {
+        rule,
+        file: file.to_string(),
+        line,
+        text: text.trim().to_string(),
+    }
+}
+
+/// Lintable logical lines: `(1-based number, text)` for every line before
+/// the first `#[cfg(test)]` whose trimmed form is not a `//` comment.
+/// Method-chain continuations (lines starting with `.`) are folded into the
+/// previous logical line so `self.state\n    .values()` still matches; the
+/// reported line number is the chain's first line.
+fn logical_lines(content: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        match out.last_mut() {
+            Some((_, prev)) if trimmed.starts_with('.') => prev.push_str(trimmed.trim_end()),
+            _ => out.push((i + 1, line.trim_end().to_string())),
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Whether `line` contains `word` delimited by non-identifier characters.
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' '));
+        let after = at + word.len();
+        let after_ok = !line[after..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// Identifier ending immediately before byte offset `end` (declaration
+/// patterns like `name: HashMap<` or `name = HashMap::new()`).
+fn ident_before(line: &str, end: usize) -> Option<String> {
+    let head = line[..end].trim_end();
+    let tail: String = head
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect();
+    if tail.is_empty() {
+        None
+    } else {
+        Some(tail.chars().rev().collect())
+    }
+}
+
+/// Identifiers declared with a hash-based container type in this file.
+fn tracked_hash_idents(lines: &[(usize, &str)]) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for (_, line) in lines {
+        for pat in [": HashMap<", ": HashSet<"] {
+            if let Some(pos) = line.find(pat) {
+                if let Some(id) = ident_before(line, pos) {
+                    idents.insert(id);
+                }
+            }
+        }
+        for pat in ["= HashMap::", "= HashSet::"] {
+            if let Some(pos) = line.find(pat) {
+                if let Some(id) = ident_before(line, pos) {
+                    idents.insert(id);
+                }
+            }
+        }
+    }
+    idents
+}
+
+/// Whether `line` iterates the tracked hash container `id` directly
+/// (method-call or for-loop forms). Order-revealing accessors only —
+/// `get`/`insert`/`contains_key` are point lookups and stay legal.
+fn unordered_iteration(line: &str, id: &str) -> bool {
+    const METHODS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".into_iter()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+    ];
+    for m in METHODS {
+        let pat = format!("{id}{m}");
+        if find_with_left_boundary(line, &pat) {
+            return true;
+        }
+    }
+    for prefix in ["in &mut self.", "in &self.", "in self.", "in &", "in "] {
+        let pat = format!("{prefix}{id}");
+        let mut start = 0;
+        while let Some(pos) = line[start..].find(&pat) {
+            let at = start + pos;
+            let before_ok =
+                at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' '));
+            let after = at + pat.len();
+            let after_ok = !line[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| is_ident_char(c) || c == '.');
+            if before_ok && after_ok {
+                return true;
+            }
+            start = after;
+        }
+    }
+    false
+}
+
+/// Substring match requiring a non-identifier character (or start of line)
+/// immediately before the match, so tracked ident `state` does not flag
+/// `mystate.iter()`.
+fn find_with_left_boundary(line: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(pat) {
+        let at = start + pos;
+        if at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' ')) {
+            return true;
+        }
+        start = at + pat.len();
+    }
+    false
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l001_flags_unwrap_not_unwrap_or() {
+        let src = "fn f() {\n    let x = y.unwrap();\n    let z = y.unwrap_or(0);\n}\n";
+        let f = lint_source("crates/core/src/ops.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::L001);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn l001_skips_comments_and_tests() {
+        let src = "// a.unwrap() in a comment\nfn f() {}\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }\n";
+        assert!(lint_source("crates/core/src/ops_agg.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l001_flags_panic_macros_not_strings() {
+        let src = "fn f() { unreachable!(\"bad\"); }\nfn g() { let s = \"panicked: x\"; }\n";
+        let f = lint_source("crates/core/src/ops_join.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn l002_flags_tracked_map_iteration() {
+        let src = "struct S { state: HashMap<u32, u32> }\n\
+                   impl S {\n\
+                   fn f(&self) { for (k, v) in &self.state { let _ = (k, v); } }\n\
+                   fn g(&self) { let _ = self.state.values().count(); }\n\
+                   fn h(&self) { let _ = self.state.get(&1); }\n\
+                   }\n";
+        let f = lint_source("crates/core/src/sink.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
+    fn l002_respects_ident_boundaries() {
+        let src = "struct S { state: HashMap<u32, u32>, mystate: Vec<u32> }\n\
+                   fn f(s: &S) { for x in &s.mystate { let _ = x; } }\n";
+        assert!(lint_source("crates/core/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_flags_instant_outside_metrics_only() {
+        let src = "use std::time::Instant;\n";
+        assert_eq!(lint_source("crates/core/src/driver.rs", src).len(), 1);
+        assert!(lint_source("crates/core/src/metrics.rs", src).is_empty());
+        assert!(lint_source("crates/engine/src/expr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_matches_rule_file_and_substring() {
+        let allow =
+            Allowlist::parse("# audited\nL002 crates/core/src/sink.rs self.state.values()\n");
+        let hit = LintFinding {
+            rule: Rule::L002,
+            file: "crates/core/src/sink.rs".into(),
+            line: 4,
+            text: "let _ = self.state.values().count();".into(),
+        };
+        assert!(allow.allows(&hit));
+        let miss = LintFinding {
+            text: "for (k, v) in &self.state {".into(),
+            ..hit.clone()
+        };
+        assert!(!allow.allows(&miss));
+    }
+}

@@ -1,0 +1,151 @@
+//! Independent re-derivation of the §4.1 uncertainty tags over the
+//! *rewritten* online operator tree.
+//!
+//! This is deliberately a second implementation of the paper's uncertainty
+//! propagation: it shares no code with `iolap-core::annotate` (which runs on
+//! the logical plan and *feeds* the rewriter). The verifier derives `(u#,
+//! uA)` bottom-up from the online operators themselves and then cross-checks
+//! everything the rewriter configured. A bug in the rewriter or annotator
+//! therefore shows up as a tag disagreement instead of as silently wrong
+//! delta updates.
+//!
+//! Transfer rules (§4.1):
+//!
+//! * **SCAN** — base-relation attributes are deterministic (`uA = F…F`);
+//!   streamed scans introduce tuple uncertainty (`u# = T`) and one factor of
+//!   `m_i` stream scaling.
+//! * **SELECT** — `uA` passes through; `u# |=` (predicate reads uncertain
+//!   attributes).
+//! * **PROJECT** — output column uncertain iff its expression reads an
+//!   uncertain input column; `u#` passes through.
+//! * **JOIN** — concatenated `uA`; `u# = l ∨ r`; stream factors add.
+//! * **SEMI-JOIN** — left `uA`; `u# = l ∨ r`; left stream factor.
+//! * **UNION** — per-column OR; `u#` OR; max stream factor.
+//! * **AGGREGATE** — group columns deterministic; each aggregate output
+//!   uncertain iff input tuples are uncertain OR its argument reads
+//!   uncertain attributes; `u#` follows the input (`u#(t) = ⋀ u'#(t')`);
+//!   stream factor resets to 0 (scaling moves inside extensive outputs).
+
+use iolap_core::ops::ProjMode;
+use iolap_core::OnlineOp;
+use iolap_engine::Expr;
+
+/// Derived uncertainty tags for one operator's output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tags {
+    /// Derived `uA` per output column.
+    pub attr_uncertain: Vec<bool>,
+    /// Derived `u#`: output tuples may have uncertain multiplicity.
+    pub tuple_uncertain: bool,
+    /// Subtree reads the streamed relation.
+    pub reads_stream: bool,
+    /// Streamed base-row factors multiplying into each output row (the
+    /// power of `m_i` the sink must apply).
+    pub stream_factor: u32,
+}
+
+/// True if `expr` references any column tagged uncertain in `attrs`.
+pub fn expr_uncertain(expr: &Expr, attrs: &[bool]) -> bool {
+    let mut cols = Vec::new();
+    expr.referenced_columns(&mut cols);
+    cols.iter().any(|&c| attrs.get(c).copied().unwrap_or(false))
+}
+
+/// Derive tags for `op`'s output, recursing into children. Independent of
+/// anything the rewriter configured: only structural facts (scan streamed
+/// flags, expressions, group columns) are consulted.
+pub fn derive(op: &OnlineOp) -> Tags {
+    match op {
+        OnlineOp::Scan(s) => Tags {
+            attr_uncertain: vec![false; s.schema.len()],
+            tuple_uncertain: s.streamed,
+            reads_stream: s.streamed,
+            stream_factor: u32::from(s.streamed),
+        },
+        OnlineOp::Select(s) => {
+            let child = derive(&s.child);
+            let pred_uncertain = expr_uncertain(&s.predicate, &child.attr_uncertain);
+            Tags {
+                tuple_uncertain: child.tuple_uncertain || pred_uncertain,
+                ..child
+            }
+        }
+        OnlineOp::Project(p) => {
+            let child = derive(&p.child);
+            let attr_uncertain = p
+                .modes
+                .iter()
+                .map(|m| match m {
+                    ProjMode::Plain(e) => expr_uncertain(e, &child.attr_uncertain),
+                    ProjMode::PassCell(i) => child.attr_uncertain.get(*i).copied().unwrap_or(false),
+                    ProjMode::Thunk(e) => expr_uncertain(e.as_ref(), &child.attr_uncertain),
+                })
+                .collect();
+            Tags {
+                attr_uncertain,
+                ..child
+            }
+        }
+        OnlineOp::Join(j) => {
+            let l = derive(&j.left);
+            let r = derive(&j.right);
+            let mut attr_uncertain = l.attr_uncertain;
+            attr_uncertain.extend(r.attr_uncertain.iter().copied());
+            Tags {
+                attr_uncertain,
+                tuple_uncertain: l.tuple_uncertain || r.tuple_uncertain,
+                reads_stream: l.reads_stream || r.reads_stream,
+                stream_factor: l.stream_factor + r.stream_factor,
+            }
+        }
+        OnlineOp::SemiJoin(j) => {
+            let l = derive(&j.left);
+            let r = derive(&j.right);
+            Tags {
+                attr_uncertain: l.attr_uncertain,
+                tuple_uncertain: l.tuple_uncertain || r.tuple_uncertain,
+                reads_stream: l.reads_stream || r.reads_stream,
+                stream_factor: l.stream_factor,
+            }
+        }
+        OnlineOp::Union(u) => {
+            let mut tags: Option<Tags> = None;
+            for c in &u.children {
+                let t = derive(c);
+                tags = Some(match tags {
+                    None => t,
+                    Some(mut acc) => {
+                        for (x, y) in acc.attr_uncertain.iter_mut().zip(t.attr_uncertain) {
+                            *x |= y;
+                        }
+                        acc.tuple_uncertain |= t.tuple_uncertain;
+                        acc.reads_stream |= t.reads_stream;
+                        acc.stream_factor = acc.stream_factor.max(t.stream_factor);
+                        acc
+                    }
+                });
+            }
+            tags.unwrap_or(Tags {
+                attr_uncertain: Vec::new(),
+                tuple_uncertain: false,
+                reads_stream: false,
+                stream_factor: 0,
+            })
+        }
+        OnlineOp::Aggregate(a) => {
+            let child = derive(&a.child);
+            let mut attr_uncertain = vec![false; a.group_cols.len()];
+            for call in &a.aggs {
+                attr_uncertain.push(
+                    child.tuple_uncertain || expr_uncertain(&call.input, &child.attr_uncertain),
+                );
+            }
+            Tags {
+                attr_uncertain,
+                tuple_uncertain: child.tuple_uncertain,
+                reads_stream: child.reads_stream,
+                stream_factor: 0,
+            }
+        }
+    }
+}

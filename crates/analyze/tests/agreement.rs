@@ -1,0 +1,65 @@
+//! Agreement tests: every built-in evaluation query (TPC-H subset, Conviva
+//! C1–C12 + SBI) is statically verifier-clean, and — with the verifier
+//! installed in the driver's debug hook — its final online batch agrees
+//! with the offline answer over the full data. Together these tie the
+//! static rules to the dynamic semantics they are meant to protect: a plan
+//! the verifier passes really does converge to the exact answer.
+
+use iolap_analyze::verify_planned;
+use iolap_core::{IolapConfig, IolapDriver};
+use iolap_engine::{execute, plan_sql, FunctionRegistry};
+use iolap_relation::{Catalog, PartitionMode};
+use iolap_workloads::{
+    conviva_catalog, conviva_queries, conviva_registry, tpch_catalog, tpch_queries, QuerySpec,
+};
+
+fn config(batches: usize) -> IolapConfig {
+    let mut c = IolapConfig::with_batches(batches).trials(25).seed(17);
+    c.partition_mode = PartitionMode::RowShuffle;
+    c
+}
+
+fn check(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, batches: usize) {
+    let pq = plan_sql(q.sql, cat, registry).unwrap_or_else(|e| panic!("{}: plan {e}", q.id));
+
+    let diags =
+        verify_planned(&pq, q.stream_table).unwrap_or_else(|e| panic!("{}: rewrite {e}", q.id));
+    assert!(diags.is_empty(), "{}: verifier diagnostics {diags:?}", q.id);
+
+    // With the verifier installed, driver construction re-checks the plan
+    // in debug builds — the hook path itself is exercised here.
+    iolap_analyze::install();
+    let mut driver = IolapDriver::from_plan(&pq, cat, q.stream_table, config(batches))
+        .unwrap_or_else(|e| panic!("{}: driver {e}", q.id));
+    let mut last = None;
+    while let Some(step) = driver.step() {
+        last = Some(step.unwrap_or_else(|e| panic!("{}: batch {e}", q.id)));
+    }
+    let last = last.unwrap_or_else(|| panic!("{}: no batches ran", q.id));
+    let exact = execute(&pq.plan, cat).unwrap();
+    assert!(
+        last.result.relation.approx_eq(&exact, 1e-6),
+        "{}: final batch != offline answer\n== online ==\n{}== offline ==\n{}",
+        q.id,
+        last.result.relation,
+        exact
+    );
+}
+
+#[test]
+fn tpch_suite_verifier_clean_and_agrees() {
+    let cat = tpch_catalog(0.02, 99);
+    let registry = FunctionRegistry::with_builtins();
+    for q in tpch_queries() {
+        check(&q, &cat, &registry, 4);
+    }
+}
+
+#[test]
+fn conviva_suite_verifier_clean_and_agrees() {
+    let cat = conviva_catalog(150, 5);
+    let registry = conviva_registry();
+    for q in conviva_queries() {
+        check(&q, &cat, &registry, 4);
+    }
+}

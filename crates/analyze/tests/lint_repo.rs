@@ -1,0 +1,40 @@
+//! The repository's own sources must be lint-clean modulo the audited
+//! allowlist, and the allowlist must not go stale: every entry still has to
+//! match a live finding, so fixed code sheds its exception.
+
+use iolap_analyze::{lint_tree, repo_root, Allowlist};
+use std::fs;
+
+#[test]
+fn repo_sources_lint_clean_modulo_allowlist() {
+    let root = repo_root();
+    let allow = Allowlist::load(&root.join("scripts/lint-allow.txt")).unwrap();
+    let findings = lint_tree(&root).unwrap();
+    let violations: Vec<String> = findings
+        .iter()
+        .filter(|f| !allow.allows(f))
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "non-allowlisted lint findings:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn allowlist_has_no_stale_entries() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("scripts/lint-allow.txt")).unwrap();
+    let findings = lint_tree(&root).unwrap();
+    for line in text.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let single = Allowlist::parse(line);
+        assert!(
+            findings.iter().any(|f| single.allows(f)),
+            "stale allowlist entry (no matching finding): {line}"
+        );
+    }
+}

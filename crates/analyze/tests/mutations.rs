@@ -1,0 +1,292 @@
+//! Mutation tests for the static plan verifier: hand-corrupt rewritten
+//! online plans in targeted ways and assert the verifier reports exactly
+//! the intended rule id (and nothing on the uncorrupted plan).
+//!
+//! Each mutation models a realistic rewriter bug class:
+//!
+//! * V001/V007 — "forgot to enable variation-range partitioning" on the
+//!   uncertain select (which also drops its checkpointed state).
+//! * V002 — lineage-emission flags out of sync with the real input tags.
+//! * V003 — eager projection of a column that still carries lineage.
+//! * V004 — join keys moved onto a column fed by an uncertain aggregate.
+//! * V005 — a nondeterministic UDF smuggled into a join key.
+//! * V006 — stream-scaling flags out of sync (aggregate and sink halves).
+//! * V008 — stale root annotation.
+
+use iolap_analyze::verify;
+use iolap_core::ops::ProjMode;
+use iolap_core::{rewrite, OnlineOp, OnlineQuery};
+use iolap_engine::{plan_sql, Expr, ExprError, ScalarUdf};
+use iolap_relation::{DataType, Value};
+use iolap_workloads::{conviva_catalog, conviva_query, conviva_registry};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn rewritten(id: &str) -> OnlineQuery {
+    let cat = conviva_catalog(60, 7);
+    let registry = conviva_registry();
+    let q = conviva_query(id).unwrap_or_else(|| panic!("unknown query {id}"));
+    let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+    let streamed: HashSet<String> = [q.stream_table.to_string()].into();
+    rewrite(&pq, &streamed).unwrap()
+}
+
+fn children_mut(op: &mut OnlineOp) -> Vec<&mut OnlineOp> {
+    match op {
+        OnlineOp::Scan(_) => Vec::new(),
+        OnlineOp::Select(s) => vec![s.child.as_mut()],
+        OnlineOp::Project(p) => vec![p.child.as_mut()],
+        OnlineOp::Join(j) => vec![j.left.as_mut(), j.right.as_mut()],
+        OnlineOp::SemiJoin(j) => vec![j.left.as_mut(), j.right.as_mut()],
+        OnlineOp::Union(u) => u.children.iter_mut().collect(),
+        OnlineOp::Aggregate(a) => vec![a.child.as_mut()],
+    }
+}
+
+/// Apply `f` preorder until it reports having mutated a node; panics if no
+/// node matched (the mutation would silently test nothing).
+fn mutate_first(root: &mut OnlineOp, what: &str, f: &mut dyn FnMut(&mut OnlineOp) -> bool) {
+    fn go(op: &mut OnlineOp, f: &mut dyn FnMut(&mut OnlineOp) -> bool) -> bool {
+        if f(op) {
+            return true;
+        }
+        for c in children_mut(op) {
+            if go(c, f) {
+                return true;
+            }
+        }
+        false
+    }
+    assert!(go(root, f), "mutation site not found: {what}");
+}
+
+fn rule_ids(q: &OnlineQuery) -> Vec<&'static str> {
+    let mut ids: Vec<_> = verify(q).iter().map(|d| d.rule.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[test]
+fn clean_plans_have_no_diagnostics() {
+    for id in ["SBI", "C2", "C3"] {
+        let oq = rewritten(id);
+        let diags = verify(&oq);
+        assert!(diags.is_empty(), "{id}: {diags:?}");
+    }
+}
+
+#[test]
+fn v001_v007_dropped_variation_range_partitioning() {
+    let mut oq = rewritten("SBI");
+    mutate_first(&mut oq.root, "uncertain select", &mut |op| match op {
+        OnlineOp::Select(s) if s.uncertain_pred => {
+            s.uncertain_pred = false;
+            true
+        }
+        _ => false,
+    });
+    // Disabling partitioning both mis-types the select (V001) and drops the
+    // nondeterministic-set state that must survive recovery (V007).
+    assert_eq!(rule_ids(&oq), ["V001", "V007"]);
+}
+
+#[test]
+fn v002_stale_tuple_uncertainty_flag() {
+    let mut oq = rewritten("SBI");
+    mutate_first(&mut oq.root, "aggregate", &mut |op| match op {
+        OnlineOp::Aggregate(a) if a.input_tuple_uncertain => {
+            a.input_tuple_uncertain = false;
+            true
+        }
+        _ => false,
+    });
+    assert_eq!(rule_ids(&oq), ["V002"]);
+}
+
+#[test]
+fn v002_stale_arg_uncertainty_flag() {
+    let mut oq = rewritten("C3");
+    let mut col = None;
+    mutate_first(&mut oq.root, "aggregate", &mut |op| match op {
+        OnlineOp::Aggregate(a) => {
+            a.arg_uncertain[0] = !a.arg_uncertain[0];
+            col = Some(a.group_cols.len());
+            true
+        }
+        _ => false,
+    });
+    let diags = verify(&oq);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule.id(), "V002");
+    assert_eq!(diags[0].column, col);
+}
+
+#[test]
+fn v003_eager_projection_drops_lineage() {
+    let mut oq = rewritten("SBI");
+    // The root projection passes the aggregate's lineage-ref column through
+    // untouched (PassCell); evaluating it eagerly would force the ref.
+    mutate_first(
+        &mut oq.root,
+        "PassCell over ref column",
+        &mut |op| match op {
+            OnlineOp::Project(p) if matches!(p.modes.first(), Some(ProjMode::PassCell(_))) => {
+                p.modes[0] = ProjMode::Plain(Expr::Col(0));
+                true
+            }
+            _ => false,
+        },
+    );
+    assert_eq!(rule_ids(&oq), ["V003"]);
+}
+
+#[test]
+fn v003_spurious_lineage_mode() {
+    let mut oq = rewritten("C3");
+    // The root projection's first column is a certain group key; thunking it
+    // would defer a value that needs no deferral.
+    mutate_first(
+        &mut oq.root,
+        "Plain over certain column",
+        &mut |op| match op {
+            OnlineOp::Project(p) if matches!(p.modes.first(), Some(ProjMode::Plain(_))) => {
+                let ProjMode::Plain(e) = p.modes[0].clone() else {
+                    return false;
+                };
+                p.modes[0] = ProjMode::Thunk(Arc::new(e));
+                true
+            }
+            _ => false,
+        },
+    );
+    assert_eq!(rule_ids(&oq), ["V003"]);
+}
+
+#[test]
+fn v004_join_key_over_uncertain_column() {
+    let mut oq = rewritten("SBI");
+    // SBI's decorrelated cross join carries the inner aggregate's lineage
+    // ref as the right side's column 0; keying on it makes a strict hash
+    // consumer of an uncertain value.
+    mutate_first(&mut oq.root, "cross join", &mut |op| match op {
+        OnlineOp::Join(j) => {
+            j.left_keys = vec![Expr::Col(0)];
+            j.right_keys = vec![Expr::Col(0)];
+            true
+        }
+        _ => false,
+    });
+    let diags = verify(&oq);
+    assert_eq!(rule_ids(&oq), ["V004"], "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains("right key")));
+}
+
+#[test]
+fn v004_group_by_uncertain_column() {
+    let mut oq = rewritten("SBI");
+    // Splice out the projection under the outer aggregate so the aggregate
+    // reads the join output directly — including the inner aggregate's
+    // lineage-ref column — then group by that ref column. (The collateral
+    // arity diagnostics are expected; the test pins the V004.)
+    let mut target = None;
+    mutate_first(&mut oq.root, "outer aggregate", &mut |op| match op {
+        OnlineOp::Aggregate(a) => {
+            let OnlineOp::Project(p) = a.child.as_mut() else {
+                return false;
+            };
+            let placeholder = OnlineOp::Scan(iolap_core::ops::ScanOp::new(
+                "placeholder".to_string(),
+                iolap_relation::Schema::empty(),
+                false,
+            ));
+            let grand = std::mem::replace(p.child.as_mut(), placeholder);
+            *a.child = grand;
+            let child_tags = iolap_analyze::derive(&a.child);
+            let Some(c) = child_tags.attr_uncertain.iter().position(|&u| u) else {
+                return false;
+            };
+            a.group_cols = vec![c];
+            target = Some(c);
+            true
+        }
+        _ => false,
+    });
+    let diags = verify(&oq);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule.id() == "V004" && d.column == target),
+        "{diags:?}"
+    );
+}
+
+/// A deliberately impure UDF for the V005 mutation.
+struct SampleChoice;
+
+impl ScalarUdf for SampleChoice {
+    fn name(&self) -> &str {
+        "SAMPLE_CHOICE"
+    }
+    fn invoke(&self, args: &[Value]) -> Result<Value, ExprError> {
+        Ok(args.first().cloned().unwrap_or(Value::Null))
+    }
+    fn return_type(&self, _args: &[DataType]) -> DataType {
+        DataType::Float
+    }
+    fn deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn v005_nondeterministic_udf_in_join_key() {
+    let mut oq = rewritten("SBI");
+    mutate_first(&mut oq.root, "cross join", &mut |op| match op {
+        OnlineOp::Join(j) => {
+            j.left_keys = vec![Expr::Udf {
+                func: Arc::new(SampleChoice),
+                args: vec![Expr::Col(0)],
+            }];
+            j.right_keys = vec![Expr::Col(1)];
+            true
+        }
+        _ => false,
+    });
+    let diags = verify(&oq);
+    assert_eq!(rule_ids(&oq), ["V005"], "{diags:?}");
+    assert!(diags[0].message.contains("SAMPLE_CHOICE"));
+}
+
+#[test]
+fn v006_stale_aggregate_scaling() {
+    let mut oq = rewritten("SBI");
+    mutate_first(&mut oq.root, "scaled aggregate", &mut |op| match op {
+        OnlineOp::Aggregate(a) if a.scale_stream => {
+            a.scale_stream = false;
+            true
+        }
+        _ => false,
+    });
+    assert_eq!(rule_ids(&oq), ["V006"]);
+}
+
+#[test]
+fn v006_stale_sink_factor() {
+    let mut oq = rewritten("SBI");
+    oq.sink.stream_factor += 1;
+    let diags = verify(&oq);
+    assert_eq!(rule_ids(&oq), ["V006"], "{diags:?}");
+    assert_eq!(diags[0].path, "Sink");
+}
+
+#[test]
+fn v008_stale_root_annotation() {
+    let mut oq = rewritten("SBI");
+    oq.root_annotation.tuple_uncertain = !oq.root_annotation.tuple_uncertain;
+    assert_eq!(rule_ids(&oq), ["V008"]);
+
+    let mut oq = rewritten("C2");
+    oq.root_annotation.attr_uncertain[0] = !oq.root_annotation.attr_uncertain[0];
+    assert_eq!(rule_ids(&oq), ["V008"]);
+}

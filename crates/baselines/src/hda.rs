@@ -22,7 +22,6 @@ use iolap_engine::{execute, AggCall, EngineError, FunctionRegistry, Plan, Planne
 use iolap_relation::{BatchedRelation, Catalog, DataType, Field, Relation, Row, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One incrementally maintained inner aggregate (a higher-order view).
 struct InnerView {
@@ -65,8 +64,22 @@ impl InnerView {
     }
 
     fn materialize(&self, scale: f64) -> Relation {
+        // The view state lives in a HashMap; iterate it in sorted key order
+        // so the materialized relation — and everything downstream of it in
+        // the outer plan, including the published `BatchReport` — is
+        // byte-identical across runs (determinism lint L002).
+        let mut entries: Vec<_> = self.state.iter().collect();
+        entries.sort_by(|(a, _), (b, _)| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
         let mut rows = Vec::with_capacity(self.state.len().max(1));
-        for (key, accs) in &self.state {
+        for (key, accs) in entries {
             let mut values: Vec<Value> = key.to_vec();
             for (call, acc) in self.aggs.iter().zip(accs.iter()) {
                 let s = if call.kind.extensive() { scale } else { 1.0 };
@@ -221,7 +234,7 @@ impl NestedState {
     }
 
     fn run_batch(&mut self, i: usize) -> Result<BatchReport, DriverError> {
-        let start = Instant::now();
+        let start = Span::start();
         let mut stats = BatchStats::default();
         let mut metrics = Metrics::new();
         let scale = self.batches.scale_after(i);

@@ -5,7 +5,13 @@
 //! cargo run --release -p iolap-bench --bin experiments -- fig7a fig8 fig9d
 //! IOLAP_SCALE=0.5 cargo run --release -p iolap-bench --bin experiments -- fig10
 //! cargo run --release -p iolap-bench --bin experiments -- all --json BENCH_PR1.json
+//! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- verify-plans
 //! ```
+//!
+//! `verify-plans` (not part of `all`) rewrites every built-in query and runs
+//! the static plan verifier over the result, printing per-rule counts and
+//! exiting nonzero on any violation — the offline gate `scripts/check.sh`
+//! runs.
 //!
 //! `--json <path>` additionally writes a machine-readable record of every
 //! workload query — per-batch timings, driver stats, and the per-operator
@@ -50,8 +56,10 @@ fn main() {
 
     println!("iOLAP experiment harness (scale: {scale:?})");
     let mut unknown = false;
+    let mut violations = 0usize;
     for exp in which {
         match exp {
+            "verify-plans" => violations += verify_plans(&scale),
             "table1" => table1(&scale),
             "fig7a" => fig7a(&scale),
             "fig7b" => fig7bc(&scale, true),
@@ -77,6 +85,10 @@ fn main() {
     if unknown {
         std::process::exit(2);
     }
+    if violations > 0 {
+        eprintln!("verify-plans: {violations} violation(s)");
+        std::process::exit(1);
+    }
 
     if let Some(path) = json_path {
         section(&format!("benchmark record → {path}"));
@@ -89,6 +101,42 @@ fn main() {
             }
         }
     }
+}
+
+/// `verify-plans`: rewrite every built-in query (TPC-H subset + Conviva)
+/// and run the static plan verifier over the rewritten operator tree.
+/// Returns the number of violations found (expected: 0).
+fn verify_plans(scale: &ExpScale) -> usize {
+    section("verify-plans: static §4.1 plan verification, all built-in queries");
+    let mut diags = Vec::new();
+    let mut failures = 0usize;
+    for w in [tpch_workload(scale), conviva_workload(scale)] {
+        for q in &w.queries {
+            let pq = w.plan(q);
+            match iolap_analyze::verify_planned(&pq, q.stream_table) {
+                Ok(d) if d.is_empty() => println!("{:<8} {:<5} OK", w.name, q.id),
+                Ok(d) => {
+                    for diag in &d {
+                        println!("{:<8} {:<5} {diag}", w.name, q.id);
+                    }
+                    diags.extend(d);
+                }
+                Err(e) => {
+                    println!("{:<8} {:<5} rewrite error: {e}", w.name, q.id);
+                    failures += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "per-rule counts: {}",
+        iolap_analyze::rule_counts(&diags)
+            .iter()
+            .map(|(r, n)| format!("{}={n}", r.id()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    diags.len() + failures
 }
 
 /// Table 1: batch sizes for the streamed relations.

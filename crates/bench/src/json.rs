@@ -86,6 +86,54 @@ pub fn batch_json(r: &BatchReport) -> String {
     )
 }
 
+/// Static-analysis record: per-rule plan-verifier counts across every
+/// workload query (zero-filled, so "0 violations" is an explicit record)
+/// plus per-rule source-lint violation counts after the audited allowlist
+/// is subtracted.
+pub fn verification_json(workloads: &[Workload]) -> String {
+    let mut diags = Vec::new();
+    let mut rewrite_errors = 0usize;
+    for w in workloads {
+        for q in &w.queries {
+            let pq = w.plan(q);
+            match iolap_analyze::verify_planned(&pq, q.stream_table) {
+                Ok(d) => diags.extend(d),
+                Err(_) => rewrite_errors += 1,
+            }
+        }
+    }
+    let root = iolap_analyze::repo_root();
+    let allow =
+        iolap_analyze::Allowlist::load(&root.join("scripts/lint-allow.txt")).unwrap_or_default();
+    let findings = iolap_analyze::lint_tree(&root).unwrap_or_default();
+    let allowlisted = findings.iter().filter(|f| allow.allows(f)).count();
+    let violations: Vec<_> = findings
+        .iter()
+        .filter(|f| !allow.allows(f))
+        .cloned()
+        .collect();
+
+    let mut out = String::from("{\"plan_rules\":{");
+    for (i, (r, n)) in iolap_analyze::rule_counts(&diags).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", r.id());
+    }
+    let _ = write!(
+        out,
+        "}},\"rewrite_errors\":{rewrite_errors},\"lint_rules\":{{"
+    );
+    for (i, (r, n)) in iolap_analyze::lint_counts(&violations).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", r.id());
+    }
+    let _ = write!(out, "}},\"lint_allowlisted\":{allowlisted}}}");
+    out
+}
+
 /// Run every query of `workloads` through the iOLAP driver and write the
 /// full per-query / per-batch / per-operator record to `path`.
 pub fn write_bench_json(
@@ -98,13 +146,18 @@ pub fn write_bench_json(
         out,
         concat!(
             "\"scale\":{{\"tpch_sf\":{},\"conviva_rows\":{},\"batches\":{},",
-            "\"trials\":{},\"seed\":{}}},\n\"workloads\":[\n"
+            "\"trials\":{},\"seed\":{}}},\n"
         ),
         num(scale.tpch_sf),
         scale.conviva_rows,
         scale.batches,
         scale.trials,
         scale.seed,
+    );
+    let _ = write!(
+        out,
+        "\"verification\":{},\n\"workloads\":[\n",
+        verification_json(workloads)
     );
     for (wi, w) in workloads.iter().enumerate() {
         if wi > 0 {

@@ -11,6 +11,9 @@
 
 pub mod json;
 
+// Workload constructors install the static plan verifier into the core
+// driver's debug hook, so every debug-build experiment re-verifies its
+// rewritten plan before batch 0.
 use iolap_baselines::{run_baseline_plan, BaselineReport, HdaDriver};
 use iolap_core::{BatchReport, IolapConfig, IolapDriver, Metrics};
 use iolap_engine::{plan_sql, FunctionRegistry, PlannedQuery};
@@ -103,6 +106,7 @@ pub struct Workload {
 
 /// Build the TPC-H-lite workload at `scale`.
 pub fn tpch_workload(scale: &ExpScale) -> Workload {
+    iolap_analyze::install();
     Workload {
         name: "TPC-H",
         catalog: iolap_workloads::tpch_catalog(scale.tpch_sf, scale.seed),
@@ -113,6 +117,7 @@ pub fn tpch_workload(scale: &ExpScale) -> Workload {
 
 /// Build the Conviva workload at `scale`.
 pub fn conviva_workload(scale: &ExpScale) -> Workload {
+    iolap_analyze::install();
     Workload {
         name: "Conviva",
         catalog: iolap_workloads::conviva_catalog(scale.conviva_rows, scale.seed),

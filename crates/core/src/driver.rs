@@ -26,7 +26,28 @@ use iolap_engine::{plan_sql, EngineError, FunctionRegistry, PlanError, PlannedQu
 use iolap_relation::{BatchedRelation, Catalog, Relation, Row};
 use std::collections::HashSet;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Signature of an installable static plan verifier: `Err` carries the
+/// rendered violation report.
+pub type PlanVerifier = fn(&OnlineQuery) -> Result<(), String>;
+
+/// Process-wide static plan verifier hook.
+///
+/// The verifier lives in `iolap-analyze`, which depends on this crate — a
+/// direct call would be a dependency cycle, so the analyzer *installs* its
+/// check here and the driver consults it (in debug builds only) on every
+/// rewritten plan before batch 0.
+static PLAN_VERIFIER: OnceLock<PlanVerifier> = OnceLock::new();
+
+/// Install a static plan verifier, run on every rewritten online query in
+/// debug builds before any batch is processed. A verifier returning
+/// `Err(report)` fails driver construction with [`DriverError::Setup`].
+/// Installation is process-wide and idempotent (first install wins).
+pub fn install_plan_verifier(verifier: PlanVerifier) {
+    let _ = PLAN_VERIFIER.set(verifier);
+}
 
 /// Driver errors.
 #[derive(Debug)]
@@ -172,8 +193,15 @@ impl IolapDriver {
         let streamed: HashSet<String> = [stream_table.clone()].into();
         let mut pending_metrics = Metrics::new();
         let rewrite_span = Span::start();
-        let OnlineQuery { root, sink, .. } = rewrite(pq, &streamed)?;
+        let oq = rewrite(pq, &streamed)?;
         rewrite_span.stop(&mut pending_metrics, "rewrite.ns");
+        if cfg!(debug_assertions) {
+            if let Some(verifier) = PLAN_VERIFIER.get() {
+                verifier(&oq)
+                    .map_err(|m| DriverError::Setup(format!("plan verification failed:\n{m}")))?;
+            }
+        }
+        let OnlineQuery { root, sink, .. } = oq;
         let batches = BatchedRelation::partition(
             &rel,
             config.num_batches,
@@ -254,7 +282,7 @@ impl IolapDriver {
     }
 
     fn run_batch(&mut self, i: usize) -> Result<BatchReport, DriverError> {
-        let start = Instant::now();
+        let start = Span::start();
         let delta = self.batches.batch(i).clone();
         let mut stats = BatchStats::default();
         let mut metrics = std::mem::take(&mut self.pending_metrics);

@@ -34,9 +34,9 @@ pub use annotate::{annotate, AnnotateError, OpAnnotation};
 pub use channel::{BatchData, ORow};
 pub use classify::{classify, interval_of, Decision, IntervalValue};
 pub use config::IolapConfig;
-pub use driver::{BatchReport, DriverError, IolapDriver};
+pub use driver::{install_plan_verifier, BatchReport, DriverError, IolapDriver};
 pub use metrics::{Metrics, Span};
-pub use ops::{BatchCtx, BatchStats, OnlineOp};
+pub use ops::{BatchCtx, BatchStats, OnlineOp, ProjMode};
 pub use registry::AggRegistry;
 pub use rewriter::{rewrite, OnlineQuery, RewriteError};
 pub use sink::{Presentation, QueryResult, Sink};

@@ -140,6 +140,13 @@ impl Span {
     pub fn stop(self, metrics: &mut Metrics, name: &'static str) {
         metrics.record_since(name, self.0);
     }
+
+    /// Elapsed wall-clock time since the span started, without recording.
+    /// This is the repo's sanctioned clock read — `Instant::now()` outside
+    /// this module is rejected by the source lint (rule L003).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.0.elapsed()
+    }
 }
 
 #[cfg(test)]

@@ -201,7 +201,9 @@ impl OnlineOp {
         }
     }
 
-    fn children(&self) -> Vec<&OnlineOp> {
+    /// Child operators, in plan order (introspection hook for the static
+    /// plan verifier and for `explain`).
+    pub fn children(&self) -> Vec<&OnlineOp> {
         match self {
             OnlineOp::Scan(_) => vec![],
             OnlineOp::Select(op) => vec![&op.child],
@@ -210,6 +212,52 @@ impl OnlineOp {
             OnlineOp::SemiJoin(op) => vec![&op.left, &op.right],
             OnlineOp::Union(op) => op.children.iter().collect(),
             OnlineOp::Aggregate(op) => vec![&op.child],
+        }
+    }
+
+    /// Short node label used in verifier diagnostics' operator paths, e.g.
+    /// `Aggregate[id=0]` or `Scan(sessions)`.
+    pub fn kind(&self) -> String {
+        match self {
+            OnlineOp::Scan(op) => format!("Scan({})", op.table),
+            OnlineOp::Select(_) => "Select".to_string(),
+            OnlineOp::Project(_) => "Project".to_string(),
+            OnlineOp::Join(_) => "Join".to_string(),
+            OnlineOp::SemiJoin(_) => "SemiJoin".to_string(),
+            OnlineOp::Union(_) => "Union".to_string(),
+            OnlineOp::Aggregate(op) => format!("Aggregate[id={}]", op.agg_id),
+        }
+    }
+
+    /// Names of the state components this node snapshots into checkpoints
+    /// for §5.1 failure recovery, as *configured* (non-recursive). Empty for
+    /// operators configured stateless. The plan verifier cross-checks this
+    /// against the states §4.2/§5.2 *require*: PROJECT and UNION must be ∅,
+    /// while streamed scans, uncertainty-partitioned selects, joins and
+    /// aggregates must all report their replay-critical state here.
+    pub fn checkpoint_state(&self) -> Vec<&'static str> {
+        match self {
+            OnlineOp::Scan(op) => {
+                if op.streamed {
+                    vec!["scan.cursor"]
+                } else {
+                    vec!["scan.dimension_done"]
+                }
+            }
+            OnlineOp::Select(op) => {
+                if op.uncertain_pred {
+                    vec!["select.nondeterministic_set"]
+                } else {
+                    vec![]
+                }
+            }
+            OnlineOp::Project(_) => vec![],
+            OnlineOp::Join(_) => vec!["join.left_accumulator", "join.right_accumulator"],
+            OnlineOp::SemiJoin(_) => vec!["semijoin.certain_keys", "semijoin.pending"],
+            OnlineOp::Union(_) => vec![],
+            OnlineOp::Aggregate(_) => {
+                vec!["agg.sketch", "agg.unsketchable_rows", "agg.emitted_certain"]
+            }
         }
     }
 }

@@ -178,7 +178,7 @@ impl TrialState {
         }
     }
 
-    fn merge(&mut self, other: &TrialState) {
+    fn merge(&mut self, other: &TrialState) -> Result<(), EngineError> {
         match (self, other) {
             (TrialState::Fast { a, b, .. }, TrialState::Fast { a: oa, b: ob, .. }) => {
                 for (x, y) in a.iter_mut().zip(oa.iter()) {
@@ -187,13 +187,20 @@ impl TrialState {
                 for (x, y) in b.iter_mut().zip(ob.iter()) {
                     *x += y;
                 }
+                Ok(())
             }
             (TrialState::Generic(accs), TrialState::Generic(other)) => {
                 for (x, y) in accs.iter_mut().zip(other.iter()) {
                     x.0.merge(y.0.as_ref());
                 }
+                Ok(())
             }
-            _ => unreachable!("trial-state kinds match per call"),
+            // Trial-state kinds are fixed per aggregate call at plan time,
+            // so merging mismatched kinds means the sketch maps diverged —
+            // report it instead of panicking in the hot path.
+            _ => Err(EngineError::Plan(
+                "trial-state kind mismatch while merging aggregate sketches".to_string(),
+            )),
         }
     }
 
@@ -237,14 +244,15 @@ impl GroupSketch {
         }
     }
 
-    fn merge(&mut self, other: &GroupSketch) {
+    fn merge(&mut self, other: &GroupSketch) -> Result<(), EngineError> {
         for (a, b) in self.accs.iter_mut().zip(other.accs.iter()) {
             a.0.merge(b.0.as_ref());
         }
         for (a, b) in self.trials.iter_mut().zip(other.trials.iter()) {
-            a.merge(b);
+            a.merge(b)?;
         }
         self.has_certain |= other.has_certain;
+        Ok(())
     }
 
     fn approx_bytes(&self) -> usize {
@@ -447,7 +455,7 @@ impl AggregateOp {
         for partial in partials {
             for (k, v) in partial? {
                 match merged.get_mut(&k) {
-                    Some(existing) => existing.merge(&v),
+                    Some(existing) => existing.merge(&v)?,
                     None => {
                         merged.insert(k, v);
                     }
@@ -476,7 +484,7 @@ impl AggregateOp {
             let mut sketch = std::mem::take(&mut self.sketch);
             for (k, v) in delta {
                 match sketch.get_mut(&k) {
-                    Some(existing) => existing.merge(&v),
+                    Some(existing) => existing.merge(&v)?,
                     None => {
                         sketch.insert(k, v);
                     }
@@ -513,7 +521,7 @@ impl AggregateOp {
             ctx.metrics.add("agg.refold_rows", rows.len() as u64);
             for (k, v) in certain_part {
                 match temp.get_mut(&k) {
-                    Some(existing) => existing.merge(&v),
+                    Some(existing) => existing.merge(&v)?,
                     None => {
                         temp.insert(k, v);
                     }
@@ -574,12 +582,19 @@ impl AggregateOp {
             let merged: &GroupSketch = match (self.sketch.get(&key), temp.get(&key)) {
                 (Some(p), Some(t)) => {
                     let mut m = p.clone();
-                    m.merge(t);
+                    m.merge(t)?;
                     merged_owned.get_or_insert(m)
                 }
                 (Some(p), None) => p,
                 (None, Some(t)) => t,
-                (None, None) => unreachable!(),
+                // `all_keys` is built from exactly these two maps, so a key
+                // missing from both is sketch-bookkeeping corruption —
+                // surface it as an engine error rather than aborting.
+                (None, None) => {
+                    return Err(EngineError::Plan(
+                        "aggregate emitted a group key absent from both sketches".to_string(),
+                    ))
+                }
             };
 
             // Publish unscaled values + scales to the registry.
@@ -688,7 +703,7 @@ mod tests {
         a.accs[0].0.update(&Value::Float(10.0), 1.0);
         b.accs[0].0.update(&Value::Float(5.0), 1.0);
         b.has_certain = true;
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.accs[0].0.output(1.0), Value::Float(15.0));
         assert!(a.has_certain);
     }

@@ -96,6 +96,13 @@ pub trait ScalarUdf: Send + Sync {
     fn invoke(&self, args: &[Value]) -> Result<Value, ExprError>;
     /// Result type given argument types.
     fn return_type(&self, args: &[DataType]) -> DataType;
+    /// Whether the function is a pure function of its arguments. iOLAP's
+    /// supported query class (§3.3) requires deterministic join and group
+    /// keys; the static plan verifier rejects keys that call a UDF
+    /// returning `false` here.
+    fn deterministic(&self) -> bool {
+        true
+    }
 }
 
 /// Comparison operators appearing in predicates (`ϑ` in the paper's `x ϑ y`).
@@ -372,6 +379,50 @@ impl Expr {
             Expr::Udf { args, .. } => {
                 for a in args {
                     a.referenced_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Collect the names of all nondeterministic UDFs invoked anywhere in
+    /// this expression (per [`ScalarUdf::deterministic`]). Used by the
+    /// static plan verifier to enforce the §3.3 deterministic-key rule.
+    pub fn nondeterministic_udfs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => {}
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                left.nondeterministic_udfs(out);
+                right.nondeterministic_udfs(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.nondeterministic_udfs(out);
+                b.nondeterministic_udfs(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.nondeterministic_udfs(out),
+            Expr::Case {
+                when_then,
+                else_expr,
+            } => {
+                for (c, v) in when_then {
+                    c.nondeterministic_udfs(out);
+                    v.nondeterministic_udfs(out);
+                }
+                if let Some(e) = else_expr {
+                    e.nondeterministic_udfs(out);
+                }
+            }
+            Expr::Like { expr, .. } => expr.nondeterministic_udfs(out),
+            Expr::Between { expr, low, high } => {
+                expr.nondeterministic_udfs(out);
+                low.nondeterministic_udfs(out);
+                high.nondeterministic_udfs(out);
+            }
+            Expr::Udf { func, args } => {
+                if !func.deterministic() {
+                    out.push(func.name().to_string());
+                }
+                for a in args {
+                    a.nondeterministic_udfs(out);
                 }
             }
         }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: formatting, lints, release build, full test suite.
-# Everything runs offline (--offline); the workspace vendors its only
+# Tier-1 gate: formatting, lints, release build, static analysis, full test
+# suite. Everything runs offline (--offline); the workspace vendors its only
 # external deps as path shims under shims/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo build --release"
 cargo build --workspace --release --offline
+
+echo "== srclint (source lints, allowlist: scripts/lint-allow.txt)"
+cargo run --release --offline -q -p iolap-analyze --bin srclint
+
+echo "== verify-plans (static plan verifier, all built-in queries)"
+IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- verify-plans
 
 echo "== cargo test"
 cargo test --workspace --release --offline -q

@@ -1,0 +1,96 @@
+//! Determinism regression: two identical runs of the same query must
+//! produce byte-identical batch reports (modulo wall-clock). Guards the
+//! bug class the source lint L002 polices statically — `HashMap` iteration
+//! order leaking into a `Sink` or `BatchReport` (each `HashMap` instance
+//! gets its own random hash keys, so any leaked order differs even between
+//! two runs in the same process).
+
+use iolap_baselines::HdaDriver;
+use iolap_core::{BatchReport, IolapConfig, IolapDriver};
+use iolap_engine::plan_sql;
+use iolap_relation::PartitionMode;
+use iolap_workloads::{conviva_catalog, conviva_query, conviva_registry, tpch_catalog, tpch_query};
+use std::fmt::Write as _;
+
+fn config(batches: usize) -> IolapConfig {
+    let mut c = IolapConfig::with_batches(batches).trials(25).seed(17);
+    c.partition_mode = PartitionMode::RowShuffle;
+    c
+}
+
+/// Canonical report serialization: everything except wall-clock (`elapsed`
+/// and the `*_ns` metric spans, which legitimately differ between runs).
+fn canon(reports: &[BatchReport]) -> String {
+    let mut s = String::new();
+    for r in reports {
+        let _ = writeln!(
+            s,
+            "batch={} fraction={} recovered={} join_bytes={} other_bytes={}",
+            r.batch, r.fraction, r.recovered, r.state_bytes_join, r.state_bytes_other
+        );
+        let _ = writeln!(
+            s,
+            "stats recomputed={} shipped={} failures={}",
+            r.stats.recomputed_tuples, r.stats.shipped_bytes, r.stats.failures
+        );
+        let _ = writeln!(s, "names={:?}", r.result.names);
+        let _ = write!(s, "{}", r.result.relation);
+        let _ = writeln!(s, "estimates={:?}", r.result.estimates);
+        for (name, v) in r.metrics.iter() {
+            if !name.ends_with("_ns") && !name.ends_with(".ns") {
+                let _ = writeln!(s, "metric {name}={v}");
+            }
+        }
+    }
+    s
+}
+
+fn assert_deterministic_iolap(sql: &str, stream: &str, cat: &iolap_relation::Catalog, id: &str) {
+    let registry = conviva_registry();
+    let pq = plan_sql(sql, cat, &registry).unwrap();
+    let run = || {
+        let mut d = IolapDriver::from_plan(&pq, cat, stream, config(5)).unwrap();
+        canon(&d.run_to_completion().unwrap())
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "{id}: two identical iOLAP runs diverged");
+}
+
+#[test]
+fn iolap_reports_are_bytewise_deterministic() {
+    let cat = conviva_catalog(120, 11);
+    for id in ["SBI", "C2", "C3"] {
+        let q = conviva_query(id).unwrap();
+        assert_deterministic_iolap(q.sql, q.stream_table, &cat, id);
+    }
+}
+
+#[test]
+fn iolap_tpch_reports_are_bytewise_deterministic() {
+    let cat = tpch_catalog(0.02, 23);
+    let q = tpch_query("Q18").unwrap();
+    let registry = iolap_engine::FunctionRegistry::with_builtins();
+    let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+    let run = || {
+        let mut d = IolapDriver::from_plan(&pq, &cat, q.stream_table, config(5)).unwrap();
+        canon(&d.run_to_completion().unwrap())
+    };
+    assert_eq!(run(), run(), "Q18: two identical iOLAP runs diverged");
+}
+
+#[test]
+fn hda_reports_are_bytewise_deterministic() {
+    // C2's correlated subquery gives HDA's inner view many group entries —
+    // the exact surface where unordered materialization used to leak.
+    let cat = conviva_catalog(120, 11);
+    let registry = conviva_registry();
+    for id in ["SBI", "C2"] {
+        let q = conviva_query(id).unwrap();
+        let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+        let run = || {
+            let mut d = HdaDriver::from_plan(&pq, &cat, q.stream_table, config(5)).unwrap();
+            canon(&d.run_to_completion().unwrap())
+        };
+        assert_eq!(run(), run(), "{id}: two identical HDA runs diverged");
+    }
+}
