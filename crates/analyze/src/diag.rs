@@ -45,6 +45,13 @@ pub enum Rule {
     /// No `Instant::now()` outside `metrics.rs` — all timing goes through
     /// `iolap_core::metrics::Span`.
     L003,
+    /// Fault-injection hooks (`inject_*` calls) outside
+    /// `crates/core/src/faults.rs` must sit behind an armed-injector gate
+    /// (a `Some(` match on the hook's line or within the two preceding
+    /// logical lines), so no hook is reachable unless the config carries a
+    /// `FaultPlan`. Deliberately *not* allowlistable: an ungated hook in a
+    /// release binary is never an audited exception.
+    L004,
 }
 
 impl Rule {
@@ -62,6 +69,7 @@ impl Rule {
             Rule::L001 => "L001",
             Rule::L002 => "L002",
             Rule::L003 => "L003",
+            Rule::L004 => "L004",
         }
     }
 
@@ -79,6 +87,7 @@ impl Rule {
             Rule::L001 => "no-panic-hot",
             Rule::L002 => "no-unordered-iter-output",
             Rule::L003 => "no-instant-outside-metrics",
+            Rule::L004 => "fault-hook-ungated",
         }
     }
 
@@ -98,7 +107,7 @@ impl Rule {
 
     /// All source-lint rules, in id order (for zero-filled counters).
     pub fn lint_rules() -> &'static [Rule] {
-        &[Rule::L001, Rule::L002, Rule::L003]
+        &[Rule::L001, Rule::L002, Rule::L003, Rule::L004]
     }
 }
 

@@ -15,6 +15,14 @@
 //! * **L003 `no-instant-outside-metrics`** — no `Instant` outside
 //!   `crates/core/src/metrics.rs`; all timing goes through `Span` so the
 //!   metrics layer stays the single clock authority.
+//! * **L004 `fault-hook-ungated`** — every fault-injection hook
+//!   (`inject_*` call) in `crates/core/src/*.rs` outside `faults.rs` must
+//!   sit behind an armed-injector gate: a `Some(` match on the same
+//!   logical line or within the two preceding ones (the window tolerates
+//!   rustfmt wrapping an `if let Some(f) = …` header away from the call).
+//!   A hook without a gate would fire even when the config carries no
+//!   `FaultPlan` — i.e. in production — so L004 findings are **not**
+//!   allowlistable.
 //!
 //! Lines inside `#[cfg(test)]` modules (everything from the first such
 //! attribute to end of file — the repo convention keeps test modules last)
@@ -92,8 +100,12 @@ impl Allowlist {
 
     /// Whether `finding` matches an audited exception: rule equal, file a
     /// path-suffix match, and the entry substring contained in the flagged
-    /// line.
+    /// line. L004 findings are never allowed — an ungated fault hook is a
+    /// release-reachability bug, not an auditable style exception.
     pub fn allows(&self, finding: &LintFinding) -> bool {
+        if finding.rule == Rule::L004 {
+            return false;
+        }
         self.entries.iter().any(|(rule, file, substr)| {
             rule == finding.rule.id()
                 && finding.file.ends_with(file.as_str())
@@ -164,6 +176,18 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
         for (no, line) in &lines {
             if contains_word(line, "Instant") {
                 findings.push(finding(Rule::L003, rel_path, *no, line));
+            }
+        }
+    }
+
+    if rel_path.starts_with("crates/core/src/") && rel_path != "crates/core/src/faults.rs" {
+        for (k, (no, line)) in lines.iter().enumerate() {
+            if !line.contains("inject_") {
+                continue;
+            }
+            let gated = (k.saturating_sub(2)..=k).any(|p| lines[p].1.contains("Some("));
+            if !gated {
+                findings.push(finding(Rule::L004, rel_path, *no, line));
             }
         }
     }
@@ -427,6 +451,35 @@ mod tests {
         assert_eq!(lint_source("crates/core/src/driver.rs", src).len(), 1);
         assert!(lint_source("crates/core/src/metrics.rs", src).is_empty());
         assert!(lint_source("crates/engine/src/expr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l004_flags_ungated_fault_hooks_only() {
+        let ungated = "fn f(i: &FaultInjector) {\n    i.inject_worker_panic(b);\n}\n";
+        let f = lint_source("crates/core/src/ops_agg.rs", ungated);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::L004);
+        assert_eq!(f[0].line, 2);
+        // A Some( gate up to two logical lines back (rustfmt wrapping)
+        // legitimizes the hook.
+        let gated = "fn f() {\n    if let Some(f) = faults {\n        f.inject_worker_panic(b);\n    }\n}\n";
+        assert!(lint_source("crates/core/src/ops_agg.rs", gated).is_empty());
+        // Hook bodies live in faults.rs; the rule exempts it.
+        assert!(lint_source("crates/core/src/faults.rs", ungated).is_empty());
+        // Other crates are out of scope.
+        assert!(lint_source("crates/bench/src/lib.rs", ungated).is_empty());
+    }
+
+    #[test]
+    fn l004_is_never_allowlistable() {
+        let allow = Allowlist::parse("L004 crates/core/src/ops.rs inject_worker_panic");
+        let hit = LintFinding {
+            rule: Rule::L004,
+            file: "crates/core/src/ops.rs".into(),
+            line: 1,
+            text: "f.inject_worker_panic(b);".into(),
+        };
+        assert!(!allow.allows(&hit), "L004 must ignore allowlist entries");
     }
 
     #[test]

@@ -6,12 +6,20 @@
 //! IOLAP_SCALE=0.5 cargo run --release -p iolap-bench --bin experiments -- fig10
 //! cargo run --release -p iolap-bench --bin experiments -- all --json BENCH_PR1.json
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- verify-plans
+//! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- faultstorm --smoke
 //! ```
 //!
 //! `verify-plans` (not part of `all`) rewrites every built-in query and runs
 //! the static plan verifier over the result, printing per-rule counts and
 //! exiting nonzero on any violation — the offline gate `scripts/check.sh`
 //! runs.
+//!
+//! `faultstorm` (not part of `all`) sweeps the deterministic §5.1 fault
+//! injector — forced range failures, dropped/corrupted checkpoints,
+//! panicking workers/derefs, perturbed ranges — across batch points and
+//! checkpoint intervals on the nested flagship queries, and fails if any
+//! run's final answer disagrees with the exact offline baseline.
+//! `--smoke` shrinks the sweep for the offline gate.
 //!
 //! `--json <path>` additionally writes a machine-readable record of every
 //! workload query — per-batch timings, driver stats, and the per-operator
@@ -29,6 +37,7 @@ use iolap_relation::BatchedRelation;
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut smoke = false;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -40,6 +49,8 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--smoke" {
+            smoke = true;
         } else {
             args.push(a);
         }
@@ -57,9 +68,15 @@ fn main() {
     println!("iOLAP experiment harness (scale: {scale:?})");
     let mut unknown = false;
     let mut violations = 0usize;
+    let mut storm: Option<Vec<FaultStormRun>> = None;
     for exp in which {
         match exp {
             "verify-plans" => violations += verify_plans(&scale),
+            "faultstorm" => {
+                let runs = faultstorm(&scale, smoke);
+                violations += runs.iter().filter(|r| !r.agree).count();
+                storm = Some(runs);
+            }
             "table1" => table1(&scale),
             "fig7a" => fig7a(&scale),
             "fig7b" => fig7bc(&scale, true),
@@ -86,14 +103,17 @@ fn main() {
         std::process::exit(2);
     }
     if violations > 0 {
-        eprintln!("verify-plans: {violations} violation(s)");
+        eprintln!("verification: {violations} violation(s)");
         std::process::exit(1);
     }
 
     if let Some(path) = json_path {
         section(&format!("benchmark record → {path}"));
         let workloads = [tpch_workload(&scale), conviva_workload(&scale)];
-        match json::write_bench_json(&path, &scale, &workloads) {
+        // The "faults" section reuses this invocation's storm when one ran,
+        // else records a fresh smoke storm so the record is self-contained.
+        let storm = storm.unwrap_or_else(|| fault_storm(&scale, true));
+        match json::write_bench_json(&path, &scale, &workloads, &storm) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
@@ -101,6 +121,46 @@ fn main() {
             }
         }
     }
+}
+
+/// `faultstorm`: deterministic §5.1 fault-injection sweep (see
+/// `iolap_bench::fault_storm`). Prints one line per run plus a per-kind
+/// summary; returns the sweep's runs for the `--json` record. Any run
+/// whose final answer disagrees with the exact offline baseline counts as
+/// a violation and fails the harness.
+fn faultstorm(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
+    section(&format!(
+        "faultstorm: §5.1 fault-injection sweep ({})",
+        if smoke { "smoke" } else { "full" }
+    ));
+    let runs = fault_storm(scale, smoke);
+    println!(
+        "{:<9} {:<5} {:<19} {:>6} {:>9} {:>6} {:>11} {:>7}",
+        "workload", "query", "fault", "batch", "interval", "fired", "recoveries", "final"
+    );
+    for r in &runs {
+        println!(
+            "{:<9} {:<5} {:<19} {:>6} {:>9} {:>6} {:>11} {:>7}",
+            r.workload,
+            r.query,
+            r.kind,
+            r.batch,
+            r.interval,
+            r.fired,
+            r.recoveries,
+            if r.agree { "exact" } else { "WRONG" }
+        );
+    }
+    for (kind, _) in fault_storm_kinds() {
+        let of_kind: Vec<_> = runs.iter().filter(|r| r.kind == kind).collect();
+        println!(
+            "{kind}: {} runs, {} fired, {} agree",
+            of_kind.len(),
+            of_kind.iter().filter(|r| r.fired > 0).count(),
+            of_kind.iter().filter(|r| r.agree).count()
+        );
+    }
+    runs
 }
 
 /// `verify-plans`: rewrite every built-in query (TPC-H subset + Conviva)

@@ -7,7 +7,7 @@
 //! latency, then per-batch wall-clock, driver stats, and the per-operator
 //! metrics breakdown recorded by `iolap_core::metrics`.
 
-use crate::{total_latency, ExpScale, Workload};
+use crate::{fault_storm_kinds, total_latency, ExpScale, FaultStormRun, Workload};
 use iolap_core::{BatchReport, Metrics};
 use std::fmt::Write as _;
 
@@ -134,12 +134,59 @@ pub fn verification_json(workloads: &[Workload]) -> String {
     out
 }
 
+/// Fault-storm record: per-kind aggregates over the sweep plus the full
+/// per-run detail, so a regression in any single cell stays attributable.
+pub fn faults_json(storm: &[FaultStormRun]) -> String {
+    let mut out = String::from("{\"kinds\":{");
+    for (i, (kind, _)) in fault_storm_kinds().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let of_kind: Vec<_> = storm.iter().filter(|r| r.kind == *kind).collect();
+        let _ = write!(
+            out,
+            "\"{}\":{{\"runs\":{},\"fired\":{},\"agree\":{}}}",
+            escape(kind),
+            of_kind.len(),
+            of_kind.iter().filter(|r| r.fired > 0).count(),
+            of_kind.iter().filter(|r| r.agree).count()
+        );
+    }
+    out.push_str("},\"runs\":[");
+    for (i, r) in storm.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"workload\":\"{}\",\"query\":\"{}\",\"kind\":\"{}\",",
+                "\"batch\":{},\"interval\":{},\"fired\":{},",
+                "\"recoveries\":{},\"agree\":{}}}"
+            ),
+            escape(r.workload),
+            escape(r.query),
+            escape(r.kind),
+            r.batch,
+            r.interval,
+            r.fired,
+            r.recoveries,
+            r.agree
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Run every query of `workloads` through the iOLAP driver and write the
-/// full per-query / per-batch / per-operator record to `path`.
+/// full per-query / per-batch / per-operator record to `path`. `storm`
+/// (typically a smoke-scale `fault_storm` sweep) lands as the `"faults"`
+/// section.
 pub fn write_bench_json(
     path: &str,
     scale: &ExpScale,
     workloads: &[Workload],
+    storm: &[FaultStormRun],
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     let _ = write!(
@@ -156,8 +203,9 @@ pub fn write_bench_json(
     );
     let _ = write!(
         out,
-        "\"verification\":{},\n\"workloads\":[\n",
-        verification_json(workloads)
+        "\"verification\":{},\n\"faults\":{},\n\"workloads\":[\n",
+        verification_json(workloads),
+        faults_json(storm)
     );
     for (wi, w) in workloads.iter().enumerate() {
         if wi > 0 {
@@ -226,5 +274,36 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(num(f64::NAN), "null");
         assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn faults_json_aggregates_per_kind() {
+        let storm = vec![
+            FaultStormRun {
+                workload: "tpch",
+                query: "Q17",
+                kind: "fail_range",
+                batch: 4,
+                interval: 1,
+                fired: 1,
+                agree: true,
+                recoveries: 1,
+            },
+            FaultStormRun {
+                workload: "tpch",
+                query: "Q20",
+                kind: "fail_range",
+                batch: 4,
+                interval: 1,
+                fired: 0,
+                agree: true,
+                recoveries: 0,
+            },
+        ];
+        let s = faults_json(&storm);
+        assert!(s.contains("\"fail_range\":{\"runs\":2,\"fired\":1,\"agree\":2}"));
+        // Every registered kind appears even with zero runs.
+        assert!(s.contains("\"perturb_ranges\":{\"runs\":0,\"fired\":0,\"agree\":0}"));
+        assert!(s.contains("\"query\":\"Q17\""));
     }
 }

@@ -15,7 +15,7 @@ pub mod json;
 // driver's debug hook, so every debug-build experiment re-verifies its
 // rewritten plan before batch 0.
 use iolap_baselines::{run_baseline_plan, BaselineReport, HdaDriver};
-use iolap_core::{BatchReport, IolapConfig, IolapDriver, Metrics};
+use iolap_core::{BatchReport, FaultKind, FaultPlan, IolapConfig, IolapDriver, Metrics};
 use iolap_engine::{plan_sql, FunctionRegistry, PlannedQuery};
 use iolap_relation::{Catalog, PartitionMode};
 use iolap_workloads::QuerySpec;
@@ -210,6 +210,127 @@ pub fn ms(d: Duration) -> String {
 /// Print a header line for an experiment section.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// One fault-storm cell: a single driver run under one injected fault.
+#[derive(Clone, Debug)]
+pub struct FaultStormRun {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Query id (`"Q17"`, `"C8"`, …).
+    pub query: &'static str,
+    /// Fault-kind label (see `FaultKind::label`).
+    pub kind: &'static str,
+    /// Batch the fault was armed at.
+    pub batch: usize,
+    /// Checkpoint interval the run used.
+    pub interval: usize,
+    /// Total fault fires observed by the injector.
+    pub fired: u64,
+    /// Whether the final batch's answer agreed with the exact offline
+    /// baseline (Theorem 1 at `m = 1`).
+    pub agree: bool,
+    /// Batches that reported a recovery.
+    pub recoveries: usize,
+}
+
+/// Every fault kind the storm sweeps, with its stable label.
+pub fn fault_storm_kinds() -> Vec<(&'static str, FaultKind)> {
+    vec![
+        (
+            "fail_range",
+            FaultKind::FailRange {
+                agg: None,
+                column: None,
+            },
+        ),
+        ("drop_checkpoint", FaultKind::DropCheckpoint),
+        ("corrupt_checkpoint", FaultKind::CorruptCheckpoint),
+        ("worker_panic", FaultKind::WorkerPanic),
+        ("deref_panic", FaultKind::DerefPanic),
+        ("perturb_ranges", FaultKind::PerturbRanges { epsilon: 0.25 }),
+    ]
+}
+
+/// The §5.1 fault storm: sweep fault kind × armed batch × checkpoint
+/// interval over the nested flagship queries (TPC-H Q17/Q20, Conviva C8),
+/// checking every run's *final* answer against the exact offline baseline
+/// — Theorem 1's anchor point, which fault injection must not move.
+/// `smoke` shrinks the sweep to one batch point and two intervals so the
+/// offline gate stays fast; the full sweep covers three of each.
+pub fn fault_storm(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
+    // Injected worker/deref panics are caught and recovered by the driver,
+    // but the default panic hook would still spray their backtraces over
+    // the report — silence it for the storm's duration.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fault_storm_inner(scale, smoke)
+    }));
+    std::panic::set_hook(prev_hook);
+    match out {
+        Ok(runs) => runs,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn fault_storm_inner(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
+    let mut out = Vec::new();
+    let suites: [(Workload, &[&str]); 2] = [
+        (tpch_workload(scale), &["Q17", "Q20"]),
+        (conviva_workload(scale), &["C8"]),
+    ];
+    let b = scale.batches;
+    let batch_points: Vec<usize> = if smoke {
+        // One point, chosen to be a save batch under every swept interval
+        // so the checkpoint faults actually arm (first i ≥ b/2 with
+        // (i+1) % 3 == 0 — also a save batch at interval 1).
+        vec![(b / 2..b).find(|i| (i + 1) % 3 == 0).unwrap_or(b / 2)]
+    } else {
+        vec![1, b / 2, b.saturating_sub(1)]
+    };
+    let intervals: Vec<usize> = if smoke { vec![1, 3] } else { vec![1, 2, 3] };
+    for (w, ids) in suites {
+        for id in ids {
+            let q = w
+                .queries
+                .iter()
+                .find(|q| q.id == *id)
+                .unwrap_or_else(|| panic!("unknown storm query {id}"))
+                .clone();
+            let baseline = w.run_baseline(&q);
+            let pq = w.plan(&q);
+            for (label, kind) in fault_storm_kinds() {
+                for &bp in &batch_points {
+                    for &iv in &intervals {
+                        let mut cfg = scale.config();
+                        cfg.checkpoint_interval = iv;
+                        if matches!(kind, FaultKind::WorkerPanic) {
+                            cfg = cfg.parallelism(2);
+                        }
+                        let cfg = cfg.fault_plan(FaultPlan::new(scale.seed).with(bp, kind.clone()));
+                        let mut d = IolapDriver::from_plan(&pq, &w.catalog, q.stream_table, cfg)
+                            .unwrap_or_else(|e| panic!("{id}: {e}"));
+                        let reports = d
+                            .run_to_completion()
+                            .unwrap_or_else(|e| panic!("{id} under {label}@{bp}: {e}"));
+                        let last = reports.last().expect("at least one batch");
+                        out.push(FaultStormRun {
+                            workload: w.name,
+                            query: q.id,
+                            kind: label,
+                            batch: bp,
+                            interval: iv,
+                            fired: d.fault_fires().iter().map(|(_, _, n)| n).sum(),
+                            agree: last.result.relation.approx_eq(&baseline.relation, 1e-6),
+                            recoveries: reports.iter().filter(|r| r.recovered).count(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

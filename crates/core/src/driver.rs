@@ -16,6 +16,7 @@
 //! argument).
 
 use crate::config::IolapConfig;
+use crate::faults::FaultInjector;
 use crate::metrics::{Metrics, Span};
 use crate::ops::{BatchCtx, BatchStats, OnlineOp};
 use crate::registry::AggRegistry;
@@ -23,10 +24,12 @@ use crate::rewriter::{rewrite, OnlineQuery, RewriteError};
 use crate::sink::{QueryResult, Sink};
 use iolap_bootstrap::RangeOutcome;
 use iolap_engine::{plan_sql, EngineError, FunctionRegistry, PlanError, PlannedQuery};
-use iolap_relation::{BatchedRelation, Catalog, Relation, Row};
+use iolap_relation::{AggRef, BatchedRelation, Catalog, Relation, Row};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::OnceLock;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Signature of an installable static plan verifier: `Err` carries the
@@ -127,6 +130,32 @@ struct Checkpoint {
     root: OnlineOp,
     sink: Sink,
     registry: AggRegistry,
+    /// Integrity digest recorded at save time; a mismatch on restore marks
+    /// the checkpoint unusable (bit rot, torn write — or an injected
+    /// `CorruptCheckpoint` fault) and recovery falls back to an older one.
+    digest: u64,
+    /// Approximate state bytes cloned into this checkpoint (retention
+    /// accounting; `0` for the pristine initial checkpoint).
+    bytes: usize,
+}
+
+impl Checkpoint {
+    /// Structural fingerprint over content-derived sizes. Not a
+    /// cryptographic checksum — cheap enough to verify on every restore,
+    /// strong enough to catch the simulated corruption model (a damaged
+    /// digest) and gross clone/restore bugs.
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.batch.hash(&mut h);
+        let (join_bytes, other_bytes) = self.root.state_bytes();
+        join_bytes.hash(&mut h);
+        other_bytes.hash(&mut h);
+        self.registry.len().hash(&mut h);
+        self.registry.published_bytes().hash(&mut h);
+        self.registry.approx_bytes().hash(&mut h);
+        self.sink.certain_len().hash(&mut h);
+        h.finish()
+    }
 }
 
 /// The iOLAP incremental query driver.
@@ -160,6 +189,9 @@ pub struct IolapDriver {
     pending_metrics: Metrics,
     /// Registry deref count at the last per-batch snapshot.
     last_derefs: u64,
+    /// Armed fault-injection hooks; `None` (the production default) unless
+    /// the config carries a `FaultPlan`.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl IolapDriver {
@@ -208,13 +240,23 @@ impl IolapDriver {
             config.seed,
             config.partition_mode,
         );
-        let registry = AggRegistry::new();
-        let initial = Checkpoint {
+        let mut registry = AggRegistry::new();
+        let faults = config
+            .fault_plan
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
+        if let Some(f) = &faults {
+            registry.set_fault_injector(f.clone());
+        }
+        let mut initial = Checkpoint {
             batch: usize::MAX,
             root: root.clone(),
             sink: sink.clone(),
             registry: registry.clone(),
+            digest: 0,
+            bytes: 0,
         };
+        initial.digest = initial.fingerprint();
         Ok(IolapDriver {
             config,
             catalog: catalog.clone(),
@@ -232,6 +274,7 @@ impl IolapDriver {
             cumulative_metrics: Metrics::new(),
             pending_metrics,
             last_derefs: 0,
+            faults,
         })
     }
 
@@ -283,90 +326,176 @@ impl IolapDriver {
 
     fn run_batch(&mut self, i: usize) -> Result<BatchReport, DriverError> {
         let start = Span::start();
-        let delta = self.batches.batch(i).clone();
         let mut stats = BatchStats::default();
         let mut metrics = std::mem::take(&mut self.pending_metrics);
         let mut recovered = false;
-
-        let outcomes = self.process_delta(i, &delta, &mut stats, &mut metrics)?;
-
-        // Failure handling (§5.1): restore the newest checkpoint at or
-        // before the recovery point and replay the suffix as one combined
-        // delta.
-        // §5.1 failure handling, gated on usage: only attributes whose
-        // range actually pruned a tuple can have corrupted saved decisions;
-        // unused attributes simply adopt their fresh range. The replay
-        // target never needs to predate an attribute's first pruning use —
-        // no decision involving it exists before then.
-        let mut failure_target: Option<isize> = None;
-        for (r, o) in &outcomes {
-            if let RangeOutcome::Failure { replay_from } = o {
-                let Some(first_used) = self.registry.first_used(r) else {
-                    continue;
-                };
-                let tracker_j = replay_from.map(|j| j as isize).unwrap_or(-1);
-                let usage_j = first_used as isize - 1;
-                let j = tracker_j.max(usage_j);
-                failure_target = Some(failure_target.map_or(j, |x: isize| x.min(j)));
-                // Quarantine the attribute for the recovery window so the
-                // replayed decisions cannot reuse the violated range.
-                *self.failure_counts.entry(r.clone()).or_insert(0) += 1;
-                self.quarantined.insert(r.clone());
-            }
+        if let Some(f) = &self.faults {
+            f.begin_batch(i);
         }
-        if let Some(j) = failure_target {
+
+        // Processing + hardened §5.1 failure handling. Pass 0 runs the
+        // fresh delta; a recovery pass restores a checkpoint and replays
+        // the suffix as one combined delta. Crucially, each pass's
+        // outcomes re-enter the examination, so a range failure detected
+        // *during a replay* triggers another recovery instead of being
+        // dropped — and an execution error (a panicking worker, a poisoned
+        // deref) is treated as a transient batch failure that buys a
+        // restore + replay rather than aborting the query.
+        //
+        // Termination: each failure pass permanently consumes a quarantine
+        // credit (at most MAX_REF_FAILURES per attribute), error passes
+        // are bounded by `max_recovery_depth`, and past the depth budget
+        // the controller degrades: current offenders are barred from
+        // pruning for good and the whole retained prefix is recomputed
+        // HDA-style from the initial checkpoint.
+        let depth_cap = self.config.max_recovery_depth.max(1);
+        let mut depth = 0usize;
+        let mut replaying = false;
+        let mut work = self.batches.batch(i).clone();
+        loop {
+            let pass_span = Span::start();
+            let attempt = self.process_delta(i, &work, &mut stats, &mut metrics);
+            if replaying {
+                pass_span.stop(&mut metrics, "recovery.replay_ns");
+            }
+            let mut outcomes = match attempt {
+                Ok(o) => o,
+                Err(e) => {
+                    // Operator state may be half-updated; roll it back and
+                    // replay. Bounded: a persistent error is genuine and
+                    // must surface.
+                    depth += 1;
+                    if depth > depth_cap {
+                        return Err(e);
+                    }
+                    metrics.add("recovery.error_replays", 1);
+                    recovered = true;
+                    let restore_span = Span::start();
+                    self.restore_checkpoint(i as isize - 1, &mut metrics)?;
+                    self.reseed_quarantine();
+                    restore_span.stop(&mut metrics, "recovery.restore_ns");
+                    let replay_start = self.restored_batch(i as isize - 1);
+                    work = self.combined_delta(replay_start, i);
+                    metrics.add("recovery.replays", 1);
+                    metrics.add("recovery.replayed_rows", work.len() as u64);
+                    replaying = true;
+                    continue;
+                }
+            };
+            if replaying {
+                // The replay re-published the failed aggregates, so their
+                // trackers hold fresh ranges covering the observed trials.
+                // Re-admit first-time offenders — permanently barring an
+                // attribute would degenerate single-predicate queries to
+                // full prefix recomputation (HDA behaviour) after one
+                // failure. Repeat offenders stay quarantined: their range
+                // is genuinely unstable and each re-admission would buy
+                // another full replay. Lifting *before* examining this
+                // pass's outcomes is what lets a mid-replay failure of a
+                // re-admitted attribute count as a fresh offense below.
+                self.lift_quarantine();
+            }
+            self.apply_forced_failures(i, &mut outcomes);
+            let Some(j) = self.examine_failures(&outcomes) else {
+                break;
+            };
             recovered = true;
             self.total_failures += 1;
             stats.failures = stats.failures.max(1);
+            depth += 1;
+            if replaying {
+                metrics.add("recovery.cascades", 1);
+            }
+            let target = if depth > depth_cap {
+                // Graceful degradation: bar the offenders for good and
+                // recompute the whole retained prefix from the initial
+                // checkpoint (HDA-style).
+                metrics.add("recovery.degraded", 1);
+                self.bar_quarantined_offenders();
+                -1
+            } else {
+                j
+            };
             let restore_span = Span::start();
-            self.restore_checkpoint(j)?;
+            self.restore_checkpoint(target, &mut metrics)?;
             self.reseed_quarantine();
             restore_span.stop(&mut metrics, "recovery.restore_ns");
-            let replay_start = self.restored_batch(j);
-            let combined = self.combined_delta(replay_start, i);
+            let replay_start = self.restored_batch(target);
+            work = self.combined_delta(replay_start, i);
             metrics.add("recovery.replays", 1);
-            metrics.add("recovery.replayed_rows", combined.len() as u64);
-            // Replayed work is real work: it lands in this batch's stats.
-            let replay_span = Span::start();
-            let _ = self.process_delta(i, &combined, &mut stats, &mut metrics)?;
-            replay_span.stop(&mut metrics, "recovery.replay_ns");
-            // Recovery complete: the replay re-published the aggregate, so
-            // its tracker now holds a fresh range that covers the observed
-            // trials. Re-admit first-time offenders — permanently barring
-            // the attribute would degenerate single-predicate queries to
-            // full prefix recomputation (HDA behaviour) after one failure.
-            // Repeat offenders stay quarantined: their range is genuinely
-            // unstable (drifting data) and each re-admission would buy
-            // another full replay.
-            self.lift_quarantine();
+            metrics.add("recovery.replayed_rows", work.len() as u64);
+            replaying = true;
         }
 
-        // Checkpoint for future recovery.
+        // Checkpoint for future recovery, under bounded retention.
         if (i + 1).is_multiple_of(self.config.checkpoint_interval.max(1)) {
-            let save_span = Span::start();
-            self.checkpoints.push(Checkpoint {
-                batch: i,
-                root: self.root.clone(),
-                sink: self.sink.clone(),
-                registry: self.registry.clone(),
-            });
-            save_span.stop(&mut metrics, "ckpt.save_ns");
-            metrics.add("ckpt.saves", 1);
-            let (j, o) = self.root.state_bytes();
-            metrics.add(
-                "ckpt.clone_bytes",
-                (j + o + self.registry.approx_bytes()) as u64,
-            );
+            let dropped = match &self.faults {
+                Some(f) => f.inject_checkpoint_drop(i),
+                None => false,
+            };
+            if dropped {
+                // Injected lost write: recovery must cope with the gap by
+                // falling back to an older checkpoint.
+                metrics.add("ckpt.dropped", 1);
+            } else {
+                let save_span = Span::start();
+                let (join_bytes, other_bytes) = self.root.state_bytes();
+                let bytes = join_bytes + other_bytes + self.registry.approx_bytes();
+                let mut cp = Checkpoint {
+                    batch: i,
+                    root: self.root.clone(),
+                    sink: self.sink.clone(),
+                    registry: self.registry.clone(),
+                    digest: 0,
+                    bytes,
+                };
+                cp.digest = cp.fingerprint();
+                if matches!(&self.faults, Some(f) if f.inject_checkpoint_corruption(i)) {
+                    // Injected bit rot: damage the digest so a future
+                    // restore detects the mismatch and skips this save.
+                    cp.digest = !cp.digest;
+                }
+                self.checkpoints.push(cp);
+                save_span.stop(&mut metrics, "ckpt.save_ns");
+                metrics.add("ckpt.saves", 1);
+                metrics.add("ckpt.clone_bytes", bytes as u64);
+                self.prune_checkpoints(i, &mut metrics);
+                metrics.add("ckpt.retained", self.checkpoints.len() as u64);
+                let retained_bytes: usize = self.checkpoints.iter().map(|c| c.bytes).sum();
+                metrics.add("ckpt.retained_bytes", retained_bytes as u64);
+            }
         }
 
         let (state_bytes_join, state_bytes_other) = self.root.state_bytes();
         let publish_span = Span::start();
-        let result = self.sink.publish(
-            &self.registry,
-            self.batches.scale_after(i),
-            self.config.trials,
-            self.config.confidence,
-        );
+        // Publish is pure over `(&sink, &registry)`, so a panic mid-render
+        // (a poisoned deref that survived to the read path) leaves no state
+        // to roll back — a bounded retry re-renders from intact state.
+        let mut publish_retries = 0usize;
+        let result = loop {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.sink.publish(
+                    &self.registry,
+                    self.batches.scale_after(i),
+                    self.config.trials,
+                    self.config.confidence,
+                )
+            }));
+            match attempt {
+                Ok(r) => break r,
+                Err(payload) => {
+                    publish_retries += 1;
+                    if publish_retries > depth_cap {
+                        return Err(DriverError::Engine(EngineError::Plan(format!(
+                            "publish panicked: {}",
+                            crate::faults::panic_message(payload)
+                        ))));
+                    }
+                    metrics.add("recovery.publish_retries", 1);
+                    recovered = true;
+                }
+            }
+        };
         publish_span.stop(&mut metrics, "sink.publish_ns");
         metrics.add("sink.result_rows", result.relation.len() as u64);
         self.cumulative_metrics.merge(&metrics);
@@ -407,8 +536,19 @@ impl IolapDriver {
             stats: BatchStats::default(),
             outcomes: Vec::new(),
             metrics: Metrics::new(),
+            faults: self.faults.as_deref(),
         };
-        let out = self.root.process(&mut ctx)?;
+        // A panicking operator (a poisoned deref, an injected fault) must
+        // surface as a recoverable error, not tear down the controller: the
+        // checkpoint mechanism makes half-updated state safe to abandon.
+        let out =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.root.process(&mut ctx)))
+                .unwrap_or_else(|payload| {
+                    Err(EngineError::Plan(format!(
+                        "operator panicked: {}",
+                        crate::faults::panic_message(payload)
+                    )))
+                })?;
         let outcomes = std::mem::take(&mut ctx.outcomes);
         let ctx_stats = std::mem::take(&mut ctx.stats);
         let ctx_metrics = std::mem::take(&mut ctx.metrics);
@@ -439,23 +579,153 @@ impl IolapDriver {
         delta
     }
 
-    /// Restore the newest checkpoint at or before recovery point `j`
-    /// (`-1` = initial state). Returns nothing; `restored_batch` reports
-    /// which batch the state now reflects.
-    fn restore_checkpoint(&mut self, j: isize) -> Result<(), DriverError> {
-        let idx = self
+    /// Checkpoint batch on the `-1 = initial` number line used by recovery
+    /// targets.
+    fn cp_batch(c: &Checkpoint) -> isize {
+        if c.batch == usize::MAX {
+            -1
+        } else {
+            c.batch as isize
+        }
+    }
+
+    /// Restore the newest *intact* checkpoint at or before recovery point
+    /// `j` (`-1` = initial state). A checkpoint whose digest no longer
+    /// matches its fingerprint is discarded and an older one is tried —
+    /// restoring older than asked is always sound, it just replays a
+    /// longer suffix. The initial checkpoint is never corrupted or pruned,
+    /// so the walk always terminates successfully. `restored_batch`
+    /// reports which batch the state now reflects.
+    fn restore_checkpoint(&mut self, j: isize, metrics: &mut Metrics) -> Result<(), DriverError> {
+        loop {
+            let idx = self
+                .checkpoints
+                .iter()
+                .rposition(|c| Self::cp_batch(c) <= j)
+                .ok_or_else(|| DriverError::Setup("no usable checkpoint".into()))?;
+            if self.checkpoints[idx].digest != self.checkpoints[idx].fingerprint() {
+                metrics.add("ckpt.corrupt_detected", 1);
+                self.checkpoints.remove(idx);
+                continue;
+            }
+            self.checkpoints.truncate(idx + 1);
+            let cp = &self.checkpoints[idx];
+            self.root = cp.root.clone();
+            self.sink = cp.sink.clone();
+            self.registry = cp.registry.clone();
+            self.last_published = self.registry.published_bytes();
+            self.last_derefs = self.registry.deref_count();
+            return Ok(());
+        }
+    }
+
+    /// Examine the outcomes of one processing pass: every non-quarantined
+    /// failing attribute is quarantined (its failure count bumped) and the
+    /// pass-wide recovery point — the minimum over per-attribute targets —
+    /// is returned; `None` means the pass is clean.
+    ///
+    /// §5.1 failure handling, gated on usage: only attributes whose range
+    /// actually pruned a tuple can have corrupted saved decisions; unused
+    /// attributes simply adopt their fresh range. The replay target never
+    /// needs to predate an attribute's first pruning use — no decision
+    /// involving it exists before then.
+    fn examine_failures(&mut self, outcomes: &[(AggRef, RangeOutcome)]) -> Option<isize> {
+        let mut failure_target: Option<isize> = None;
+        for (r, o) in outcomes {
+            if let RangeOutcome::Failure { replay_from } = o {
+                if self.quarantined.contains(r) {
+                    continue;
+                }
+                let Some(first_used) = self.registry.first_used(r) else {
+                    continue;
+                };
+                let tracker_j = replay_from.map(|j| j as isize).unwrap_or(-1);
+                let usage_j = first_used as isize - 1;
+                let j = tracker_j.max(usage_j);
+                failure_target = Some(failure_target.map_or(j, |x: isize| x.min(j)));
+                // Quarantine the attribute for the recovery window so the
+                // replayed decisions cannot reuse the violated range.
+                *self.failure_counts.entry(r.clone()).or_insert(0) += 1;
+                self.quarantined.insert(r.clone());
+            }
+        }
+        failure_target
+    }
+
+    /// Flip an armed `FailRange` fault: a matching `Ok` outcome becomes a
+    /// `Failure { replay_from: i-1 }` — the shape a tracker reports when
+    /// only the previous batch's range still covers the fresh envelope.
+    /// Downstream recovery cannot tell the difference, which is the point;
+    /// and the hardened loop does not *depend* on the claim being true
+    /// (an inaccurate target at worst re-fails the replay, which recovers
+    /// again, bounded). Only ranges that actually pruned (and are not
+    /// quarantined) are eligible: a failure of an unused range carries no
+    /// corrupted decisions and would be discarded by the usage gate
+    /// anyway. At most one outcome flips per pass, so multiple armed
+    /// faults stagger across recovery passes — the second lands
+    /// *mid-replay*, exercising the cascade path.
+    fn apply_forced_failures(&self, i: usize, outcomes: &mut [(AggRef, RangeOutcome)]) {
+        for (r, o) in outcomes.iter_mut() {
+            if !matches!(o, RangeOutcome::Ok)
+                || self.registry.first_used(r).is_none()
+                || self.quarantined.contains(r)
+            {
+                continue;
+            }
+            if matches!(&self.faults, Some(f) if f.inject_range_failure(r.agg, r.column)) {
+                *o = RangeOutcome::Failure {
+                    replay_from: i.checked_sub(1),
+                };
+                return;
+            }
+        }
+    }
+
+    /// Degradation: every currently-quarantined attribute is barred from
+    /// pruning for good (its failure count saturates), so the HDA-style
+    /// full-prefix recomputation that follows cannot fail the same way.
+    fn bar_quarantined_offenders(&mut self) {
+        for r in &self.quarantined {
+            self.failure_counts.insert(r.clone(), MAX_REF_FAILURES);
+        }
+    }
+
+    /// Bounded retention. A future recovery target is always
+    /// `j ≥ F = min over live (non-barred) used attributes of
+    /// (first_used - 1)`: the usage gate in `examine_failures` never asks
+    /// for anything older. Checkpoints strictly older than the newest one
+    /// at or before `F` can therefore never be selected — drop them. On
+    /// top of that a hard cap (`max_checkpoints`) bounds worst-case
+    /// memory; dropping a feasible checkpoint under the cap is still
+    /// sound, recovery just restores an older survivor and replays more.
+    /// The initial checkpoint (index 0, O(1) bytes) is always retained so
+    /// corruption fallback and degradation always have a target.
+    fn prune_checkpoints(&mut self, i: usize, metrics: &mut Metrics) {
+        let barred: HashSet<AggRef> = self
+            .failure_counts
+            .iter()
+            .filter(|(_, c)| **c >= MAX_REF_FAILURES)
+            .map(|(r, _)| r.clone())
+            .collect();
+        let feasible = self
+            .registry
+            .min_live_first_use(&barred)
+            .map(|b| b as isize - 1)
+            .unwrap_or(i as isize);
+        let anchor = self
             .checkpoints
             .iter()
-            .rposition(|c| c.batch == usize::MAX || (c.batch as isize) <= j)
-            .ok_or_else(|| DriverError::Setup("no usable checkpoint".into()))?;
-        self.checkpoints.truncate(idx + 1);
-        let cp = &self.checkpoints[idx];
-        self.root = cp.root.clone();
-        self.sink = cp.sink.clone();
-        self.registry = cp.registry.clone();
-        self.last_published = self.registry.published_bytes();
-        self.last_derefs = self.registry.deref_count();
-        Ok(())
+            .rposition(|c| Self::cp_batch(c) <= feasible)
+            .unwrap_or(0);
+        if anchor > 1 {
+            metrics.add("ckpt.pruned", (anchor - 1) as u64);
+            self.checkpoints.drain(1..anchor);
+        }
+        let cap = self.config.max_checkpoints.max(2);
+        while self.checkpoints.len() > cap {
+            self.checkpoints.remove(1);
+            metrics.add("ckpt.pruned", 1);
+        }
     }
 
     fn reseed_quarantine(&mut self) {
@@ -478,11 +748,40 @@ impl IolapDriver {
         }
     }
 
-    fn restored_batch(&self, _j: isize) -> usize {
-        match self.checkpoints.last() {
+    /// First batch the replay must cover after restoring to target `j`:
+    /// the batch after the restored checkpoint. Derived from `j` with the
+    /// same newest-at-or-before rule `restore_checkpoint` uses, so the two
+    /// cannot drift apart (the previous implementation ignored `j` and
+    /// trusted `checkpoints.last()`, which silently desynchronized when a
+    /// restore discarded corrupted saves).
+    fn restored_batch(&self, j: isize) -> usize {
+        let idx = self
+            .checkpoints
+            .iter()
+            .rposition(|c| Self::cp_batch(c) <= j);
+        debug_assert_eq!(
+            idx,
+            self.checkpoints.len().checked_sub(1),
+            "restore must leave its target checkpoint newest"
+        );
+        match idx.map(|k| &self.checkpoints[k]) {
             Some(c) if c.batch != usize::MAX => c.batch + 1,
             _ => 0,
         }
+    }
+
+    /// Per-fault fire counts `(kind label, armed batch, fires)` when a
+    /// fault plan is armed; empty in production (no plan).
+    pub fn fault_fires(&self) -> Vec<(&'static str, usize, u64)> {
+        self.faults.as_ref().map(|f| f.fired()).unwrap_or_default()
+    }
+
+    /// Retained checkpoint footprint: `(count, approximate state bytes)`.
+    pub fn checkpoint_footprint(&self) -> (usize, usize) {
+        (
+            self.checkpoints.len(),
+            self.checkpoints.iter().map(|c| c.bytes).sum(),
+        )
     }
 
     fn combined_delta(&self, from_batch: usize, through_batch: usize) -> Relation {
@@ -563,28 +862,77 @@ mod tests {
     const NO_FAIL: f64 = 1e12;
 
     #[test]
-    fn checkpoints_accumulate_on_interval() {
+    fn checkpoints_prune_to_newest_when_no_ranges_prune() {
+        // With an astronomically slack range nothing is ever pruned, so no
+        // attribute has a first-use batch: every future recovery target is
+        // the current batch and only the newest save (plus the pristine
+        // initial checkpoint) can ever be selected.
         let mut d = driver(120, 6, NO_FAIL, 2);
         d.run_to_completion().unwrap();
         let batches: Vec<usize> = d.checkpoints.iter().map(|c| c.batch).collect();
-        assert_eq!(batches, vec![usize::MAX, 1, 3, 5]);
+        assert_eq!(batches, vec![usize::MAX, 5]);
+    }
+
+    #[test]
+    fn retention_keeps_checkpoints_back_to_first_use() {
+        // An attribute first used for pruning at batch 3 pins every
+        // checkpoint from batch 2 on; older intermediates are pruned.
+        let mut cfg = IolapConfig::with_batches(6)
+            .trials(8)
+            .seed(3)
+            .slack(NO_FAIL)
+            .max_checkpoints(16);
+        cfg.partition_mode = PartitionMode::Sequential;
+        cfg.checkpoint_interval = 1;
+        let mut d = IolapDriver::from_sql(
+            "SELECT SUM(x) FROM t WHERE x > (SELECT AVG(x) FROM t)",
+            &catalog(120),
+            &FunctionRegistry::with_builtins(),
+            "t",
+            cfg,
+        )
+        .unwrap();
+        d.registry.mark_used(aref(), 3);
+        d.run_to_completion().unwrap();
+        let batches: Vec<usize> = d.checkpoints.iter().map(|c| c.batch).collect();
+        assert_eq!(batches, vec![usize::MAX, 2, 3, 4, 5]);
     }
 
     #[test]
     fn restore_truncates_newer_checkpoints() {
         let mut d = driver(120, 6, NO_FAIL, 1);
+        // Pin retention to the start so the cap, not feasibility, governs.
+        d.registry.mark_used(aref(), 0);
         for _ in 0..5 {
             d.step().unwrap().unwrap();
         }
-        assert_eq!(d.checkpoints.len(), 6); // initial + batches 0..=4
-        d.restore_checkpoint(2).unwrap();
+        // Cap 4 (the default): initial + the 3 newest of batches 0..=4.
         let batches: Vec<usize> = d.checkpoints.iter().map(|c| c.batch).collect();
-        assert_eq!(batches, vec![usize::MAX, 0, 1, 2]);
+        assert_eq!(batches, vec![usize::MAX, 2, 3, 4]);
+        d.restore_checkpoint(2, &mut Metrics::new()).unwrap();
+        let batches: Vec<usize> = d.checkpoints.iter().map(|c| c.batch).collect();
+        assert_eq!(batches, vec![usize::MAX, 2]);
         assert_eq!(d.restored_batch(2), 3);
         // The publish baselines must match the restored registry, not the
         // discarded newer state.
         assert_eq!(d.last_published, d.registry.published_bytes());
         assert_eq!(d.last_derefs, d.registry.deref_count());
+    }
+
+    #[test]
+    fn restore_with_sparse_checkpoints_replays_from_checkpoint_batch() {
+        // Interval 3 saves after batches 2 and 5; a failure at batch 4
+        // targeting j=4 must restore the batch-2 checkpoint and replay
+        // from batch 3 — the checkpoint's successor, NOT the failure
+        // batch. (The old `restored_batch` ignored its argument; this
+        // pins the j-derived behaviour.)
+        let mut d = driver(120, 6, NO_FAIL, 3);
+        d.registry.mark_used(aref(), 3); // keep the batch-2 checkpoint alive
+        d.run_to_completion().unwrap();
+        let batches: Vec<usize> = d.checkpoints.iter().map(|c| c.batch).collect();
+        assert_eq!(batches, vec![usize::MAX, 2, 5]);
+        d.restore_checkpoint(4, &mut Metrics::new()).unwrap();
+        assert_eq!(d.restored_batch(4), 3);
     }
 
     #[test]
@@ -594,11 +942,63 @@ mod tests {
             d.step().unwrap().unwrap();
         }
         assert!(d.last_published > 0, "batches must have published state");
-        d.restore_checkpoint(-1).unwrap();
+        d.restore_checkpoint(-1, &mut Metrics::new()).unwrap();
         assert_eq!(d.checkpoints.len(), 1);
         assert!(d.registry.is_empty());
         assert_eq!(d.last_published, 0);
         assert_eq!(d.restored_batch(-1), 0);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_skipped_on_restore() {
+        let mut d = driver(120, 6, NO_FAIL, 1);
+        d.registry.mark_used(aref(), 0);
+        for _ in 0..4 {
+            d.step().unwrap().unwrap();
+        }
+        let batches: Vec<usize> = d.checkpoints.iter().map(|c| c.batch).collect();
+        assert_eq!(batches, vec![usize::MAX, 1, 2, 3]);
+        // Damage the newest save; a restore targeting it must detect the
+        // mismatch and fall back to the batch-2 checkpoint.
+        let last = d.checkpoints.len() - 1;
+        d.checkpoints[last].digest ^= 1;
+        let mut m = Metrics::new();
+        d.restore_checkpoint(3, &mut m).unwrap();
+        assert_eq!(m.get("ckpt.corrupt_detected"), 1);
+        assert_eq!(d.restored_batch(3), 3); // batch-2 checkpoint + 1
+        let batches: Vec<usize> = d.checkpoints.iter().map(|c| c.batch).collect();
+        assert_eq!(batches, vec![usize::MAX, 1, 2]);
+    }
+
+    #[test]
+    fn checkpoint_footprint_flat_as_batches_grow() {
+        // Doubling the batch count at a fixed interval must not grow the
+        // retained checkpoint footprint: retention is bounded by the cap,
+        // not by stream length. Zero slack forces real recovery traffic
+        // along the way, exercising retention under restores too.
+        let peak = |num_batches: usize| {
+            let mut d = driver(240, num_batches, 0.0, 2);
+            let mut count = 0usize;
+            let mut bytes = 0usize;
+            while let Some(step) = d.step() {
+                step.unwrap();
+                let (c, b) = d.checkpoint_footprint();
+                count = count.max(c);
+                bytes = bytes.max(b);
+            }
+            (count, bytes)
+        };
+        let (count8, bytes8) = peak(8);
+        let (count16, bytes16) = peak(16);
+        assert!(count8 <= 4, "cap must bound retained checkpoints: {count8}");
+        assert!(
+            count16 <= 4,
+            "cap must bound retained checkpoints: {count16}"
+        );
+        assert!(
+            bytes16 <= 2 * bytes8.max(1),
+            "peak checkpoint bytes must stay flat: {bytes16} vs {bytes8}"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod channel;
 pub mod classify;
 pub mod config;
 pub mod driver;
+pub mod faults;
 pub mod metrics;
 pub mod ops;
 pub mod ops_agg;
@@ -35,6 +36,7 @@ pub use channel::{BatchData, ORow};
 pub use classify::{classify, interval_of, Decision, IntervalValue};
 pub use config::IolapConfig;
 pub use driver::{install_plan_verifier, BatchReport, DriverError, IolapDriver};
+pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan};
 pub use metrics::{Metrics, Span};
 pub use ops::{BatchCtx, BatchStats, OnlineOp, ProjMode};
 pub use registry::AggRegistry;

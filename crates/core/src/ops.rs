@@ -70,6 +70,9 @@ pub struct BatchCtx<'a> {
     /// Range outcomes collected from aggregate publications, tagged with
     /// the attribute they belong to.
     pub outcomes: Vec<(iolap_relation::AggRef, RangeOutcome)>,
+    /// Fault-injection hooks; `None` (the production default) unless the
+    /// driver's config carries a `FaultPlan`.
+    pub faults: Option<&'a crate::faults::FaultInjector>,
 }
 
 impl BatchCtx<'_> {

@@ -417,6 +417,8 @@ impl AggregateOp {
         let chunk = rows.len().div_ceil(workers);
         let registry: &crate::registry::AggRegistry = ctx.registry;
         let trials = ctx.trials;
+        let faults = ctx.faults;
+        let batch_index = ctx.batch_index;
         // A panicking worker (e.g. a poisoned UDAF) must not abort the
         // process: `scope` joins every handle, and a panic surfaces as an
         // `Err` from `join`, which we convert into an `EngineError` so the
@@ -426,6 +428,9 @@ impl AggregateOp {
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move || {
+                        if let Some(f) = faults {
+                            f.inject_worker_panic(batch_index);
+                        }
                         let mut map = HashMap::new();
                         for row in part {
                             self.fold_row(&mut map, row, certain, registry, trials)?;

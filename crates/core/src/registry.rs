@@ -14,6 +14,7 @@
 //! detection read from one place.
 
 use crate::channel::ORow;
+use crate::faults::FaultInjector;
 use iolap_bootstrap::{RangeOutcome, RangeTracker, VariationRange};
 use iolap_engine::{EvalContext, Expr, RefMode, RefResolver};
 use iolap_relation::{AggRef, PendingCell, Value};
@@ -111,6 +112,10 @@ pub struct AggRegistry {
     /// because resolution runs through `&self` during expression
     /// evaluation, including inside parallel fold workers.
     derefs: AtomicU64,
+    /// Fault-injection hooks, armed only when the driver's config carries a
+    /// `FaultPlan`. Shared (not snapshotted) across checkpoint clones so
+    /// one-shot faults stay one-shot through restores.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Clone for AggRegistry {
@@ -121,6 +126,7 @@ impl Clone for AggRegistry {
             quarantined: self.quarantined.clone(),
             published_bytes: self.published_bytes,
             derefs: AtomicU64::new(self.derefs.load(Ordering::Relaxed)),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -129,6 +135,12 @@ impl AggRegistry {
     /// Empty registry.
     pub fn new() -> Self {
         AggRegistry::default()
+    }
+
+    /// Arm fault-injection hooks (driver setup, only when the config
+    /// carries a `FaultPlan`).
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
     }
 
     /// Publish (or update) one group's values. `slack` seeds new range
@@ -213,7 +225,14 @@ impl AggRegistry {
                     } else {
                         batch
                     };
-                    outcomes.push(entry.trackers[c].observe_summary(lo * s, hi * s, sd * s, b));
+                    // Injected perturbation shrinks the observed envelope
+                    // (sound: escapes are detected earlier, recovery covers
+                    // the rest).
+                    let (slo, shi) = match &self.faults {
+                        Some(f) => f.inject_envelope_shrink(agg_id, c as u16, lo * s, hi * s),
+                        None => (lo * s, hi * s),
+                    };
+                    outcomes.push(entry.trackers[c].observe_summary(slo, shi, sd * s, b));
                 }
             }
         }
@@ -263,10 +282,17 @@ impl AggRegistry {
         if self.quarantined.contains(r) {
             return None;
         }
-        self.groups
+        let range = self
+            .groups
             .get(&(r.agg, r.key.clone()))
             .and_then(|e| e.trackers.get(r.column as usize))
-            .and_then(|t| t.current().copied())
+            .and_then(|t| t.current().copied());
+        // Injected perturbation widens the classification view (sound:
+        // more tuples stay in the non-deterministic set).
+        match (&self.faults, range) {
+            (Some(f), Some(range)) => Some(f.inject_range_widening(r.agg, r.column, range)),
+            (_, range) => range,
+        }
     }
 
     /// Exclude `r` from future pruning (after a failure while in use).
@@ -337,6 +363,21 @@ impl AggRegistry {
         self.used_for_pruning.get(r).copied()
     }
 
+    /// Earliest first-use batch over attributes not in `barred` — the
+    /// oldest batch a future recovery could still target (checkpoint
+    /// retention; permanently quarantined attributes no longer drive
+    /// recovery). `None` when no live attribute has pruned.
+    pub fn min_live_first_use(&self, barred: &std::collections::HashSet<AggRef>) -> Option<usize> {
+        let mut min: Option<usize> = None;
+        for (r, b) in self.used_for_pruning.iter() {
+            if barred.contains(r) {
+                continue;
+            }
+            min = Some(min.map_or(*b, |m: usize| m.min(*b)));
+        }
+        min
+    }
+
     /// Build a `Pending` lineage cell for a computed uncertain attribute:
     /// capture the lineage function and the folded row (§6.1). The captured
     /// row is narrowed to the columns the expression references.
@@ -353,6 +394,9 @@ impl AggRegistry {
 impl RefResolver for AggRegistry {
     fn resolve(&self, r: &AggRef, mode: RefMode) -> Value {
         self.derefs.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = &self.faults {
+            f.inject_deref_panic();
+        }
         let Some(entry) = self.groups.get(&(r.agg, r.key.clone())) else {
             return Value::Null;
         };
@@ -373,6 +417,9 @@ impl RefResolver for AggRegistry {
 
     fn resolve_pending(&self, cell: &PendingCell, mode: RefMode) -> Value {
         self.derefs.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = &self.faults {
+            f.inject_deref_panic();
+        }
         let Some(thunk) = cell.payload.downcast_ref::<ThunkPayload>() else {
             return Value::Null;
         };

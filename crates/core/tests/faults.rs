@@ -1,0 +1,345 @@
+//! End-to-end deterministic fault-injection tests (§5.1 hardening).
+//!
+//! A `FaultPlan` in the config arms seed-driven faults — forced range
+//! failures, dropped/corrupted checkpoints, panicking fold workers and
+//! derefs, perturbed ranges — and the driver must come through every one
+//! of them with answers still matching the offline oracle on the scaled
+//! prefix (Theorem 1 does not get a fault-injection exemption).
+
+use iolap_core::{FaultKind, FaultPlan, IolapConfig, IolapDriver};
+use iolap_engine::{execute, plan_sql, FunctionRegistry};
+use iolap_relation::{
+    BatchedRelation, Catalog, DataType, PartitionMode, Relation, Row, Schema, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NESTED_SQL: &str = "SELECT AVG(y) FROM t WHERE x > (SELECT AVG(x) FROM t)";
+
+/// Stationary data: with the paper's slack = 2 no organic range failure is
+/// expected, so every recovery observed below is attributable to the
+/// injected fault.
+fn stationary_catalog(n: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+    ]);
+    let rows = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Float(rng.gen::<f64>() * 50.0),
+                Value::Float(rng.gen::<f64>() * 100.0),
+            ]
+        })
+        .collect();
+    let mut c = Catalog::new();
+    c.register("t", Relation::from_values(schema, rows));
+    c
+}
+
+/// Drifting data (as in `recovery.rs`): zero slack forces organic
+/// failures, which the checkpoint-level faults then sabotage.
+fn drifting_catalog(n: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+    ]);
+    let rows = (0..n)
+        .map(|i| {
+            let drift = i as f64 / n as f64 * 40.0;
+            vec![
+                Value::Int(i as i64),
+                Value::Float(rng.gen::<f64>() * 30.0 + drift),
+                Value::Float(rng.gen::<f64>() * 100.0),
+            ]
+        })
+        .collect();
+    let mut c = Catalog::new();
+    c.register("t", Relation::from_values(schema, rows));
+    c
+}
+
+fn config(batches: usize, slack: f64, ckpt: usize) -> IolapConfig {
+    let mut c = IolapConfig::with_batches(batches)
+        .trials(16)
+        .seed(5)
+        .slack(slack);
+    c.partition_mode = PartitionMode::Sequential;
+    c.checkpoint_interval = ckpt;
+    c
+}
+
+/// Run to completion, checking every batch against the offline oracle on
+/// the scaled prefix. Returns the finished driver (for metrics / fire
+/// counts) and the number of batches that recovered.
+fn run_exact(cat: &Catalog, config: IolapConfig) -> (IolapDriver, usize) {
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(NESTED_SQL, cat, &registry).unwrap();
+    let stream = cat.get("t").unwrap();
+    let parts = BatchedRelation::partition(
+        &stream,
+        config.num_batches,
+        config.seed,
+        config.partition_mode,
+    );
+    let mut driver = IolapDriver::from_plan(&pq, cat, "t", config).unwrap();
+    let mut recoveries = 0;
+    let mut i = 0;
+    while let Some(step) = driver.step() {
+        let report = step.unwrap();
+        if report.recovered {
+            recoveries += 1;
+        }
+        let prefix = parts.union_through(i);
+        let m = parts.scale_after(i);
+        let mut oc = cat.clone();
+        oc.register(
+            "t",
+            Relation::new(
+                prefix.schema().clone(),
+                prefix
+                    .rows()
+                    .iter()
+                    .map(|r| Row::with_mult(r.values.to_vec(), r.mult * m))
+                    .collect(),
+            ),
+        );
+        let expected = execute(&pq.plan, &oc).unwrap();
+        assert!(
+            report.result.relation.approx_eq(&expected, 1e-6),
+            "batch {i} mismatch under fault injection\niOLAP:\n{}\noracle:\n{}",
+            report.result.relation,
+            expected
+        );
+        i += 1;
+    }
+    (driver, recoveries)
+}
+
+fn fires_for(driver: &IolapDriver, label: &str) -> u64 {
+    driver
+        .fault_fires()
+        .iter()
+        .filter(|(l, _, _)| *l == label)
+        .map(|(_, _, n)| n)
+        .sum()
+}
+
+#[test]
+fn forced_range_failure_recovers_and_stays_exact() {
+    let cat = stationary_catalog(300, 11);
+    let cfg = config(10, 2.0, 1).fault_plan(FaultPlan::new(7).with(
+        3,
+        FaultKind::FailRange {
+            agg: None,
+            column: None,
+        },
+    ));
+    let (driver, recoveries) = run_exact(&cat, cfg);
+    assert_eq!(fires_for(&driver, "fail_range"), 1, "fault must fire once");
+    assert!(recoveries >= 1, "forced failure must trigger recovery");
+    assert!(driver.total_failures() >= 1);
+    assert!(driver.metrics().get("recovery.replays") >= 1);
+}
+
+#[test]
+fn cascading_mid_replay_failure_triggers_bounded_re_recovery() {
+    // Two armed FailRange faults at the same batch on a query with two
+    // pruning subqueries: the first flips one attribute's outcome on the
+    // fresh pass; during the replay that attribute sits in quarantine, so
+    // the second fault lands on the *other* (still-live) attribute — a
+    // failure detected mid-replay. That is the exact scenario the old
+    // controller silently discarded (its replay outcomes went to
+    // `let _ =`). The hardened loop must run a second, bounded recovery
+    // and still agree with the oracle.
+    let two_pred_sql =
+        "SELECT AVG(y) FROM t WHERE x > (SELECT AVG(x) FROM t) AND y < (SELECT SUM(y) FROM t)";
+    let cat = stationary_catalog(300, 12);
+    let cfg = config(10, 2.0, 1).fault_plan(
+        FaultPlan::new(7)
+            .with(
+                4,
+                FaultKind::FailRange {
+                    agg: None,
+                    column: None,
+                },
+            )
+            .with(
+                4,
+                FaultKind::FailRange {
+                    agg: None,
+                    column: None,
+                },
+            ),
+    );
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(two_pred_sql, &cat, &registry).unwrap();
+    let stream = cat.get("t").unwrap();
+    let parts = BatchedRelation::partition(&stream, cfg.num_batches, cfg.seed, cfg.partition_mode);
+    let mut driver = IolapDriver::from_plan(&pq, &cat, "t", cfg).unwrap();
+    let mut i = 0;
+    while let Some(step) = driver.step() {
+        let report = step.unwrap();
+        let prefix = parts.union_through(i);
+        let m = parts.scale_after(i);
+        let mut oc = cat.clone();
+        oc.register(
+            "t",
+            Relation::new(
+                prefix.schema().clone(),
+                prefix
+                    .rows()
+                    .iter()
+                    .map(|r| Row::with_mult(r.values.to_vec(), r.mult * m))
+                    .collect(),
+            ),
+        );
+        let expected = execute(&pq.plan, &oc).unwrap();
+        assert!(
+            report.result.relation.approx_eq(&expected, 1e-6),
+            "batch {i} mismatch under cascading faults\niOLAP:\n{}\noracle:\n{}",
+            report.result.relation,
+            expected
+        );
+        i += 1;
+    }
+    assert_eq!(fires_for(&driver, "fail_range"), 2);
+    assert_eq!(
+        driver.total_failures(),
+        2,
+        "both the fresh-pass and the mid-replay failure must be counted"
+    );
+    assert!(
+        driver.metrics().get("recovery.cascades") >= 1,
+        "the second failure arrives mid-replay and must register as a cascade"
+    );
+}
+
+#[test]
+fn forced_failure_with_sparse_checkpoints_stays_exact() {
+    // Interval 3: the recovery target rarely has a same-batch checkpoint,
+    // so the replay must start at the *checkpoint's* successor batch (the
+    // old `restored_batch` ignored its argument, which this exercises
+    // end-to-end).
+    let cat = stationary_catalog(300, 13);
+    let cfg = config(10, 2.0, 3).fault_plan(FaultPlan::new(7).with(
+        5,
+        FaultKind::FailRange {
+            agg: None,
+            column: None,
+        },
+    ));
+    let (driver, recoveries) = run_exact(&cat, cfg);
+    assert_eq!(fires_for(&driver, "fail_range"), 1);
+    assert!(recoveries >= 1);
+    assert!(driver.metrics().get("recovery.replayed_rows") >= 1);
+}
+
+#[test]
+fn dropped_checkpoints_degrade_to_longer_replays() {
+    // Every save is dropped: only the initial checkpoint survives, so each
+    // organic recovery replays the full prefix — slow but exact.
+    let cat = drifting_catalog(300, 14);
+    let mut plan = FaultPlan::new(7);
+    for b in 0..10 {
+        plan = plan.with(b, FaultKind::DropCheckpoint);
+    }
+    let cfg = config(10, 0.0, 1).fault_plan(plan);
+    let (driver, recoveries) = run_exact(&cat, cfg);
+    assert!(recoveries >= 1, "zero slack on drifting data must recover");
+    assert!(driver.metrics().get("ckpt.dropped") >= 1);
+    assert_eq!(driver.metrics().get("ckpt.saves"), 0, "all saves dropped");
+    let (count, bytes) = driver.checkpoint_footprint();
+    assert_eq!((count, bytes), (1, 0), "only the initial checkpoint left");
+}
+
+#[test]
+fn corrupted_checkpoints_are_detected_and_skipped() {
+    // Every save is corrupted at write time; restores must detect the
+    // digest mismatch, discard the save, and fall back — ultimately to the
+    // pristine initial checkpoint — without ever restoring damaged state.
+    let cat = drifting_catalog(300, 15);
+    let mut plan = FaultPlan::new(7);
+    for b in 0..10 {
+        plan = plan.with(b, FaultKind::CorruptCheckpoint);
+    }
+    let cfg = config(10, 0.0, 1).fault_plan(plan);
+    let (driver, recoveries) = run_exact(&cat, cfg);
+    assert!(recoveries >= 1);
+    assert!(
+        driver.metrics().get("ckpt.corrupt_detected") >= 1,
+        "a restore must have tripped over a damaged checkpoint"
+    );
+}
+
+#[test]
+fn worker_panic_is_recovered_via_error_replay() {
+    let cat = stationary_catalog(300, 16);
+    let cfg = config(10, 2.0, 1)
+        .parallelism(2)
+        .fault_plan(FaultPlan::new(7).with(4, FaultKind::WorkerPanic));
+    let (driver, recoveries) = run_exact(&cat, cfg);
+    assert_eq!(fires_for(&driver, "worker_panic"), 1);
+    assert!(recoveries >= 1, "the panicked batch must report recovery");
+    assert!(driver.metrics().get("recovery.error_replays") >= 1);
+    assert_eq!(
+        driver.total_failures(),
+        0,
+        "an execution error is not a range-integrity failure"
+    );
+}
+
+#[test]
+fn deref_panic_is_recovered() {
+    let cat = stationary_catalog(300, 17);
+    let cfg = config(10, 2.0, 1).fault_plan(FaultPlan::new(7).with(4, FaultKind::DerefPanic));
+    let (driver, recoveries) = run_exact(&cat, cfg);
+    assert_eq!(fires_for(&driver, "deref_panic"), 1);
+    assert!(recoveries >= 1);
+    let m = driver.metrics();
+    assert!(
+        m.get("recovery.error_replays") + m.get("recovery.publish_retries") >= 1,
+        "the panic must surface either mid-process (error replay) or mid-publish (retry)"
+    );
+}
+
+#[test]
+fn perturbed_ranges_remain_sound() {
+    // PerturbRanges only moves ranges in conservative directions (wider
+    // classification view, tighter monitored envelope), so answers stay
+    // exact; at most it costs extra recoveries.
+    let cat = stationary_catalog(300, 18);
+    let cfg = config(10, 2.0, 1)
+        .fault_plan(FaultPlan::new(7).with(3, FaultKind::PerturbRanges { epsilon: 0.5 }));
+    let (driver, _) = run_exact(&cat, cfg);
+    assert!(
+        fires_for(&driver, "perturb_ranges") >= 1,
+        "perturbation must have touched at least one range"
+    );
+}
+
+#[test]
+fn fault_free_plan_changes_nothing() {
+    // An armed injector with an empty fault list must be a strict no-op:
+    // identical reports to a production (no-plan) run.
+    let cat = drifting_catalog(200, 19);
+    let base = config(8, 0.0, 1);
+    let with_empty_plan = config(8, 0.0, 1).fault_plan(FaultPlan::new(7));
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(NESTED_SQL, &cat, &registry).unwrap();
+    let mut a = IolapDriver::from_plan(&pq, &cat, "t", base).unwrap();
+    let mut b = IolapDriver::from_plan(&pq, &cat, "t", with_empty_plan).unwrap();
+    let ra = a.run_to_completion().unwrap();
+    let rb = b.run_to_completion().unwrap();
+    assert_eq!(ra.len(), rb.len());
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        assert!(x.result.relation.approx_eq(&y.result.relation, 0.0));
+        assert_eq!(x.recovered, y.recovered);
+    }
+    assert!(b.fault_fires().iter().all(|(_, _, n)| *n == 0));
+}

@@ -1,0 +1,131 @@
+//! Seeded fault-storm property test (§5.1 hardening): for the paper's
+//! representative nested queries (TPC-H Q17/Q20, Conviva C8), inject every
+//! fault kind at varying batch points and checkpoint intervals across
+//! several seeds, and assert the driver still lands on the *exact* offline
+//! answer at the final mini-batch (Theorem 1 anchor at m = 1).
+//!
+//! This is the integration-level counterpart of `experiments faultstorm`:
+//! smaller catalogs, but a wider seed sweep, and it runs in the default
+//! debug-profile `cargo test` gate.
+
+use iolap_core::{FaultKind, FaultPlan, IolapConfig, IolapDriver};
+use iolap_engine::{execute, plan_sql, FunctionRegistry};
+use iolap_relation::{Catalog, PartitionMode};
+use iolap_workloads::{
+    conviva_catalog, conviva_queries, conviva_registry, tpch_catalog, tpch_queries, QuerySpec,
+};
+
+const BATCHES: usize = 6;
+const KINDS: [FaultKind; 6] = [
+    FaultKind::FailRange {
+        agg: None,
+        column: None,
+    },
+    FaultKind::DropCheckpoint,
+    FaultKind::CorruptCheckpoint,
+    FaultKind::WorkerPanic,
+    FaultKind::DerefPanic,
+    FaultKind::PerturbRanges { epsilon: 0.3 },
+];
+
+fn config(seed: u64, interval: usize, plan: FaultPlan) -> IolapConfig {
+    let mut c = IolapConfig::with_batches(BATCHES)
+        .trials(16)
+        .seed(seed)
+        .parallelism(2)
+        .fault_plan(plan);
+    c.partition_mode = PartitionMode::RowShuffle;
+    c.checkpoint_interval = interval;
+    c
+}
+
+/// Run `q` under `cfg` to completion and assert the final answer equals the
+/// offline exact execution of the same plan.
+fn storm_one(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, cfg: IolapConfig) {
+    let label = format!(
+        "{} seed={} interval={} faults={:?}",
+        q.id,
+        cfg.seed,
+        cfg.checkpoint_interval,
+        cfg.fault_plan.as_ref().map(|p| p
+            .faults
+            .iter()
+            .map(|f| f.kind.label())
+            .collect::<Vec<_>>())
+    );
+    let pq = plan_sql(q.sql, cat, registry).unwrap_or_else(|e| panic!("{label}: plan error {e}"));
+    let mut driver = IolapDriver::from_plan(&pq, cat, q.stream_table, cfg)
+        .unwrap_or_else(|e| panic!("{label}: driver error {e}"));
+    let reports = driver
+        .run_to_completion()
+        .unwrap_or_else(|e| panic!("{label}: run error {e}"));
+    let exact = execute(&pq.plan, cat).unwrap();
+    let last = &reports.last().unwrap().result.relation;
+    assert!(
+        last.approx_eq(&exact, 1e-6),
+        "{label}: final batch != exact\n== iOLAP ==\n{last}== exact ==\n{exact}"
+    );
+}
+
+fn storm(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry) {
+    // Injected worker/deref panics are caught and recovered, but the
+    // default hook would still print their backtraces into the test log.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for seed in [11u64, 12, 13] {
+            for kind in &KINDS {
+                for (batch, interval) in [(2usize, 1usize), (BATCHES - 2, 2)] {
+                    let plan = FaultPlan::new(seed).with(batch, kind.clone());
+                    storm_one(q, cat, registry, config(seed, interval, plan));
+                }
+            }
+            // Compound storm: several faults armed in one run.
+            let plan = FaultPlan::new(seed)
+                .with(1, FaultKind::CorruptCheckpoint)
+                .with(
+                    2,
+                    FaultKind::FailRange {
+                        agg: None,
+                        column: None,
+                    },
+                )
+                .with(3, FaultKind::WorkerPanic)
+                .with(4, FaultKind::PerturbRanges { epsilon: 0.2 });
+            storm_one(q, cat, registry, config(seed, 1, plan));
+        }
+    }));
+    std::panic::set_hook(prev);
+    if let Err(payload) = run {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn tpch_query(id: &str) -> QuerySpec {
+    tpch_queries().into_iter().find(|q| q.id == id).unwrap()
+}
+
+#[test]
+fn tpch_q17_survives_fault_storm_exactly() {
+    let cat = tpch_catalog(0.04, 41);
+    let registry = FunctionRegistry::with_builtins();
+    storm(&tpch_query("Q17"), &cat, &registry);
+}
+
+#[test]
+fn tpch_q20_survives_fault_storm_exactly() {
+    let cat = tpch_catalog(0.04, 42);
+    let registry = FunctionRegistry::with_builtins();
+    storm(&tpch_query("Q20"), &cat, &registry);
+}
+
+#[test]
+fn conviva_c8_survives_fault_storm_exactly() {
+    let cat = conviva_catalog(700, 43);
+    let registry = conviva_registry();
+    let q = conviva_queries()
+        .into_iter()
+        .find(|q| q.id == "C8")
+        .unwrap();
+    storm(&q, &cat, &registry);
+}
