@@ -52,6 +52,12 @@ pub enum Rule {
     /// `FaultPlan`. Deliberately *not* allowlistable: an ungated hook in a
     /// release binary is never an audited exception.
     L004,
+    /// Instrumentation coverage: every `OnlineOp::process` implementation
+    /// in the operator hot-path files must open a trace span
+    /// (`ctx.op_span(`) so the causal trace tree never has silent gaps —
+    /// a batch timeline with an untraced operator misattributes that
+    /// operator's time to its parent.
+    L005,
 }
 
 impl Rule {
@@ -70,6 +76,7 @@ impl Rule {
             Rule::L002 => "L002",
             Rule::L003 => "L003",
             Rule::L004 => "L004",
+            Rule::L005 => "L005",
         }
     }
 
@@ -88,6 +95,7 @@ impl Rule {
             Rule::L002 => "no-unordered-iter-output",
             Rule::L003 => "no-instant-outside-metrics",
             Rule::L004 => "fault-hook-ungated",
+            Rule::L005 => "instrumentation-coverage",
         }
     }
 
@@ -107,7 +115,7 @@ impl Rule {
 
     /// All source-lint rules, in id order (for zero-filled counters).
     pub fn lint_rules() -> &'static [Rule] {
-        &[Rule::L001, Rule::L002, Rule::L003, Rule::L004]
+        &[Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005]
     }
 }
 

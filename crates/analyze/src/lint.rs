@@ -23,6 +23,12 @@
 //!   A hook without a gate would fire even when the config carries no
 //!   `FaultPlan` — i.e. in production — so L004 findings are **not**
 //!   allowlistable.
+//! * **L005 `instrumentation-coverage`** — every `fn process(` body in the
+//!   operator hot-path files (the L001 file set) must open a trace span
+//!   via `ctx.op_span(` before the next `fn `, so a traced batch timeline
+//!   never silently folds an operator's time into its parent. The
+//!   `OnlineOp` enum dispatcher (a pure `match self` delegation) is
+//!   exempt.
 //!
 //! Lines inside `#[cfg(test)]` modules (everything from the first such
 //! attribute to end of file — the repo convention keeps test modules last)
@@ -163,6 +169,10 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
         }
     }
 
+    if L001_FILES.contains(&rel_path) {
+        findings.extend(l005_spanless_process(rel_path, &lines));
+    }
+
     if L002_FILES.contains(&rel_path) {
         let tracked = tracked_hash_idents(&lines);
         for (no, line) in &lines {
@@ -192,6 +202,32 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
         }
     }
 
+    findings
+}
+
+/// L005: every `fn process(` body in the operator hot-path files must open
+/// a trace span (`.op_span(`) before the next `fn `, so the causal trace
+/// tree has no silent gaps. The `OnlineOp` enum dispatcher — whose body is
+/// a `match self` delegating to the variant impls, each of which opens its
+/// own span — is exempt.
+fn l005_spanless_process(rel_path: &str, lines: &[(usize, &str)]) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (k, (no, line)) in lines.iter().enumerate() {
+        if !line.contains("fn process(") {
+            continue;
+        }
+        let body_end = lines[k + 1..]
+            .iter()
+            .position(|(_, l)| l.contains("fn "))
+            .map(|p| k + 1 + p)
+            .unwrap_or(lines.len());
+        let body = &lines[k..body_end];
+        let spanned = body.iter().any(|(_, l)| l.contains(".op_span("));
+        let dispatcher = body.iter().any(|(_, l)| l.contains("match self"));
+        if !spanned && !dispatcher {
+            findings.push(finding(Rule::L005, rel_path, *no, line));
+        }
+    }
     findings
 }
 
@@ -468,6 +504,38 @@ mod tests {
         assert!(lint_source("crates/core/src/faults.rs", ungated).is_empty());
         // Other crates are out of scope.
         assert!(lint_source("crates/bench/src/lib.rs", ungated).is_empty());
+    }
+
+    #[test]
+    fn l005_flags_spanless_process_bodies() {
+        let bad = "impl ScanOp {\n\
+                   fn process(&mut self, ctx: &mut BatchCtx<'_>) -> R {\n\
+                   let out = BatchData::empty(s);\n\
+                   Ok(out)\n\
+                   }\n\
+                   fn other(&self) {}\n\
+                   }\n";
+        let f = lint_source("crates/core/src/ops.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::L005);
+        assert_eq!(f[0].line, 2);
+        // Opening a span legitimizes the body.
+        let good = bad.replace(
+            "let out = BatchData::empty(s);",
+            "let sp = ctx.op_span(\"Scan\");\nlet out = BatchData::empty(s);",
+        );
+        assert!(lint_source("crates/core/src/ops.rs", &good).is_empty());
+        // The enum dispatcher (match self delegation) is exempt.
+        let dispatch = "impl OnlineOp {\n\
+                        pub fn process(&mut self, ctx: &mut BatchCtx<'_>) -> R {\n\
+                        match self {\n\
+                        OnlineOp::Scan(op) => op.process(ctx),\n\
+                        }\n\
+                        }\n\
+                        }\n";
+        assert!(lint_source("crates/core/src/ops_join.rs", dispatch).is_empty());
+        // Other files are out of scope.
+        assert!(lint_source("crates/core/src/driver.rs", bad).is_empty());
     }
 
     #[test]

@@ -303,6 +303,7 @@ impl NestedState {
             recovered: false,
             state_bytes_join: 0,
             state_bytes_other,
+            self_time_ns: Vec::new(),
         })
     }
 }

@@ -21,6 +21,13 @@
 //! run's final answer disagrees with the exact offline baseline.
 //! `--smoke` shrinks the sweep for the offline gate.
 //!
+//! `trace <query>` (not part of `all`) runs one query (default `C2`) with
+//! the causal event journal armed and renders a per-batch timeline, a
+//! top-k exclusive self-time table, and per-operator latency quantiles,
+//! then writes JSONL and Chrome `trace_event` exports. `trace --smoke`
+//! byte-checks the normalized Chrome export against
+//! `scripts/trace-schema.golden` (regenerate: `IOLAP_UPDATE_GOLDEN=1`).
+//!
 //! `--json <path>` additionally writes a machine-readable record of every
 //! workload query — per-batch timings, driver stats, and the per-operator
 //! metrics breakdown — after the selected experiments finish.
@@ -38,12 +45,15 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut smoke = false;
+    let mut trace_query: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
-    let mut it = raw.into_iter();
-    while let Some(a) = it.next() {
+    let mut i = 0;
+    while i < raw.len() {
+        let a = raw[i].as_str();
         if a == "--json" {
-            match it.next() {
-                Some(p) => json_path = Some(p),
+            i += 1;
+            match raw.get(i) {
+                Some(p) => json_path = Some(p.clone()),
                 None => {
                     eprintln!("--json requires a path argument");
                     std::process::exit(2);
@@ -51,9 +61,19 @@ fn main() {
             }
         } else if a == "--smoke" {
             smoke = true;
+        } else if a == "trace" {
+            args.push(a.to_string());
+            // Optional query id operand: `trace C8` (default C2).
+            if let Some(q) = raw.get(i + 1) {
+                if !q.starts_with('-') {
+                    trace_query = Some(q.clone());
+                    i += 1;
+                }
+            }
         } else {
-            args.push(a);
+            args.push(a.to_string());
         }
+        i += 1;
     }
     let scale = ExpScale::from_env();
     let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -77,6 +97,7 @@ fn main() {
                 violations += runs.iter().filter(|r| !r.agree).count();
                 storm = Some(runs);
             }
+            "trace" => violations += trace_cmd(&scale, trace_query.as_deref(), smoke),
             "table1" => table1(&scale),
             "fig7a" => fig7a(&scale),
             "fig7b" => fig7bc(&scale, true),
@@ -160,7 +181,167 @@ fn faultstorm(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
             of_kind.iter().filter(|r| r.agree).count()
         );
     }
+    // Every storm run flies with the flight recorder armed; show the most
+    // informative black box so the injected fault, any recovery cascade,
+    // and each replay are readable straight from the harness output.
+    match storm_flight_dump(&runs) {
+        Some(dump) => println!("\nrepresentative flight-recorder dump:\n{dump}"),
+        None => println!("\n(no flight-recorder dump captured — no fault fired)"),
+    }
     runs
+}
+
+/// `trace <query>`: run one query with the full event journal armed and
+/// render its causal trace — a per-batch timeline, a top-k exclusive
+/// self-time table, and per-operator latency quantiles — then write both
+/// exporters' output (`TRACE_<id>.jsonl`, `TRACE_<id>.trace.json`; the
+/// latter loads in `chrome://tracing` / Perfetto).
+///
+/// `--smoke` instead runs a pinned tiny configuration (Conviva 300 rows,
+/// 3 batches, seed 2016 — independent of `IOLAP_SCALE`) and byte-compares
+/// the *normalized* Chrome export against `scripts/trace-schema.golden`,
+/// failing on any drift in the event schema or in seeded determinism.
+/// `IOLAP_UPDATE_GOLDEN=1` regenerates the golden file after an audited
+/// schema change. Returns the number of violations (0 or 1).
+fn trace_cmd(scale: &ExpScale, query: Option<&str>, smoke: bool) -> usize {
+    use iolap_core::{export_chrome, export_jsonl, EventKind};
+    let id = query.unwrap_or("C2");
+    let scale = if smoke {
+        ExpScale {
+            tpch_sf: 0.1,
+            conviva_rows: 300,
+            batches: 3,
+            trials: 10,
+            seed: 2016,
+        }
+    } else {
+        *scale
+    };
+    section(&format!(
+        "trace: causal event journal, {id} ({})",
+        if smoke { "smoke" } else { "full" }
+    ));
+    let w = if id.starts_with('Q') {
+        tpch_workload(&scale)
+    } else {
+        conviva_workload(&scale)
+    };
+    let Some(q) = w.queries.iter().find(|q| q.id == id).cloned() else {
+        eprintln!("unknown query `{id}`");
+        std::process::exit(2);
+    };
+    let (reports, events, cumulative) = w.run_iolap_traced(&q, scale.config());
+
+    if smoke {
+        let golden_path = iolap_analyze::repo_root().join("scripts/trace-schema.golden");
+        let normalized = export_chrome(&events, true);
+        if std::env::var("IOLAP_UPDATE_GOLDEN").as_deref() == Ok("1") {
+            if let Err(e) = std::fs::write(&golden_path, &normalized) {
+                eprintln!("failed to write {}: {e}", golden_path.display());
+                return 1;
+            }
+            println!(
+                "updated {} ({} events, {} bytes)",
+                golden_path.display(),
+                events.len(),
+                normalized.len()
+            );
+            return 0;
+        }
+        match std::fs::read_to_string(&golden_path) {
+            Ok(golden) if golden == normalized => {
+                println!(
+                    "chrome-trace schema check OK ({} events, {} bytes, byte-identical)",
+                    events.len(),
+                    normalized.len()
+                );
+                0
+            }
+            Ok(_) => {
+                eprintln!(
+                    "chrome-trace export drifted from {} — if the schema change is \
+                     intentional, regenerate with IOLAP_UPDATE_GOLDEN=1",
+                    golden_path.display()
+                );
+                1
+            }
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", golden_path.display());
+                1
+            }
+        }
+    } else {
+        println!(
+            "{:>6} {:>10} {:>6}  top self-time (ms)",
+            "batch", "ms", "marks"
+        );
+        for r in &reports {
+            let mut st = r.self_time_ns.clone();
+            st.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            let marks = events
+                .iter()
+                .filter(|e| e.batch == r.batch && e.kind == EventKind::Mark)
+                .count();
+            let top: Vec<String> = st
+                .iter()
+                .take(4)
+                .map(|(n, ns)| format!("{n} {:.2}", *ns as f64 / 1e6))
+                .collect();
+            println!(
+                "{:>6} {:>10} {:>6}  {}",
+                r.batch,
+                ms(r.elapsed),
+                marks,
+                top.join(" | ")
+            );
+        }
+        let mut totals: std::collections::BTreeMap<&str, u64> = Default::default();
+        for r in &reports {
+            for (n, ns) in &r.self_time_ns {
+                *totals.entry(n).or_default() += ns;
+            }
+        }
+        let mut totals: Vec<_> = totals.into_iter().collect();
+        totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let grand: u64 = totals.iter().map(|x| x.1).sum();
+        println!("\n{:<24} {:>12} {:>7}", "span", "self(ms)", "share");
+        for (n, ns) in totals.iter().take(10) {
+            println!(
+                "{:<24} {:>12.2} {:>6.1}%",
+                n,
+                *ns as f64 / 1e6,
+                100.0 * *ns as f64 / grand.max(1) as f64
+            );
+        }
+        println!(
+            "\n{:<24} {:>8} {:>10} {:>10} {:>10}",
+            "metric", "samples", "p50(ms)", "p95(ms)", "p99(ms)"
+        );
+        for (name, h) in cumulative.histograms() {
+            let q = |p: f64| h.quantile(p).unwrap_or(0) as f64 / 1e6;
+            println!(
+                "{:<24} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+                name,
+                h.count(),
+                q(0.5),
+                q(0.95),
+                q(0.99)
+            );
+        }
+        for (path, body) in [
+            (format!("TRACE_{id}.jsonl"), export_jsonl(&events, false)),
+            (
+                format!("TRACE_{id}.trace.json"),
+                export_chrome(&events, false),
+            ),
+        ] {
+            match std::fs::write(&path, body) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+        0
+    }
 }
 
 /// `verify-plans`: rewrite every built-in query (TPC-H subset + Conviva)
@@ -574,7 +755,9 @@ fn trials_sweep(scale: &ExpScale) {
 
 /// Extension (not in the paper): per-operator metrics breakdown for one
 /// representative nested query per workload, summed over all batches —
-/// where each query's time and traffic actually go.
+/// where each query's time and traffic actually go. Runs with the journal
+/// armed so the rollup line reports *exclusive* span self-time from the
+/// trace tree (the deprecated `total_span_ns` double-counted nested spans).
 fn metrics_breakdown(scale: &ExpScale) {
     for (w, id) in [
         (tpch_workload(scale), "Q11"),
@@ -585,14 +768,19 @@ fn metrics_breakdown(scale: &ExpScale) {
             w.name
         ));
         let q = w.queries.iter().find(|q| q.id == id).unwrap().clone();
-        let (reports, cumulative) = w.run_iolap_with_metrics(&q, scale.config());
+        let (reports, _events, cumulative) = w.run_iolap_traced(&q, scale.config());
         print!("{cumulative}");
         let recovered = reports.iter().filter(|r| r.recovered).count();
+        let self_time_ns: u64 = reports
+            .iter()
+            .flat_map(|r| r.self_time_ns.iter())
+            .map(|(_, ns)| ns)
+            .sum();
         println!(
-            "batches: {} | recoveries: {} | instrumented span total: {:.2} ms",
+            "batches: {} | recoveries: {} | traced self-time total: {:.2} ms",
             reports.len(),
             recovered,
-            cumulative.total_span_ns() as f64 / 1e6
+            self_time_ns as f64 / 1e6
         );
     }
 }

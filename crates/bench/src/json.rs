@@ -7,9 +7,22 @@
 //! latency, then per-batch wall-clock, driver stats, and the per-operator
 //! metrics breakdown recorded by `iolap_core::metrics`.
 
-use crate::{fault_storm_kinds, total_latency, ExpScale, FaultStormRun, Workload};
-use iolap_core::{BatchReport, Metrics};
+use crate::{
+    fault_storm_kinds, measure_trace_overhead, total_latency, ExpScale, FaultStormRun,
+    TraceOverhead, Workload,
+};
+use iolap_core::{BatchReport, IolapConfig, Metrics, TraceMode};
 use std::fmt::Write as _;
+
+/// Version of the `BENCH_*.json` document layout. Bump on any breaking
+/// change to key names or nesting so downstream diffing tools can refuse
+/// records they do not understand.
+///
+/// * 1 — implicit (documents without the field): scale / verification /
+///   faults / workloads.
+/// * 2 — adds `schema_version`, `seed`, the full `config` snapshot, the
+///   `trace_overhead` record, and per-batch `self_time_ns`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Escape a string for a JSON string literal (quotes not included).
 pub fn escape(s: &str) -> String {
@@ -64,14 +77,109 @@ pub fn metrics_json(m: &Metrics) -> String {
     out
 }
 
+/// Full [`IolapConfig`] snapshot, so a benchmark record is reproducible
+/// from its own header without consulting defaults that may drift.
+pub fn config_json(c: &IolapConfig) -> String {
+    let partition = match c.partition_mode {
+        iolap_relation::PartitionMode::BlockShuffle { block_rows } => {
+            format!("{{\"mode\":\"block_shuffle\",\"block_rows\":{block_rows}}}")
+        }
+        iolap_relation::PartitionMode::RowShuffle => "{\"mode\":\"row_shuffle\"}".to_string(),
+        iolap_relation::PartitionMode::Sequential => "{\"mode\":\"sequential\"}".to_string(),
+        iolap_relation::PartitionMode::StratifiedShuffle { column } => {
+            format!("{{\"mode\":\"stratified_shuffle\",\"column\":{column}}}")
+        }
+    };
+    let trace = match c.trace_mode {
+        TraceMode::Off => "{\"mode\":\"off\"}".to_string(),
+        TraceMode::Journal => "{\"mode\":\"journal\"}".to_string(),
+        TraceMode::Flight { capacity } => {
+            format!("{{\"mode\":\"flight\",\"capacity\":{capacity}}}")
+        }
+    };
+    let faults = match &c.fault_plan {
+        None => "null".to_string(),
+        Some(p) => {
+            let mut s = format!("{{\"seed\":{},\"faults\":[", p.seed);
+            for (i, f) in p.faults.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"kind\":\"{}\",\"batch\":{}}}",
+                    escape(f.kind.label()),
+                    f.batch
+                );
+            }
+            s.push_str("]}");
+            s
+        }
+    };
+    format!(
+        concat!(
+            "{{\"trials\":{},\"slack\":{},\"seed\":{},\"num_batches\":{},",
+            "\"partition\":{},\"confidence\":{},\"opt_tuple_partition\":{},",
+            "\"opt_lazy_lineage\":{},\"checkpoint_interval\":{},",
+            "\"parallelism\":{},\"max_recovery_depth\":{},",
+            "\"max_checkpoints\":{},\"fault_plan\":{},\"trace\":{}}}"
+        ),
+        c.trials,
+        num(c.slack),
+        c.seed,
+        c.num_batches,
+        partition,
+        num(c.confidence),
+        c.opt_tuple_partition,
+        c.opt_lazy_lineage,
+        c.checkpoint_interval,
+        c.parallelism,
+        c.max_recovery_depth,
+        c.max_checkpoints,
+        faults,
+        trace,
+    )
+}
+
+/// The tracing-overhead record: per-batch untraced/traced latency pairs on
+/// the Fig 9(a) C2 sweep, totals, and the measured percentage against the
+/// 5 % budget the trace layer is designed to.
+pub fn trace_overhead_json(t: &TraceOverhead) -> String {
+    let mut out = String::from("{\"query\":\"C2\",\"per_batch_ms\":[");
+    for (i, (off, on)) in t.per_batch_ms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{}]", num(*off), num(*on));
+    }
+    let _ = write!(
+        out,
+        "],\"total_off_ms\":{},\"total_on_ms\":{},\"events\":{},\
+         \"overhead_pct\":{},\"budget_pct\":5.0}}",
+        num(t.total_off.as_secs_f64() * 1e3),
+        num(t.total_on.as_secs_f64() * 1e3),
+        t.events,
+        num(t.pct()),
+    );
+    out
+}
+
 /// One batch report as a JSON object.
 pub fn batch_json(r: &BatchReport) -> String {
+    let mut self_time = String::from("{");
+    for (i, (name, ns)) in r.self_time_ns.iter().enumerate() {
+        if i > 0 {
+            self_time.push(',');
+        }
+        let _ = write!(self_time, "\"{}\":{ns}", escape(name));
+    }
+    self_time.push('}');
     format!(
         concat!(
             "{{\"batch\":{},\"elapsed_ms\":{},\"fraction\":{},",
             "\"recovered\":{},\"recomputed_tuples\":{},\"shipped_bytes\":{},",
             "\"failures\":{},\"state_bytes_join\":{},\"state_bytes_other\":{},",
-            "\"operators\":{}}}"
+            "\"self_time_ns\":{},\"operators\":{}}}"
         ),
         r.batch,
         num(r.elapsed.as_secs_f64() * 1e3),
@@ -82,6 +190,7 @@ pub fn batch_json(r: &BatchReport) -> String {
         r.stats.failures,
         r.state_bytes_join,
         r.state_bytes_other,
+        self_time,
         metrics_json(&r.metrics),
     )
 }
@@ -192,18 +301,23 @@ pub fn write_bench_json(
     let _ = write!(
         out,
         concat!(
+            "\"schema_version\":{},\n\"seed\":{},\n",
             "\"scale\":{{\"tpch_sf\":{},\"conviva_rows\":{},\"batches\":{},",
-            "\"trials\":{},\"seed\":{}}},\n"
+            "\"trials\":{},\"seed\":{}}},\n\"config\":{},\n"
         ),
+        SCHEMA_VERSION,
+        scale.seed,
         num(scale.tpch_sf),
         scale.conviva_rows,
         scale.batches,
         scale.trials,
         scale.seed,
+        config_json(&scale.config()),
     );
     let _ = write!(
         out,
-        "\"verification\":{},\n\"faults\":{},\n\"workloads\":[\n",
+        "\"trace_overhead\":{},\n\"verification\":{},\n\"faults\":{},\n\"workloads\":[\n",
+        trace_overhead_json(&measure_trace_overhead(scale)),
         verification_json(workloads),
         faults_json(storm)
     );
@@ -277,6 +391,49 @@ mod tests {
     }
 
     #[test]
+    fn config_json_snapshots_every_knob() {
+        let c = IolapConfig::with_batches(7)
+            .trials(25)
+            .seed(99)
+            .flight_recorder();
+        let s = config_json(&c);
+        assert!(s.contains("\"num_batches\":7"), "{s}");
+        assert!(s.contains("\"trials\":25"));
+        assert!(s.contains("\"seed\":99"));
+        assert!(s.contains("\"fault_plan\":null"));
+        assert!(s.contains("\"trace\":{\"mode\":\"flight\",\"capacity\":"));
+        let journal = config_json(&c.trace_mode(TraceMode::Journal));
+        assert!(journal.contains("\"trace\":{\"mode\":\"journal\"}"));
+    }
+
+    #[test]
+    fn config_json_records_fault_plans() {
+        let c = IolapConfig::with_batches(4).fault_plan(
+            iolap_core::FaultPlan::new(3).with(2, iolap_core::FaultKind::DropCheckpoint),
+        );
+        let s = config_json(&c);
+        assert!(
+            s.contains("\"fault_plan\":{\"seed\":3,\"faults\":[{\"kind\":\"drop_checkpoint\",\"batch\":2}]}"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn trace_overhead_json_shape() {
+        let t = TraceOverhead {
+            per_batch_ms: vec![(1.0, 1.05), (2.0, 2.1)],
+            total_off: std::time::Duration::from_millis(3),
+            total_on: std::time::Duration::from_micros(3090),
+            events: 42,
+        };
+        let s = trace_overhead_json(&t);
+        assert!(s.contains("\"per_batch_ms\":[[1,1.05],[2,2.1]]"), "{s}");
+        assert!(s.contains("\"events\":42"));
+        assert!(s.contains("\"budget_pct\":5.0"));
+        assert!((t.pct() - 3.0).abs() < 0.1, "{}", t.pct());
+    }
+
+    #[test]
     fn faults_json_aggregates_per_kind() {
         let storm = vec![
             FaultStormRun {
@@ -288,6 +445,7 @@ mod tests {
                 fired: 1,
                 agree: true,
                 recoveries: 1,
+                dump: None,
             },
             FaultStormRun {
                 workload: "tpch",
@@ -298,6 +456,7 @@ mod tests {
                 fired: 0,
                 agree: true,
                 recoveries: 0,
+                dump: None,
             },
         ];
         let s = faults_json(&storm);

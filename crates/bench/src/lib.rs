@@ -15,7 +15,9 @@ pub mod json;
 // driver's debug hook, so every debug-build experiment re-verifies its
 // rewritten plan before batch 0.
 use iolap_baselines::{run_baseline_plan, BaselineReport, HdaDriver};
-use iolap_core::{BatchReport, FaultKind, FaultPlan, IolapConfig, IolapDriver, Metrics};
+use iolap_core::{
+    BatchReport, FaultKind, FaultPlan, IolapConfig, IolapDriver, Metrics, TraceEvent, TraceMode,
+};
 use iolap_engine::{plan_sql, FunctionRegistry, PlannedQuery};
 use iolap_relation::{Catalog, PartitionMode};
 use iolap_workloads::QuerySpec;
@@ -158,6 +160,31 @@ impl Workload {
         (reports, cumulative)
     }
 
+    /// Run a query through iOLAP with the full event journal armed,
+    /// returning the batch reports, the recorded trace, and the driver's
+    /// cumulative metrics (histograms included) — the `experiments trace`
+    /// subcommand's data source.
+    pub fn run_iolap_traced(
+        &self,
+        q: &QuerySpec,
+        config: IolapConfig,
+    ) -> (Vec<BatchReport>, Vec<TraceEvent>, Metrics) {
+        let pq = self.plan(q);
+        let mut d = IolapDriver::from_plan(
+            &pq,
+            &self.catalog,
+            q.stream_table,
+            config.trace_mode(TraceMode::Journal),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let reports = d
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let events = d.trace_events();
+        let cumulative = d.metrics().clone();
+        (reports, events, cumulative)
+    }
+
     /// Run a query through HDA to completion.
     pub fn run_hda(&self, q: &QuerySpec, config: IolapConfig) -> Vec<BatchReport> {
         let pq = self.plan(q);
@@ -212,6 +239,49 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Tracing cost on the Fig 9(a) optimization-breakdown sweep (Conviva C2):
+/// the same query run untraced and with the full journal armed.
+#[derive(Clone, Debug)]
+pub struct TraceOverhead {
+    /// Per batch: `(untraced ms, traced ms)`.
+    pub per_batch_ms: Vec<(f64, f64)>,
+    /// Total latency, tracing off.
+    pub total_off: Duration,
+    /// Total latency, journal armed.
+    pub total_on: Duration,
+    /// Journal events the traced run recorded.
+    pub events: usize,
+}
+
+impl TraceOverhead {
+    /// Tracing overhead in percent of the untraced total (can be slightly
+    /// negative under timer noise).
+    pub fn pct(&self) -> f64 {
+        100.0 * (ratio(self.total_on, self.total_off) - 1.0)
+    }
+}
+
+/// Measure tracing overhead on Conviva C2 (the Fig 9(a) query): one warm-up
+/// run, then an untraced and a journal-armed run back to back. The `--json`
+/// record embeds the result against the < 5 % overhead budget.
+pub fn measure_trace_overhead(scale: &ExpScale) -> TraceOverhead {
+    let w = conviva_workload(scale);
+    let q = w.queries.iter().find(|q| q.id == "C2").unwrap().clone();
+    let _warm = w.run_iolap(&q, scale.config());
+    let off = w.run_iolap(&q, scale.config());
+    let (on, events, _) = w.run_iolap_traced(&q, scale.config());
+    TraceOverhead {
+        per_batch_ms: off
+            .iter()
+            .zip(on.iter())
+            .map(|(a, b)| (a.elapsed.as_secs_f64() * 1e3, b.elapsed.as_secs_f64() * 1e3))
+            .collect(),
+        total_off: total_latency(&off),
+        total_on: total_latency(&on),
+        events: events.len(),
+    }
+}
+
 /// One fault-storm cell: a single driver run under one injected fault.
 #[derive(Clone, Debug)]
 pub struct FaultStormRun {
@@ -232,6 +302,23 @@ pub struct FaultStormRun {
     pub agree: bool,
     /// Batches that reported a recovery.
     pub recoveries: usize,
+    /// Flight-recorder dump captured after the run (the storm arms the
+    /// bounded ring, so every run carries its own black box).
+    pub dump: Option<String>,
+}
+
+/// The most informative flight-recorder dump in a storm: prefer a run
+/// whose recovery cascaded, then any run that replayed, then any run whose
+/// fault fired at all.
+pub fn storm_flight_dump(runs: &[FaultStormRun]) -> Option<&str> {
+    let by = |pat: &str| {
+        runs.iter()
+            .filter_map(|r| r.dump.as_deref())
+            .find(|d| d.contains(pat))
+    };
+    by("recovery.cascade")
+        .or_else(|| by("recovery.replay"))
+        .or_else(|| by("fault.injected"))
 }
 
 /// Every fault kind the storm sweeps, with its stable label.
@@ -308,7 +395,12 @@ fn fault_storm_inner(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
                         if matches!(kind, FaultKind::WorkerPanic) {
                             cfg = cfg.parallelism(2);
                         }
-                        let cfg = cfg.fault_plan(FaultPlan::new(scale.seed).with(bp, kind.clone()));
+                        // Every storm run flies with the bounded recorder
+                        // armed: a run that dies leaves a black box, and a
+                        // run that recovers documents its replays.
+                        let cfg = cfg
+                            .fault_plan(FaultPlan::new(scale.seed).with(bp, kind.clone()))
+                            .flight_recorder();
                         let mut d = IolapDriver::from_plan(&pq, &w.catalog, q.stream_table, cfg)
                             .unwrap_or_else(|e| panic!("{id}: {e}"));
                         let reports = d
@@ -324,6 +416,7 @@ fn fault_storm_inner(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
                             fired: d.fault_fires().iter().map(|(_, _, n)| n).sum(),
                             agree: last.result.relation.approx_eq(&baseline.relation, 1e-6),
                             recoveries: reports.iter().filter(|r| r.recovered).count(),
+                            dump: d.flight_dump(),
                         });
                     }
                 }

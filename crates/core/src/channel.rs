@@ -135,6 +135,19 @@ impl BatchData {
             .map(ORow::approx_bytes)
             .sum()
     }
+
+    /// Record this batch's dual-channel traffic under `channel.*` metrics.
+    /// The driver calls this on the root operator's output just before the
+    /// sink ingests it, so every batch's certain/uncertain split and shipped
+    /// bytes land in [`BatchReport::metrics`](crate::driver::BatchReport).
+    pub fn record_channel(&self, m: &mut crate::metrics::Metrics) {
+        m.add("channel.certain_rows", self.delta_certain.len() as u64);
+        m.add("channel.uncertain_rows", self.uncertain.len() as u64);
+        m.add("channel.bytes", self.approx_bytes() as u64);
+        if self.exhausted {
+            m.add("channel.exhausted", 1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +185,25 @@ mod tests {
         b.uncertain.push(ORow::new(vec![Value::Int(2)]));
         assert_eq!(b.len(), 2);
         assert!(b.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn record_channel_fires_metrics() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut b = BatchData::empty(schema);
+        b.delta_certain.push(ORow::new(vec![Value::Int(1)]));
+        b.delta_certain.push(ORow::new(vec![Value::Int(3)]));
+        b.uncertain.push(ORow::new(vec![Value::Int(2)]));
+        let mut m = crate::metrics::Metrics::new();
+        b.record_channel(&mut m);
+        assert_eq!(m.get("channel.certain_rows"), 2);
+        assert_eq!(m.get("channel.uncertain_rows"), 1);
+        assert_eq!(m.get("channel.bytes"), b.approx_bytes() as u64);
+        assert_eq!(m.get("channel.exhausted"), 0, "not exhausted yet");
+        b.exhausted = true;
+        b.record_channel(&mut m);
+        assert_eq!(m.get("channel.exhausted"), 1);
+        // Accumulates across batches, like every driver metric.
+        assert_eq!(m.get("channel.certain_rows"), 4);
     }
 }

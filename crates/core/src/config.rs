@@ -1,6 +1,7 @@
 //! iOLAP engine configuration.
 
 use crate::faults::FaultPlan;
+use crate::trace::TraceMode;
 use iolap_relation::PartitionMode;
 
 /// Tunable knobs of the iOLAP engine (paper §7, §8.4).
@@ -49,6 +50,11 @@ pub struct IolapConfig {
     /// `None` — the production default — compiles every injection hook down
     /// to a skipped pointer check.
     pub fault_plan: Option<FaultPlan>,
+    /// Causal trace journal: `Off` (default; all hooks are `None` and the
+    /// hot paths pay one pointer check per operator call), `Journal`
+    /// (unbounded, for exports/experiments), or `Flight` (bounded ring
+    /// that survives panics and is dumped on hard engine errors).
+    pub trace_mode: TraceMode,
 }
 
 impl Default for IolapConfig {
@@ -67,6 +73,7 @@ impl Default for IolapConfig {
             max_recovery_depth: 4,
             max_checkpoints: 4,
             fault_plan: None,
+            trace_mode: TraceMode::Off,
         }
     }
 }
@@ -129,6 +136,21 @@ impl IolapConfig {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Builder-style setter for the trace journal mode.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+
+    /// Builder-style shorthand arming the flight recorder at its default
+    /// ring capacity.
+    pub fn flight_recorder(mut self) -> Self {
+        self.trace_mode = TraceMode::Flight {
+            capacity: TraceMode::DEFAULT_FLIGHT_CAPACITY,
+        };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +164,7 @@ mod tests {
         assert_eq!(c.slack, 2.0);
         assert!(c.opt_tuple_partition && c.opt_lazy_lineage);
         assert!(c.fault_plan.is_none(), "faults must be off by default");
+        assert_eq!(c.trace_mode, TraceMode::Off, "tracing off by default");
         assert!(c.max_recovery_depth >= 1);
         assert!(c.max_checkpoints >= 2);
     }
@@ -156,6 +179,14 @@ mod tests {
         assert_eq!(c.fault_plan.as_ref().unwrap().faults.len(), 1);
         assert_eq!(c.max_recovery_depth, 2);
         assert_eq!(c.max_checkpoints, 3);
+    }
+
+    #[test]
+    fn trace_mode_builders() {
+        let c = IolapConfig::with_batches(3).trace_mode(TraceMode::Journal);
+        assert_eq!(c.trace_mode, TraceMode::Journal);
+        let c = IolapConfig::with_batches(3).flight_recorder();
+        assert!(matches!(c.trace_mode, TraceMode::Flight { capacity } if capacity > 0));
     }
 
     #[test]

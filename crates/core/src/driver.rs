@@ -22,6 +22,7 @@ use crate::ops::{BatchCtx, BatchStats, OnlineOp};
 use crate::registry::AggRegistry;
 use crate::rewriter::{rewrite, OnlineQuery, RewriteError};
 use crate::sink::{QueryResult, Sink};
+use crate::trace::{self_time_by_name, SpanId, Tracer, NO_BATCH};
 use iolap_bootstrap::RangeOutcome;
 use iolap_engine::{plan_sql, EngineError, FunctionRegistry, PlanError, PlannedQuery};
 use iolap_relation::{AggRef, BatchedRelation, Catalog, Relation, Row};
@@ -116,6 +117,11 @@ pub struct BatchReport {
     pub state_bytes_join: usize,
     /// Non-join operator state bytes after this batch.
     pub state_bytes_other: usize,
+    /// Exclusive per-span self-time for this batch, `(span name, ns)` in
+    /// name order, derived from the trace span tree (nested spans do not
+    /// double-count — unlike the deprecated `Metrics::total_span_ns`
+    /// rollup). Empty when tracing is off.
+    pub self_time_ns: Vec<(&'static str, u64)>,
 }
 
 /// Range-integrity failures an aggregate cell may cause before it is
@@ -192,6 +198,13 @@ pub struct IolapDriver {
     /// Armed fault-injection hooks; `None` (the production default) unless
     /// the config carries a `FaultPlan`.
     faults: Option<Arc<FaultInjector>>,
+    /// Causal trace journal; `None` (the production default) unless the
+    /// config enables a [`crate::trace::TraceMode`]. Shared with the
+    /// registry and the fault injector so their events land in the same
+    /// journal — and survive a panicking batch.
+    tracer: Option<Arc<Tracer>>,
+    /// Root "query" span all batch spans hang off.
+    query_span: SpanId,
 }
 
 impl IolapDriver {
@@ -241,10 +254,21 @@ impl IolapDriver {
             config.partition_mode,
         );
         let mut registry = AggRegistry::new();
-        let faults = config
-            .fault_plan
-            .clone()
-            .map(|plan| Arc::new(FaultInjector::new(plan)));
+        let tracer = Tracer::from_mode(config.trace_mode).map(Arc::new);
+        let query_span = match &tracer {
+            Some(t) => t.begin("query", NO_BATCH, SpanId::NONE),
+            None => SpanId::NONE,
+        };
+        if let Some(t) = &tracer {
+            registry.set_tracer(t.clone());
+        }
+        let faults = config.fault_plan.clone().map(|plan| {
+            let mut inj = FaultInjector::new(plan);
+            if let Some(t) = &tracer {
+                inj = inj.with_tracer(t.clone());
+            }
+            Arc::new(inj)
+        });
         if let Some(f) = &faults {
             registry.set_fault_injector(f.clone());
         }
@@ -275,6 +299,8 @@ impl IolapDriver {
             pending_metrics,
             last_derefs: 0,
             faults,
+            tracer,
+            query_span,
         })
     }
 
@@ -324,11 +350,32 @@ impl IolapDriver {
         Ok(out)
     }
 
+    /// Dump the flight recorder to stderr before surfacing a hard engine
+    /// error — the postmortem the ring buffer exists for.
+    fn dump_on_error(&self, e: DriverError) -> DriverError {
+        if let Some(t) = &self.tracer {
+            t.instant(
+                "engine_error",
+                self.next_batch.saturating_sub(1),
+                self.query_span,
+                0,
+                e.to_string(),
+            );
+            eprintln!("{}", t.flight_dump());
+        }
+        e
+    }
+
     fn run_batch(&mut self, i: usize) -> Result<BatchReport, DriverError> {
         let start = Span::start();
         let mut stats = BatchStats::default();
         let mut metrics = std::mem::take(&mut self.pending_metrics);
         let mut recovered = false;
+        let trace_from_seq = self.tracer.as_ref().map(|t| t.recorded()).unwrap_or(0);
+        let batch_span = match &self.tracer {
+            Some(t) => t.begin("batch", i, self.query_span),
+            None => SpanId::NONE,
+        };
         if let Some(f) = &self.faults {
             f.begin_batch(i);
         }
@@ -354,7 +401,7 @@ impl IolapDriver {
         let mut work = self.batches.batch(i).clone();
         loop {
             let pass_span = Span::start();
-            let attempt = self.process_delta(i, &work, &mut stats, &mut metrics);
+            let attempt = self.process_delta(i, &work, &mut stats, &mut metrics, batch_span);
             if replaying {
                 pass_span.stop(&mut metrics, "recovery.replay_ns");
             }
@@ -366,7 +413,16 @@ impl IolapDriver {
                     // must surface.
                     depth += 1;
                     if depth > depth_cap {
-                        return Err(e);
+                        return Err(self.dump_on_error(e));
+                    }
+                    if let Some(t) = &self.tracer {
+                        t.instant(
+                            "recovery.error_replay",
+                            i,
+                            batch_span,
+                            depth as u64,
+                            e.to_string(),
+                        );
                     }
                     metrics.add("recovery.error_replays", 1);
                     recovered = true;
@@ -378,6 +434,15 @@ impl IolapDriver {
                     work = self.combined_delta(replay_start, i);
                     metrics.add("recovery.replays", 1);
                     metrics.add("recovery.replayed_rows", work.len() as u64);
+                    if let Some(t) = &self.tracer {
+                        t.instant(
+                            "recovery.replay",
+                            i,
+                            batch_span,
+                            work.len() as u64,
+                            format!("replay batches {replay_start}..={i}"),
+                        );
+                    }
                     replaying = true;
                     continue;
                 }
@@ -399,18 +464,39 @@ impl IolapDriver {
             let Some(j) = self.examine_failures(&outcomes) else {
                 break;
             };
+            if let Some(t) = &self.tracer {
+                t.instant(
+                    "range.failure",
+                    i,
+                    batch_span,
+                    outcomes.len() as u64,
+                    format!("recovery target j={j}"),
+                );
+            }
             recovered = true;
             self.total_failures += 1;
             stats.failures = stats.failures.max(1);
             depth += 1;
             if replaying {
                 metrics.add("recovery.cascades", 1);
+                if let Some(t) = &self.tracer {
+                    t.instant(
+                        "recovery.cascade",
+                        i,
+                        batch_span,
+                        depth as u64,
+                        format!("cascade depth {depth}"),
+                    );
+                }
             }
             let target = if depth > depth_cap {
                 // Graceful degradation: bar the offenders for good and
                 // recompute the whole retained prefix from the initial
                 // checkpoint (HDA-style).
                 metrics.add("recovery.degraded", 1);
+                if let Some(t) = &self.tracer {
+                    t.instant("recovery.degraded", i, batch_span, depth as u64, "");
+                }
                 self.bar_quarantined_offenders();
                 -1
             } else {
@@ -424,6 +510,15 @@ impl IolapDriver {
             work = self.combined_delta(replay_start, i);
             metrics.add("recovery.replays", 1);
             metrics.add("recovery.replayed_rows", work.len() as u64);
+            if let Some(t) = &self.tracer {
+                t.instant(
+                    "recovery.replay",
+                    i,
+                    batch_span,
+                    work.len() as u64,
+                    format!("replay batches {replay_start}..={i} (target {target})"),
+                );
+            }
             replaying = true;
         }
 
@@ -437,6 +532,9 @@ impl IolapDriver {
                 // Injected lost write: recovery must cope with the gap by
                 // falling back to an older checkpoint.
                 metrics.add("ckpt.dropped", 1);
+                if let Some(t) = &self.tracer {
+                    t.instant("ckpt.drop", i, batch_span, 0, "");
+                }
             } else {
                 let save_span = Span::start();
                 let (join_bytes, other_bytes) = self.root.state_bytes();
@@ -457,6 +555,9 @@ impl IolapDriver {
                 }
                 self.checkpoints.push(cp);
                 save_span.stop(&mut metrics, "ckpt.save_ns");
+                if let Some(t) = &self.tracer {
+                    t.instant("ckpt.save", i, batch_span, bytes as u64, "");
+                }
                 metrics.add("ckpt.saves", 1);
                 metrics.add("ckpt.clone_bytes", bytes as u64);
                 self.prune_checkpoints(i, &mut metrics);
@@ -474,11 +575,14 @@ impl IolapDriver {
         let mut publish_retries = 0usize;
         let result = loop {
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.sink.publish(
+                self.sink.publish_traced(
                     &self.registry,
                     self.batches.scale_after(i),
                     self.config.trials,
                     self.config.confidence,
+                    self.tracer.as_deref(),
+                    i,
+                    batch_span,
                 )
             }));
             match attempt {
@@ -486,12 +590,23 @@ impl IolapDriver {
                 Err(payload) => {
                     publish_retries += 1;
                     if publish_retries > depth_cap {
-                        return Err(DriverError::Engine(EngineError::Plan(format!(
-                            "publish panicked: {}",
-                            crate::faults::panic_message(payload)
+                        return Err(self.dump_on_error(DriverError::Engine(EngineError::Plan(
+                            format!(
+                                "publish panicked: {}",
+                                crate::faults::panic_message(payload)
+                            ),
                         ))));
                     }
                     metrics.add("recovery.publish_retries", 1);
+                    if let Some(t) = &self.tracer {
+                        t.instant(
+                            "sink.publish_retry",
+                            i,
+                            batch_span,
+                            publish_retries as u64,
+                            "publish panicked; re-rendering from intact state",
+                        );
+                    }
                     recovered = true;
                 }
             }
@@ -499,6 +614,21 @@ impl IolapDriver {
         publish_span.stop(&mut metrics, "sink.publish_ns");
         metrics.add("sink.result_rows", result.relation.len() as u64);
         self.cumulative_metrics.merge(&metrics);
+        let self_time_ns = match &self.tracer {
+            Some(t) => {
+                t.end(
+                    "batch",
+                    i,
+                    batch_span,
+                    self.query_span,
+                    result.relation.len() as u64,
+                );
+                self_time_by_name(&t.events_since(trace_from_seq))
+                    .into_iter()
+                    .collect()
+            }
+            None => Vec::new(),
+        };
         Ok(BatchReport {
             batch: i,
             result,
@@ -509,6 +639,7 @@ impl IolapDriver {
             recovered,
             state_bytes_join,
             state_bytes_other,
+            self_time_ns,
         })
     }
 
@@ -518,6 +649,7 @@ impl IolapDriver {
         delta: &Relation,
         stats: &mut BatchStats,
         metrics: &mut Metrics,
+        batch_span: SpanId,
     ) -> Result<Vec<(iolap_relation::AggRef, RangeOutcome)>, DriverError> {
         let mut ctx = BatchCtx {
             registry: &mut self.registry,
@@ -537,6 +669,8 @@ impl IolapDriver {
             outcomes: Vec::new(),
             metrics: Metrics::new(),
             faults: self.faults.as_deref(),
+            trace: self.tracer.as_deref(),
+            cur_span: batch_span,
         };
         // A panicking operator (a poisoned deref, an injected fault) must
         // surface as a recoverable error, not tear down the controller: the
@@ -566,6 +700,7 @@ impl IolapDriver {
         let derefs = self.registry.deref_count();
         metrics.add("registry.derefs", derefs.saturating_sub(self.last_derefs));
         self.last_derefs = derefs;
+        out.record_channel(metrics);
         self.sink.ingest(out.delta_certain, out.uncertain);
         Ok(outcomes)
     }
@@ -774,6 +909,23 @@ impl IolapDriver {
     /// fault plan is armed; empty in production (no plan).
     pub fn fault_fires(&self) -> Vec<(&'static str, usize, u64)> {
         self.faults.as_ref().map(|f| f.fired()).unwrap_or_default()
+    }
+
+    /// The trace journal, when the config enabled one.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Snapshot of the retained trace events (empty when tracing is off).
+    pub fn trace_events(&self) -> Vec<crate::trace::TraceEvent> {
+        self.tracer.as_ref().map(|t| t.events()).unwrap_or_default()
+    }
+
+    /// Deterministic flight-recorder dump of the retained journal, when
+    /// tracing is enabled. Also printed to stderr automatically when the
+    /// driver surfaces a hard engine error.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.tracer.as_ref().map(|t| t.flight_dump())
     }
 
     /// Retained checkpoint footprint: `(count, approximate state bytes)`.

@@ -33,8 +33,10 @@
 //!   unsound direction (narrowing the classification view) is deliberately
 //!   not expressible.
 
+use crate::trace::{SpanId, Tracer};
 use iolap_bootstrap::VariationRange;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// What to break. See the module docs for firing semantics.
 #[derive(Clone, Debug, PartialEq)]
@@ -136,6 +138,10 @@ pub struct FaultInjector {
     /// Batch currently being processed, set by the driver; hooks that lack
     /// batch context (registry derefs, range reads) consult it.
     current_batch: AtomicUsize,
+    /// Trace journal: every fault that actually fires emits a
+    /// `fault.injected` instant event (perturbation emits one per batch
+    /// activation, not one per touched range).
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl FaultInjector {
@@ -147,7 +153,14 @@ impl FaultInjector {
             claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             fires: (0..n).map(|_| AtomicU64::new(0)).collect(),
             current_batch: AtomicUsize::new(usize::MAX),
+            tracer: None,
         }
+    }
+
+    /// Attach a trace journal; fired faults become `fault.injected` events.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The driver announces the batch it is about to process.
@@ -167,8 +180,26 @@ impl FaultInjector {
             .is_ok();
         if won {
             self.fires[i].fetch_add(1, Ordering::Relaxed);
+            self.trace_fire(i);
         }
         won
+    }
+
+    /// Journal that the fault at plan index `i` fired. Called at most once
+    /// per fault (one-shot claim win, or first perturbation touch of a
+    /// batch), so the flight recorder names every injected fault exactly
+    /// once.
+    fn trace_fire(&self, i: usize) {
+        if let Some(t) = &self.tracer {
+            let f = &self.plan.faults[i];
+            t.instant(
+                "fault.injected",
+                self.batch_now(),
+                SpanId::NONE,
+                f.batch as u64,
+                f.kind.label(),
+            );
+        }
     }
 
     /// Driver hook: should the outcome for `(agg, column)` examined during
@@ -233,7 +264,9 @@ impl FaultInjector {
         match self.active_epsilon() {
             None => range,
             Some((i, eps)) => {
-                self.fires[i].fetch_add(1, Ordering::Relaxed);
+                if self.fires[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                    self.trace_fire(i);
+                }
                 let pad = eps * self.jitter(agg, column) * span_scale(range.lo, range.hi);
                 VariationRange {
                     lo: range.lo - pad,
@@ -251,7 +284,9 @@ impl FaultInjector {
         match self.active_epsilon() {
             None => (lo, hi),
             Some((i, eps)) => {
-                self.fires[i].fetch_add(1, Ordering::Relaxed);
+                if self.fires[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                    self.trace_fire(i);
+                }
                 let cut = 0.5 * eps * self.jitter(agg, column) * (hi - lo).max(0.0);
                 let (lo2, hi2) = (lo + cut, hi - cut);
                 if lo2 <= hi2 {
@@ -425,6 +460,30 @@ mod tests {
         assert!(first.is_err(), "armed worker panic must fire");
         inj.inject_worker_panic(0); // claimed: must be a no-op now
         assert_eq!(inj.total_fired(), 1);
+    }
+
+    #[test]
+    fn fired_faults_journal_trace_events() {
+        let tracer = Arc::new(Tracer::new());
+        let inj = FaultInjector::new(
+            FaultPlan::new(3)
+                .with(1, FaultKind::DropCheckpoint)
+                .with(2, FaultKind::PerturbRanges { epsilon: 0.1 }),
+        )
+        .with_tracer(Arc::clone(&tracer));
+        inj.begin_batch(1);
+        assert!(inj.inject_checkpoint_drop(1));
+        inj.begin_batch(2);
+        // Two touches, but only the first activation is journalled.
+        inj.inject_range_widening(0, 0, VariationRange { lo: 1.0, hi: 2.0 });
+        inj.inject_range_widening(0, 1, VariationRange { lo: 1.0, hi: 2.0 });
+        let labels: Vec<String> = tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "fault.injected")
+            .map(|e| e.detail.clone())
+            .collect();
+        assert_eq!(labels, vec!["drop_checkpoint", "perturb_ranges"]);
     }
 
     #[test]

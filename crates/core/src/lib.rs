@@ -30,6 +30,7 @@ pub mod ops_join;
 pub mod registry;
 pub mod rewriter;
 pub mod sink;
+pub mod trace;
 
 pub use annotate::{annotate, AnnotateError, OpAnnotation};
 pub use channel::{BatchData, ORow};
@@ -37,8 +38,12 @@ pub use classify::{classify, interval_of, Decision, IntervalValue};
 pub use config::IolapConfig;
 pub use driver::{install_plan_verifier, BatchReport, DriverError, IolapDriver};
 pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan};
-pub use metrics::{Metrics, Span};
+pub use metrics::{Histogram, Metrics, Span};
 pub use ops::{BatchCtx, BatchStats, OnlineOp, ProjMode};
 pub use registry::AggRegistry;
 pub use rewriter::{rewrite, OnlineQuery, RewriteError};
 pub use sink::{Presentation, QueryResult, Sink};
+pub use trace::{
+    export_chrome, export_jsonl, self_time_by_name, EventKind, SpanId, TraceEvent, TraceMode,
+    Tracer,
+};

@@ -22,15 +22,106 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
 
+/// Number of log₂ buckets in a [`Histogram`]: bucket `i` covers values
+/// whose bit length is `i`, so 64 buckets span the whole `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log-scale latency histogram: power-of-two buckets, pointwise-additive
+/// merge, deterministic quantiles (bucket midpoints, no interpolation).
+///
+/// Every `*_ns` span recorded through [`Metrics::record_since`] also lands
+/// one sample here, so per-operator distributions (p50/p95/p99) come for
+/// free next to the existing sums. A fixed array keeps observation at two
+/// integer ops plus an index — no allocation on the hot paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index of `v`: its bit length (0 for 0, 1 for 1, 2 for 2–3…).
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        let i = Self::bucket_of(v).min(HIST_BUCKETS - 1);
+        self.buckets[i] = self.buckets[i].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Deterministic quantile estimate: the midpoint of the bucket holding
+    /// the `q`-th sample (`q` in `[0, 1]`). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)) as u64).min(self.count - 1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if *b > 0 && seen > rank {
+                return Some(Self::bucket_midpoint(i));
+            }
+        }
+        None
+    }
+
+    /// Midpoint of bucket `i` (bucket 0 holds only the value 0).
+    fn bucket_midpoint(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        lo + (hi - lo) / 2
+    }
+
+    /// Pointwise-add `other` into `self` (so per-batch histograms sum into
+    /// per-query ones exactly, keeping cumulative merges reproducible).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+    }
+}
+
 /// A flat, ordered bag of named `u64` metrics.
 ///
 /// Deliberately minimal: no hierarchy beyond the name convention, no
 /// float math, no interior mutability. Merging is pointwise addition, so
 /// per-batch metrics sum into per-query totals and per-worker slices sum
-/// into per-batch ones.
+/// into per-batch ones. Span metrics (`*_ns`) additionally feed a
+/// per-name log-scale [`Histogram`], so latency percentiles survive the
+/// summation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     values: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl Metrics {
@@ -39,17 +130,48 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Add `v` to counter `name` (creating it at zero).
+    /// Add `v` to counter `name` (creating it at zero). Saturating: a
+    /// pathological clock or a merge of near-`u64::MAX` counters pins the
+    /// counter at the ceiling instead of wrapping mid-report.
     #[inline]
     pub fn add(&mut self, name: &'static str, v: u64) {
-        *self.values.entry(name).or_insert(0) += v;
+        let e = self.values.entry(name).or_insert(0);
+        *e = e.saturating_add(v);
     }
 
-    /// Record the elapsed nanoseconds since `start` under `name`.
-    /// Convention: `name` ends in `_ns`.
+    /// Record the elapsed nanoseconds since `start` under `name`, and land
+    /// one sample in `name`'s latency histogram. Convention: `name` ends
+    /// in `_ns`. The `u128 → u64` narrowing saturates (≈ 584 years of
+    /// nanoseconds) rather than truncating.
     #[inline]
     pub fn record_since(&mut self, name: &'static str, start: Instant) {
-        self.add(name, start.elapsed().as_nanos() as u64);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.add(name, ns);
+        self.hists.entry(name).or_default().observe(ns);
+    }
+
+    /// Record one explicit duration sample (sum + histogram), for callers
+    /// that measured elapsed time themselves.
+    #[inline]
+    pub fn record_ns(&mut self, name: &'static str, ns: u64) {
+        self.add(name, ns);
+        self.hists.entry(name).or_default().observe(ns);
+    }
+
+    /// Latency histogram of span `name`, if any sample landed there.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Deterministic `q`-quantile of span `name`'s samples (bucket
+    /// midpoint), or `None` when no sample was recorded.
+    pub fn quantile_ns(&self, name: &str, q: f64) -> Option<u64> {
+        self.hists.get(name).and_then(|h| h.quantile(q))
+    }
+
+    /// All `(name, histogram)` pairs in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(n, h)| (*n, h))
     }
 
     /// Current value of `name` (zero when never recorded).
@@ -67,10 +189,14 @@ impl Metrics {
         self.values.len()
     }
 
-    /// Pointwise-add all of `other` into `self`.
+    /// Pointwise-add all of `other` into `self` (histograms included, so
+    /// cumulative merges preserve exact per-bucket counts).
     pub fn merge(&mut self, other: &Metrics) {
         for (name, v) in &other.values {
             self.add(name, *v);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name).or_default().merge(h);
         }
     }
 
@@ -90,15 +216,18 @@ impl Metrics {
         out
     }
 
-    /// Total nanoseconds across every `*_ns` span (a rough "instrumented
-    /// time" figure; spans of nested operators overlap, so this is an
-    /// upper bound, not wall-clock).
+    /// Total nanoseconds across every `*_ns` span.
+    ///
+    /// **Deprecated in favour of the trace layer's exclusive self-time**
+    /// ([`crate::trace::self_time_by_name`], surfaced per batch in
+    /// `BatchReport::self_time_ns`): spans of nested operators overlap, so
+    /// this sum double-counts parents and children and is only an upper
+    /// bound, not wall-clock. Kept for back-compat with existing rollups.
     pub fn total_span_ns(&self) -> u64 {
         self.values
             .iter()
             .filter(|(n, _)| n.ends_with("_ns"))
-            .map(|(_, v)| *v)
-            .sum()
+            .fold(0u64, |acc, (_, v)| acc.saturating_add(*v))
     }
 }
 
@@ -109,6 +238,18 @@ impl fmt::Display for Metrics {
             for (name, v) in entries {
                 if name.ends_with("_ns") {
                     writeln!(f, "  {name:<28} {:>12.3} ms", v as f64 / 1e6)?;
+                    if let Some(h) = self.hists.get(name) {
+                        let q = |p: f64| h.quantile(p).unwrap_or(0) as f64 / 1e6;
+                        writeln!(
+                            f,
+                            "  {:<28} {:>12}  p50 {:.3} / p95 {:.3} / p99 {:.3} ms",
+                            "  └ samples",
+                            h.count(),
+                            q(0.50),
+                            q(0.95),
+                            q(0.99)
+                        )?;
+                    }
                 } else {
                     writeln!(f, "  {name:<28} {v:>12}")?;
                 }
@@ -191,6 +332,67 @@ mod tests {
         s.stop(&mut m, "test.span_ns");
         assert!(m.get("test.span_ns") >= 1_000_000);
         assert_eq!(m.total_span_ns(), m.get("test.span_ns"));
+    }
+
+    #[test]
+    fn add_saturates_instead_of_wrapping() {
+        let mut m = Metrics::new();
+        m.add("x.rows", u64::MAX - 1);
+        m.add("x.rows", 10);
+        assert_eq!(m.get("x.rows"), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..90 {
+            h.observe(100); // bucket 7: 64..=127, midpoint 95
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000); // bucket 20
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), Some(95));
+        assert_eq!(h.quantile(0.0), Some(95));
+        // The 99th sample (rank 98) falls in the slow bucket.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 500_000 && p99 < 2_000_000, "p99={p99}");
+        assert_eq!(h.quantile(1.0), h.quantile(0.99));
+        // Extreme values clamp into the last bucket without panicking.
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 101);
+    }
+
+    #[test]
+    fn histograms_merge_pointwise() {
+        let mut a = Metrics::new();
+        a.record_ns("agg.fold_ns", 100);
+        a.record_ns("agg.fold_ns", 200);
+        let mut b = Metrics::new();
+        b.record_ns("agg.fold_ns", 100);
+        let mut sum = Metrics::new();
+        sum.merge(&a);
+        sum.merge(&b);
+        assert_eq!(sum.histogram("agg.fold_ns").unwrap().count(), 3);
+        assert_eq!(sum.get("agg.fold_ns"), 400);
+        // Merge equals recording the same samples directly (exactness the
+        // driver's cumulative-metrics monotonicity test relies on).
+        let mut direct = Metrics::new();
+        direct.record_ns("agg.fold_ns", 100);
+        direct.record_ns("agg.fold_ns", 200);
+        direct.record_ns("agg.fold_ns", 100);
+        assert_eq!(sum, direct);
+    }
+
+    #[test]
+    fn record_since_lands_histogram_sample() {
+        let mut m = Metrics::new();
+        let s = Span::start();
+        s.stop(&mut m, "test.span_ns");
+        assert_eq!(m.histogram("test.span_ns").unwrap().count(), 1);
+        assert!(m.quantile_ns("test.span_ns", 0.5).is_some());
+        assert_eq!(m.quantile_ns("missing", 0.5), None);
     }
 
     #[test]

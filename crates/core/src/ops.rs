@@ -73,12 +73,76 @@ pub struct BatchCtx<'a> {
     /// Fault-injection hooks; `None` (the production default) unless the
     /// driver's config carries a `FaultPlan`.
     pub faults: Option<&'a crate::faults::FaultInjector>,
+    /// Causal trace journal; `None` (the production default) unless the
+    /// driver's config enables a [`crate::trace::TraceMode`]. Same gating
+    /// discipline as `faults`: disabled cost is one pointer check per
+    /// operator call.
+    pub trace: Option<&'a crate::trace::Tracer>,
+    /// Innermost open trace span (the parent for new operator spans);
+    /// meaningless when `trace` is `None`.
+    pub cur_span: crate::trace::SpanId,
+}
+
+/// Handle for an open operator trace span; close with
+/// [`BatchCtx::close_op`]. `Copy` and inert when tracing is off.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanScope {
+    id: crate::trace::SpanId,
+    prev: crate::trace::SpanId,
+    name: &'static str,
+}
+
+impl SpanScope {
+    /// The no-op scope returned when tracing is disabled.
+    pub const NONE: SpanScope = SpanScope {
+        id: crate::trace::SpanId::NONE,
+        prev: crate::trace::SpanId::NONE,
+        name: "",
+    };
 }
 
 impl BatchCtx<'_> {
     /// Evaluation context resolving lineage against the registry.
     pub fn eval(&self) -> EvalContext<'_> {
         EvalContext::with_resolver(self.registry)
+    }
+
+    /// Open an operator span under the innermost open span. Every
+    /// `OnlineOp::process` implementation must call this on entry (lint
+    /// L005) and pair it with [`BatchCtx::close_op`] on its success
+    /// paths; a span left open by an error propagation shows up in the
+    /// flight recorder as the operator that was in flight when the batch
+    /// died — which is the point.
+    #[inline]
+    pub fn op_span(&mut self, name: &'static str) -> SpanScope {
+        match self.trace {
+            Some(t) => {
+                let prev = self.cur_span;
+                let id = t.begin(name, self.batch_index, prev);
+                self.cur_span = id;
+                SpanScope { id, prev, name }
+            }
+            None => SpanScope::NONE,
+        }
+    }
+
+    /// Close an operator span with payload count `n` (rows produced).
+    #[inline]
+    pub fn close_op(&mut self, scope: SpanScope, n: u64) {
+        if let Some(t) = self.trace {
+            if scope.id != crate::trace::SpanId::NONE {
+                t.end(scope.name, self.batch_index, scope.id, scope.prev, n);
+                self.cur_span = scope.prev;
+            }
+        }
+    }
+
+    /// Record a point event under the innermost open span.
+    #[inline]
+    pub fn trace_instant(&mut self, name: &'static str, n: u64, detail: &str) {
+        if let Some(t) = self.trace {
+            t.instant(name, self.batch_index, self.cur_span, n, detail);
+        }
     }
 }
 
@@ -303,6 +367,7 @@ impl ScanOp {
     }
 
     fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let sp = ctx.op_span("Scan");
         let mut out = BatchData::empty(self.schema.clone());
         if self.streamed {
             debug_assert_eq!(self.table, ctx.stream_table);
@@ -338,6 +403,7 @@ impl ScanOp {
             out.exhausted = true;
         }
         ctx.metrics.add("scan.rows", out.delta_certain.len() as u64);
+        ctx.close_op(sp, out.delta_certain.len() as u64);
         Ok(out)
     }
 }
@@ -388,6 +454,7 @@ impl SelectOp {
     }
 
     fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let sp = ctx.op_span("Select");
         let input = self.child.process(ctx)?;
         let mut out = BatchData::empty(input.schema.clone());
 
@@ -403,6 +470,7 @@ impl SelectOp {
                 }
             }
             out.exhausted = input.exhausted;
+            ctx.close_op(sp, (out.delta_certain.len() + out.uncertain.len()) as u64);
             return Ok(out);
         }
 
@@ -499,8 +567,12 @@ impl SelectOp {
         ctx.metrics
             .add("select.nondet_rows", self.state.len() as u64);
         classify_span.stop(&mut ctx.metrics, "select.classify_ns");
+        if ctx.opt1 {
+            ctx.trace_instant("range.check", (fresh + self.state.len()) as u64, "");
+        }
 
         out.exhausted = input.exhausted && self.state.is_empty() && out.uncertain.is_empty();
+        ctx.close_op(sp, (out.delta_certain.len() + out.uncertain.len()) as u64);
         Ok(out)
     }
 }
@@ -597,6 +669,7 @@ impl ProjectOp {
     }
 
     fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let sp = ctx.op_span("Project");
         let input = self.child.process(ctx)?;
         let rows = input.delta_certain.len() + input.uncertain.len();
         let mut out = BatchData::empty(self.schema.clone());
@@ -608,6 +681,7 @@ impl ProjectOp {
         }
         ctx.metrics.add("project.rows", rows as u64);
         out.exhausted = input.exhausted;
+        ctx.close_op(sp, rows as u64);
         Ok(out)
     }
 }
@@ -630,6 +704,7 @@ impl UnionOp {
     }
 
     fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let sp = ctx.op_span("Union");
         let mut outputs = Vec::with_capacity(self.children.len());
         for c in &mut self.children {
             outputs.push(c.process(ctx)?);
@@ -642,6 +717,7 @@ impl UnionOp {
             out.uncertain.extend(o.uncertain);
             out.exhausted &= o.exhausted;
         }
+        ctx.close_op(sp, (out.delta_certain.len() + out.uncertain.len()) as u64);
         Ok(out)
     }
 }

@@ -471,6 +471,7 @@ impl AggregateOp {
     }
 
     pub(crate) fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let sp = ctx.op_span("Aggregate");
         let input = self.child.process(ctx)?;
         ctx.stats.shipped_bytes += input.approx_bytes();
         let input_exhausted = input.exhausted;
@@ -687,6 +688,7 @@ impl AggregateOp {
         } else {
             input_exhausted && !emitted_uncertain
         };
+        ctx.close_op(sp, groups_published);
         Ok(out)
     }
 }

@@ -77,6 +77,7 @@ impl JoinOp {
     }
 
     pub(crate) fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let sp = ctx.op_span("Join");
         let l = self.left.process(ctx)?;
         let r = self.right.process(ctx)?;
         ctx.stats.shipped_bytes += l.approx_bytes() + r.approx_bytes();
@@ -165,6 +166,7 @@ impl JoinOp {
         );
         probe_span.stop(&mut ctx.metrics, "join.probe_ns");
         out.exhausted = self.left_exhausted && self.right_exhausted;
+        ctx.close_op(sp, (out.delta_certain.len() + out.uncertain.len()) as u64);
         Ok(out)
     }
 }
@@ -219,6 +221,7 @@ impl SemiJoinOp {
     }
 
     pub(crate) fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
+        let sp = ctx.op_span("SemiJoin");
         let l = self.left.process(ctx)?;
         let r = self.right.process(ctx)?;
         ctx.stats.shipped_bytes += l.approx_bytes() + r.approx_bytes();
@@ -293,6 +296,7 @@ impl SemiJoinOp {
             && self.right_exhausted
             && self.pending.is_empty()
             && out.uncertain.is_empty();
+        ctx.close_op(sp, (out.delta_certain.len() + out.uncertain.len()) as u64);
         Ok(out)
     }
 }

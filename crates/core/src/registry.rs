@@ -116,6 +116,10 @@ pub struct AggRegistry {
     /// `FaultPlan`. Shared (not snapshotted) across checkpoint clones so
     /// one-shot faults stay one-shot through restores.
     faults: Option<Arc<FaultInjector>>,
+    /// Shared trace journal, armed by the driver when tracing is enabled.
+    /// Like `faults`, shared (not snapshotted) across checkpoint clones —
+    /// a restored registry keeps appending to the same journal.
+    tracer: Option<Arc<crate::trace::Tracer>>,
 }
 
 impl Clone for AggRegistry {
@@ -127,6 +131,7 @@ impl Clone for AggRegistry {
             published_bytes: self.published_bytes,
             derefs: AtomicU64::new(self.derefs.load(Ordering::Relaxed)),
             faults: self.faults.clone(),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -141,6 +146,13 @@ impl AggRegistry {
     /// carries a `FaultPlan`).
     pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
         self.faults = Some(injector);
+    }
+
+    /// Arm the shared trace journal (driver setup, only when the config
+    /// enables tracing). Quarantine transitions — the registry's
+    /// controller-visible state changes — are journaled.
+    pub fn set_tracer(&mut self, tracer: Arc<crate::trace::Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// Publish (or update) one group's values. `slack` seeds new range
@@ -297,6 +309,15 @@ impl AggRegistry {
 
     /// Exclude `r` from future pruning (after a failure while in use).
     pub fn quarantine(&mut self, r: AggRef) {
+        if let Some(t) = &self.tracer {
+            t.instant(
+                "registry.quarantine",
+                crate::trace::NO_BATCH,
+                crate::trace::SpanId::NONE,
+                0,
+                format!("agg={} col={}", r.agg, r.column),
+            );
+        }
         self.quarantined.insert(r);
     }
 
@@ -305,6 +326,15 @@ impl AggRegistry {
     /// decision that depended on the violated range has been recomputed, so
     /// monitoring can resume (§5.1).
     pub fn unquarantine(&mut self, r: &AggRef) {
+        if let Some(t) = &self.tracer {
+            t.instant(
+                "registry.unquarantine",
+                crate::trace::NO_BATCH,
+                crate::trace::SpanId::NONE,
+                0,
+                format!("agg={} col={}", r.agg, r.column),
+            );
+        }
         self.quarantined.remove(r);
     }
 

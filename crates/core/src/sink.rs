@@ -106,6 +106,69 @@ impl Sink {
         trials: usize,
         confidence: f64,
     ) -> QueryResult {
+        self.publish_traced(
+            registry,
+            scale,
+            trials,
+            confidence,
+            None,
+            crate::trace::NO_BATCH,
+            crate::trace::SpanId::NONE,
+        )
+    }
+
+    /// [`Sink::publish`] with the driver's trace hook: when `tracer` is
+    /// armed, the render is wrapped in a `sink.publish` span under
+    /// `parent` carrying input/output row counts and the applied scale.
+    /// A panic mid-render (a poisoned lineage deref) leaves the span open
+    /// — the flight recorder then shows publish as the phase in flight.
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish_traced(
+        &self,
+        registry: &AggRegistry,
+        scale: f64,
+        trials: usize,
+        confidence: f64,
+        tracer: Option<&crate::trace::Tracer>,
+        batch: usize,
+        parent: crate::trace::SpanId,
+    ) -> QueryResult {
+        let span = tracer.map(|t| {
+            let s = t.begin("sink.publish", batch, parent);
+            t.instant(
+                "sink.ingested",
+                batch,
+                s,
+                (self.certain.len() + self.uncertain.len()) as u64,
+                format!(
+                    "certain={} uncertain={} scale_pow={}",
+                    self.certain.len(),
+                    self.uncertain.len(),
+                    self.stream_factor
+                ),
+            );
+            s
+        });
+        let result = self.render(registry, scale, trials, confidence);
+        if let (Some(t), Some(s)) = (tracer, span) {
+            t.end(
+                "sink.publish",
+                batch,
+                s,
+                parent,
+                result.relation.len() as u64,
+            );
+        }
+        result
+    }
+
+    fn render(
+        &self,
+        registry: &AggRegistry,
+        scale: f64,
+        trials: usize,
+        confidence: f64,
+    ) -> QueryResult {
         let ctx = EvalContext::with_resolver(registry);
         // Pass 1: resolve lineage cells to current values, remembering which
         // cells are uncertain (estimates are computed only for rows that
@@ -312,6 +375,74 @@ mod tests {
         let reg = AggRegistry::new();
         let out = sink.publish(&reg, 4.0, 0, 0.95);
         assert!((out.relation.rows()[0].mult - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_traced_journals_span_and_ingest_mark() {
+        use crate::trace::{EventKind, SpanId, Tracer};
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut sink = Sink::new(schema, vec!["x".into()], Presentation::default(), 0, None);
+        sink.ingest(
+            vec![ORow::new(vec![Value::Int(1)])],
+            vec![ORow::new(vec![Value::Int(2)])],
+        );
+        let reg = AggRegistry::new();
+        let t = Tracer::new();
+        let out = sink.publish_traced(&reg, 1.0, 0, 0.95, Some(&t), 3, SpanId::NONE);
+        assert_eq!(out.relation.len(), 2);
+        let evs = t.events();
+        let begin = evs
+            .iter()
+            .find(|e| e.name == "sink.publish" && e.kind == EventKind::Begin)
+            .expect("publish opens a span");
+        let end = evs
+            .iter()
+            .find(|e| e.name == "sink.publish" && e.kind == EventKind::End)
+            .expect("publish closes its span");
+        assert_eq!(begin.batch, 3);
+        assert_eq!(end.span, begin.span);
+        assert_eq!(end.n, 2, "end event carries published row count");
+        let mark = evs
+            .iter()
+            .find(|e| e.name == "sink.ingested")
+            .expect("ingest mark fires on publish");
+        assert_eq!(mark.parent, begin.span);
+        assert_eq!(mark.n, 2);
+        assert!(mark.detail.contains("certain=1 uncertain=1"));
+    }
+
+    #[test]
+    fn publish_traced_reports_stream_scaling() {
+        use crate::trace::{SpanId, Tracer};
+        // stream_factor 1: SPJ outputs scale by m_i, and the trace's ingest
+        // mark must say so (the scale_pow detail drives the `experiments
+        // trace` timeline annotations).
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut sink = Sink::new(schema, vec!["x".into()], Presentation::default(), 1, None);
+        sink.ingest(vec![ORow::new(vec![Value::Int(1)])], vec![]);
+        let reg = AggRegistry::new();
+        let t = Tracer::new();
+        let out = sink.publish_traced(&reg, 4.0, 0, 0.95, Some(&t), 0, SpanId::NONE);
+        assert!((out.relation.rows()[0].mult - 4.0).abs() < 1e-12);
+        let evs = t.events();
+        let mark = evs.iter().find(|e| e.name == "sink.ingested").unwrap();
+        assert!(
+            mark.detail.contains("scale_pow=1"),
+            "scaling path surfaces in the mark: {}",
+            mark.detail
+        );
+    }
+
+    #[test]
+    fn untraced_publish_journals_nothing() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut sink = Sink::new(schema, vec!["x".into()], Presentation::default(), 0, None);
+        sink.ingest(vec![ORow::new(vec![Value::Int(1)])], vec![]);
+        let reg = AggRegistry::new();
+        // The untraced wrapper takes the same render path with zero journal
+        // activity — the Option gate is the only overhead.
+        let out = sink.publish(&reg, 1.0, 0, 0.95);
+        assert_eq!(out.relation.len(), 1);
     }
 
     #[test]

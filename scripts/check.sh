@@ -23,6 +23,9 @@ IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experime
 echo "== faultstorm --smoke (seeded fault injection, Theorem-1 agreement)"
 IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- faultstorm --smoke
 
+echo "== trace --smoke (trace schema golden: scripts/trace-schema.golden)"
+cargo run --release --offline -q -p iolap-bench --bin experiments -- trace --smoke
+
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 

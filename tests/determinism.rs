@@ -78,6 +78,37 @@ fn iolap_tpch_reports_are_bytewise_deterministic() {
     assert_eq!(run(), run(), "Q18: two identical iOLAP runs diverged");
 }
 
+/// Trace determinism: with timestamps normalized away (replaced by the
+/// sequence counter, which *is* the causal order — all emissions happen on
+/// the driver thread), two identical traced runs must export byte-identical
+/// journals in both the JSONL and Chrome `trace_event` formats. This is
+/// what lets `scripts/trace-schema.golden` be a plain golden file.
+#[test]
+fn trace_exports_are_bytewise_deterministic() {
+    use iolap_core::{export_chrome, export_jsonl, TraceMode};
+    let cat = conviva_catalog(120, 11);
+    let registry = conviva_registry();
+    let q = conviva_query("C2").unwrap();
+    let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+    let run = || {
+        let cfg = config(5).trace_mode(TraceMode::Journal);
+        let mut d = IolapDriver::from_plan(&pq, &cat, q.stream_table, cfg).unwrap();
+        d.run_to_completion().unwrap();
+        let events = d.trace_events();
+        assert!(!events.is_empty(), "journal mode produced no events");
+        (export_jsonl(&events, true), export_chrome(&events, true))
+    };
+    let ((jl_a, ch_a), (jl_b, ch_b)) = (run(), run());
+    assert_eq!(
+        jl_a, jl_b,
+        "C2: normalized JSONL trace diverged across runs"
+    );
+    assert_eq!(
+        ch_a, ch_b,
+        "C2: normalized Chrome trace diverged across runs"
+    );
+}
+
 #[test]
 fn hda_reports_are_bytewise_deterministic() {
     // C2's correlated subquery gives HDA's inner view many group entries —
