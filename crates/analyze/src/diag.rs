@@ -58,6 +58,15 @@ pub enum Rule {
     /// a batch timeline with an untraced operator misattributes that
     /// operator's time to its parent.
     L005,
+    /// No unbounded blocking in the serving layer's scheduler/admission hot
+    /// paths (`crates/server/src/{scheduler,session}.rs`): no
+    /// `thread::sleep`, no bare channel `recv()`, no `Condvar::wait`
+    /// without timeout. A stalled driver must never be able to wedge a
+    /// client or the admission path — every wait is deadline-bounded. The
+    /// sole audited exception is the worker pool's park/unpark core
+    /// (allowlisted in `scripts/lint-allow.txt`), which is woken on every
+    /// state transition by construction.
+    L006,
 }
 
 impl Rule {
@@ -77,6 +86,7 @@ impl Rule {
             Rule::L003 => "L003",
             Rule::L004 => "L004",
             Rule::L005 => "L005",
+            Rule::L006 => "L006",
         }
     }
 
@@ -96,6 +106,7 @@ impl Rule {
             Rule::L003 => "no-instant-outside-metrics",
             Rule::L004 => "fault-hook-ungated",
             Rule::L005 => "instrumentation-coverage",
+            Rule::L006 => "no-unbounded-blocking",
         }
     }
 
@@ -115,7 +126,14 @@ impl Rule {
 
     /// All source-lint rules, in id order (for zero-filled counters).
     pub fn lint_rules() -> &'static [Rule] {
-        &[Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005]
+        &[
+            Rule::L001,
+            Rule::L002,
+            Rule::L003,
+            Rule::L004,
+            Rule::L005,
+            Rule::L006,
+        ]
     }
 }
 

@@ -29,6 +29,15 @@
 //!   never silently folds an operator's time into its parent. The
 //!   `OnlineOp` enum dispatcher (a pure `match self` delegation) is
 //!   exempt.
+//! * **L006 `no-unbounded-blocking`** — no unbounded blocking in the
+//!   serving layer's scheduler/admission hot paths
+//!   (`crates/server/src/scheduler.rs`, `session.rs`): no
+//!   `thread::sleep`, no bare channel `.recv()`, no `Condvar` `.wait(`
+//!   without a timeout (`.wait_timeout(` is the sanctioned form). A
+//!   stalled or slow driver must never wedge admission or a polling
+//!   client behind an unbounded park. The worker pool's park/unpark core
+//!   is the one audited exception, allowlisted in
+//!   `scripts/lint-allow.txt`.
 //!
 //! Lines inside `#[cfg(test)]` modules (everything from the first such
 //! attribute to end of file — the repo convention keeps test modules last)
@@ -151,6 +160,18 @@ const L002_FILES: &[&str] = &[
     "crates/baselines/src/hda.rs",
 ];
 
+/// The serving layer's scheduler/admission hot paths. `tcp.rs` is exempt:
+/// socket reads legitimately block on the network.
+const L006_FILES: &[&str] = &[
+    "crates/server/src/scheduler.rs",
+    "crates/server/src/session.rs",
+];
+
+/// Unbounded-blocking forms. `.wait(` deliberately does not match the
+/// sanctioned `.wait_timeout(`, and `.recv()` does not match
+/// `recv_timeout(`/`try_recv()`.
+const L006_PATTERNS: &[&str] = &["thread::sleep", ".recv()", ".wait("];
+
 /// Lint one file's source. `rel_path` is repo-relative with forward
 /// slashes; rules are dispatched on it.
 pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
@@ -186,6 +207,17 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
         for (no, line) in &lines {
             if contains_word(line, "Instant") {
                 findings.push(finding(Rule::L003, rel_path, *no, line));
+            }
+        }
+    }
+
+    if L006_FILES.contains(&rel_path) {
+        for (no, line) in &lines {
+            for pat in L006_PATTERNS {
+                if line.contains(pat) {
+                    findings.push(finding(Rule::L006, rel_path, *no, line));
+                    break;
+                }
             }
         }
     }
@@ -536,6 +568,49 @@ mod tests {
         assert!(lint_source("crates/core/src/ops_join.rs", dispatch).is_empty());
         // Other files are out of scope.
         assert!(lint_source("crates/core/src/driver.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l006_flags_unbounded_blocking_in_server_hot_paths() {
+        let src = "fn park(&self) {\n\
+                   let g = self.work.wait(st);\n\
+                   let x = rx.recv();\n\
+                   thread::sleep(d);\n\
+                   }\n";
+        let f = lint_source("crates/server/src/scheduler.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::L006));
+        let src2 = "fn f() { let x = rx.recv(); }\n";
+        assert_eq!(lint_source("crates/server/src/session.rs", src2).len(), 1);
+        // The bounded forms are sanctioned.
+        let ok = "fn f() {\n\
+                  let (g, _) = cv.wait_timeout(st, d);\n\
+                  let r = handle.try_recv();\n\
+                  let r2 = rx.recv_timeout(d);\n\
+                  }\n";
+        assert!(lint_source("crates/server/src/scheduler.rs", ok).is_empty());
+        assert!(lint_source("crates/server/src/session.rs", ok).is_empty());
+        // The TCP front-end (network blocking) is out of scope.
+        let blocking = "fn f() { let g = cv.wait(st); }\n";
+        assert!(lint_source("crates/server/src/tcp.rs", blocking).is_empty());
+        assert!(lint_source("crates/core/src/driver.rs", blocking).is_empty());
+    }
+
+    #[test]
+    fn l006_is_allowlistable_for_the_park_core() {
+        let allow = Allowlist::parse("L006 crates/server/src/scheduler.rs work.wait(");
+        let hit = LintFinding {
+            rule: Rule::L006,
+            file: "crates/server/src/scheduler.rs".into(),
+            line: 1,
+            text: "st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);".into(),
+        };
+        assert!(allow.allows(&hit));
+        let other = LintFinding {
+            text: "let g = self.client.wait(st);".into(),
+            ..hit.clone()
+        };
+        assert!(!allow.allows(&other), "only the park core is audited");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! cargo run --release -p iolap-bench --bin experiments -- all --json BENCH_PR1.json
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- verify-plans
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- faultstorm --smoke
+//! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- serve --smoke
+//! cargo run --release -p iolap-bench --bin experiments -- serve --listen 127.0.0.1:7878
 //! ```
 //!
 //! `verify-plans` (not part of `all`) rewrites every built-in query and runs
@@ -20,6 +22,15 @@
 //! checkpoint intervals on the nested flagship queries, and fails if any
 //! run's final answer disagrees with the exact offline baseline.
 //! `--smoke` shrinks the sweep for the offline gate.
+//!
+//! `serve` (not part of `all`) runs the multi-tenant serving sweep:
+//! concurrent incremental sessions over the built-in Conviva queries on a
+//! fixed worker pool, checking every session's final answer against its
+//! solo run, that accuracy-contract (`RelativeCI`) sessions stop strictly
+//! early, and that admission rejects rather than hangs when full.
+//! `--smoke` pins a 2-worker × 4-session cell for the offline gate;
+//! `--listen ADDR` instead serves the newline-delimited JSON protocol on
+//! a TCP socket until killed.
 //!
 //! `trace <query>` (not part of `all`) runs one query (default `C2`) with
 //! the causal event journal armed and renders a per-batch timeline, a
@@ -45,6 +56,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut smoke = false;
+    let mut listen: Option<String> = None;
     let mut trace_query: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut i = 0;
@@ -61,6 +73,15 @@ fn main() {
             }
         } else if a == "--smoke" {
             smoke = true;
+        } else if a == "--listen" {
+            i += 1;
+            match raw.get(i) {
+                Some(addr) => listen = Some(addr.clone()),
+                None => {
+                    eprintln!("--listen requires an ADDR:PORT argument");
+                    std::process::exit(2);
+                }
+            }
         } else if a == "trace" {
             args.push(a.to_string());
             // Optional query id operand: `trace C8` (default C2).
@@ -89,9 +110,26 @@ fn main() {
     let mut unknown = false;
     let mut violations = 0usize;
     let mut storm: Option<Vec<FaultStormRun>> = None;
+    let mut serving: Option<serve::ServingRecord> = None;
     for exp in which {
         match exp {
             "verify-plans" => violations += verify_plans(&scale),
+            "serve" => {
+                if let Some(addr) = listen.as_deref() {
+                    if let Err(e) = serve::serve_listen(addr, &scale) {
+                        eprintln!("serve --listen {addr}: {e}");
+                        std::process::exit(1);
+                    }
+                } else {
+                    section(&format!(
+                        "serve: multi-tenant serving sweep ({})",
+                        if smoke { "smoke" } else { "full" }
+                    ));
+                    let (record, v) = serve::serve_sweep(&scale, smoke);
+                    violations += v;
+                    serving = Some(record);
+                }
+            }
             "faultstorm" => {
                 let runs = faultstorm(&scale, smoke);
                 violations += runs.iter().filter(|r| !r.agree).count();
@@ -134,7 +172,7 @@ fn main() {
         // The "faults" section reuses this invocation's storm when one ran,
         // else records a fresh smoke storm so the record is self-contained.
         let storm = storm.unwrap_or_else(|| fault_storm(&scale, true));
-        match json::write_bench_json(&path, &scale, &workloads, &storm) {
+        match json::write_bench_json(&path, &scale, &workloads, &storm, serving.as_ref()) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");

@@ -7,11 +7,12 @@
 //! latency, then per-batch wall-clock, driver stats, and the per-operator
 //! metrics breakdown recorded by `iolap_core::metrics`.
 
+use crate::serve::{ServeCell, ServingRecord};
 use crate::{
     fault_storm_kinds, measure_trace_overhead, total_latency, ExpScale, FaultStormRun,
     TraceOverhead, Workload,
 };
-use iolap_core::{BatchReport, IolapConfig, Metrics, TraceMode};
+use iolap_core::{BatchReport, Histogram, IolapConfig, Metrics, TraceMode};
 use std::fmt::Write as _;
 
 /// Version of the `BENCH_*.json` document layout. Bump on any breaking
@@ -22,25 +23,18 @@ use std::fmt::Write as _;
 ///   faults / workloads.
 /// * 2 — adds `schema_version`, `seed`, the full `config` snapshot, the
 ///   `trace_overhead` record, and per-batch `self_time_ns`.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * 3 — adds the `serving` section (multi-tenant sweep from
+///   `experiments serve`: per-cell throughput, batch-latency quantiles,
+///   per-session time-to-target, admission-probe outcome).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Escape a string for a JSON string literal (quotes not included).
+///
+/// One canonical implementation serves both the benchmark record and the
+/// server's wire protocol: this is a thin re-export of
+/// [`iolap_server::wire::escape`], so the two emitters can never drift.
 pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    iolap_server::wire::escape(s)
 }
 
 /// A finite JSON number; non-finite floats become `null` (JSON has no NaN).
@@ -287,15 +281,105 @@ pub fn faults_json(storm: &[FaultStormRun]) -> String {
     out
 }
 
+/// Batch-latency distribution as quantiles. Empty histograms emit `null`
+/// quantiles (never fabricated numbers — see `Histogram::quantile`).
+fn latency_json(h: &Histogram) -> String {
+    let q = |p: f64| {
+        h.quantile(p)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "null".to_string())
+    };
+    let bound = |b: Option<u64>| {
+        b.map(|n| n.to_string())
+            .unwrap_or_else(|| "null".to_string())
+    };
+    format!(
+        concat!(
+            "{{\"count\":{},\"min_ns\":{},\"max_ns\":{},",
+            "\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}"
+        ),
+        h.count(),
+        bound(h.min()),
+        bound(h.max()),
+        q(0.50),
+        q(0.95),
+        q(0.99),
+    )
+}
+
+fn serve_cell_json(c: &ServeCell) -> String {
+    let mut out = format!(
+        concat!(
+            "{{\"workers\":{},\"sessions\":{},\"arrival\":\"{}\",",
+            "\"elapsed_ms\":{},\"batches_delivered\":{},",
+            "\"throughput_batches_per_s\":{},\"batch_latency\":{},",
+            "\"violations\":{},\"session_results\":["
+        ),
+        c.workers,
+        c.sessions,
+        escape(c.arrival),
+        num(c.elapsed_ms),
+        c.batches_delivered,
+        num(c.throughput_batches_per_s),
+        latency_json(&c.batch_latency),
+        c.violations,
+    );
+    for (i, s) in c.session_results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"label\":\"{}\",\"query\":\"{}\",\"policy\":\"{}\",",
+                "\"state\":\"{}\",\"end\":\"{}\",\"batches_run\":{},",
+                "\"total_batches\":{},\"stopped_early\":{},",
+                "\"exact_vs_solo\":{},\"time_to_end_ms\":{}}}"
+            ),
+            escape(&s.label),
+            escape(&s.query),
+            escape(&s.policy),
+            escape(&s.state),
+            escape(&s.end),
+            s.batches_run,
+            s.total_batches,
+            s.stopped_early,
+            s.exact_vs_solo,
+            num(s.time_to_end_ms),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serving-layer record: the multi-tenant sweep cells plus the
+/// admission-control probe outcome.
+pub fn serving_json(rec: &ServingRecord) -> String {
+    let mut out = format!(
+        "{{\"smoke\":{},\"admission_probe\":{{\"rejected_when_full\":{}}},\"cells\":[",
+        rec.smoke, rec.admission_rejected
+    );
+    for (i, c) in rec.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&serve_cell_json(c));
+    }
+    let _ = write!(out, "],\"violations\":{}}}", rec.violations());
+    out
+}
+
 /// Run every query of `workloads` through the iOLAP driver and write the
 /// full per-query / per-batch / per-operator record to `path`. `storm`
 /// (typically a smoke-scale `fault_storm` sweep) lands as the `"faults"`
-/// section.
+/// section; `serving` (from an `experiments serve` sweep) as the
+/// `"serving"` section, `null` when the sweep was not run.
 pub fn write_bench_json(
     path: &str,
     scale: &ExpScale,
     workloads: &[Workload],
     storm: &[FaultStormRun],
+    serving: Option<&ServingRecord>,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     let _ = write!(
@@ -316,10 +400,13 @@ pub fn write_bench_json(
     );
     let _ = write!(
         out,
-        "\"trace_overhead\":{},\n\"verification\":{},\n\"faults\":{},\n\"workloads\":[\n",
+        "\"trace_overhead\":{},\n\"verification\":{},\n\"faults\":{},\n\"serving\":{},\n\"workloads\":[\n",
         trace_overhead_json(&measure_trace_overhead(scale)),
         verification_json(workloads),
-        faults_json(storm)
+        faults_json(storm),
+        serving
+            .map(serving_json)
+            .unwrap_or_else(|| "null".to_string()),
     );
     for (wi, w) in workloads.iter().enumerate() {
         if wi > 0 {
@@ -464,5 +551,56 @@ mod tests {
         // Every registered kind appears even with zero runs.
         assert!(s.contains("\"perturb_ranges\":{\"runs\":0,\"fired\":0,\"agree\":0}"));
         assert!(s.contains("\"query\":\"Q17\""));
+    }
+
+    #[test]
+    fn empty_latency_histogram_emits_null_quantiles() {
+        let s = latency_json(&Histogram::new());
+        assert!(
+            s.contains("\"count\":0") && s.contains("\"p95_ns\":null"),
+            "{s}"
+        );
+        let mut h = Histogram::new();
+        h.observe(1_000);
+        let s = latency_json(&h);
+        // A single sample reports the exact observation, not a bucket guess.
+        assert!(s.contains("\"p99_ns\":1000"), "{s}");
+    }
+
+    #[test]
+    fn serving_json_records_cells_and_probe() {
+        use crate::serve::{ServeSessionResult, ServingRecord};
+        let cell = ServeCell {
+            workers: 2,
+            sessions: 1,
+            arrival: "closed",
+            elapsed_ms: 12.5,
+            batches_delivered: 6,
+            throughput_batches_per_s: 480.0,
+            batch_latency: Histogram::new(),
+            session_results: vec![ServeSessionResult {
+                label: "s0:C2".into(),
+                query: "C2".into(),
+                policy: "complete".into(),
+                state: "done".into(),
+                end: "completed".into(),
+                batches_run: 6,
+                total_batches: 6,
+                stopped_early: false,
+                exact_vs_solo: true,
+                time_to_end_ms: 11.0,
+            }],
+            violations: 0,
+        };
+        let rec = ServingRecord {
+            smoke: true,
+            cells: vec![cell],
+            admission_rejected: true,
+        };
+        let s = serving_json(&rec);
+        assert!(s.contains("\"admission_probe\":{\"rejected_when_full\":true}"));
+        assert!(s.contains("\"arrival\":\"closed\""), "{s}");
+        assert!(s.contains("\"exact_vs_solo\":true"));
+        assert!(s.contains("\"violations\":0}"), "{s}");
     }
 }

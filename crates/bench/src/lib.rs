@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod serve;
 
 // Workload constructors install the static plan verifier into the core
 // driver's debug hook, so every debug-build experiment re-verifies its

@@ -304,6 +304,12 @@ impl IolapDriver {
         })
     }
 
+    /// The configuration this driver was built with (the serving layer
+    /// reads the seed for its deterministic scheduling tie-break).
+    pub fn config(&self) -> &IolapConfig {
+        &self.config
+    }
+
     /// Number of mini-batches.
     pub fn num_batches(&self) -> usize {
         self.batches.num_batches()

@@ -37,6 +37,8 @@ pub const HIST_BUCKETS: usize = 64;
 pub struct Histogram {
     buckets: [u64; HIST_BUCKETS],
     count: u64,
+    min: u64,
+    max: u64,
 }
 
 impl Default for Histogram {
@@ -44,6 +46,8 @@ impl Default for Histogram {
         Histogram {
             buckets: [0; HIST_BUCKETS],
             count: 0,
+            min: u64::MAX,
+            max: 0,
         }
     }
 }
@@ -66,6 +70,8 @@ impl Histogram {
         let i = Self::bucket_of(v).min(HIST_BUCKETS - 1);
         self.buckets[i] = self.buckets[i].saturating_add(1);
         self.count = self.count.saturating_add(1);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
     }
 
     /// Number of samples recorded.
@@ -73,18 +79,39 @@ impl Histogram {
         self.count
     }
 
-    /// Deterministic quantile estimate: the midpoint of the bucket holding
-    /// the `q`-th sample (`q` in `[0, 1]`). `None` when empty.
+    /// Smallest sample observed, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample observed, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Deterministic quantile estimate (`q` in `[0, 1]`). `None` when the
+    /// histogram is empty — callers that would otherwise print a p95/p99
+    /// (the `--json` emitter, the `Display` impl) must render the absence
+    /// explicitly instead of a fabricated number. A single-sample histogram
+    /// returns that exact sample rather than its bucket midpoint, and every
+    /// estimate is clamped into the observed `[min, max]` range, so a
+    /// quantile can never lie outside the data (the old midpoint rule did
+    /// for admitted-then-immediately-cancelled sessions whose lone sample
+    /// sat at a bucket edge). Otherwise: the midpoint of the bucket holding
+    /// the `q`-th sample, no interpolation.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
+        }
+        if self.count == 1 {
+            return Some(self.min);
         }
         let rank = ((q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)) as u64).min(self.count - 1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen = seen.saturating_add(*b);
             if *b > 0 && seen > rank {
-                return Some(Self::bucket_midpoint(i));
+                return Some(Self::bucket_midpoint(i).clamp(self.min, self.max));
             }
         }
         None
@@ -107,6 +134,8 @@ impl Histogram {
             *a = a.saturating_add(*b);
         }
         self.count = self.count.saturating_add(other.count);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -353,8 +382,10 @@ mod tests {
             h.observe(1_000_000); // bucket 20
         }
         assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile(0.50), Some(95));
-        assert_eq!(h.quantile(0.0), Some(95));
+        // Bucket 7's midpoint is 95, but no sample is below 100, so the
+        // estimate clamps up to the observed minimum.
+        assert_eq!(h.quantile(0.50), Some(100));
+        assert_eq!(h.quantile(0.0), Some(100));
         // The 99th sample (rank 98) falls in the slow bucket.
         let p99 = h.quantile(0.99).unwrap();
         assert!(p99 > 500_000 && p99 < 2_000_000, "p99={p99}");
@@ -362,6 +393,49 @@ mod tests {
         // Extreme values clamp into the last bucket without panicking.
         h.observe(u64::MAX);
         assert_eq!(h.count(), 101);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // A session admitted and cancelled after one batch lands exactly one
+        // latency sample; every quantile must be that sample, not a bucket
+        // midpoint (127 for a sample of 70, say).
+        let mut h = Histogram::new();
+        h.observe(70);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(70), "q={q}");
+        }
+        assert_eq!(h.min(), Some(70));
+        assert_eq!(h.max(), Some(70));
+    }
+
+    #[test]
+    fn quantiles_never_leave_observed_range() {
+        let mut h = Histogram::new();
+        h.observe(100);
+        h.observe(100);
+        h.observe(120);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((100..=120).contains(&v), "q={q} v={v}");
+        }
+        // min/max survive a merge.
+        let mut other = Histogram::new();
+        other.observe(5);
+        h.merge(&other);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(120));
+        assert_eq!(h.quantile(0.0), Some(5));
     }
 
     #[test]

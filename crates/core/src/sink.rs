@@ -65,6 +65,21 @@ impl QueryResult {
             .map(|e| e.relative_std)
             .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
+
+    /// Largest relative confidence-interval half-width across all uncertain
+    /// cells, i.e. the worst "±x%" a client currently sees. `None` when the
+    /// result carries no error estimates (a fully deterministic batch), and
+    /// `INFINITY` when any uncertain estimate is exactly zero — both cases
+    /// make a `StopPolicy::RelativeCI` accuracy contract *not yet met*
+    /// rather than trivially satisfied.
+    pub fn max_relative_ci_halfwidth(&self) -> Option<f64> {
+        self.estimates
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.relative_ci_halfwidth())
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
 }
 
 impl Sink {
@@ -353,6 +368,16 @@ mod tests {
         assert_eq!(est.estimate, 42.0);
         assert!(est.std_error > 0.0);
         assert!(out.max_relative_std().unwrap() > 0.0);
+        // The serving layer's RelativeCI stop rule reads this: finite and
+        // positive here, `None` on a result with no uncertain cells.
+        assert!(out.max_relative_ci_halfwidth().unwrap() > 0.0);
+        assert!(out.max_relative_ci_halfwidth().unwrap().is_finite());
+        let certain = QueryResult {
+            relation: out.relation.clone(),
+            names: out.names.clone(),
+            estimates: vec![vec![None]],
+        };
+        assert_eq!(certain.max_relative_ci_halfwidth(), None);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Compile-time `Send`/`Sync` pins for the types the serving layer moves
+//! across scheduler workers. A session's `IolapDriver` is stepped by
+//! whichever worker picks it up next, so the driver (and everything it
+//! transitively owns: sink, registry, checkpoints, fault injector, tracer)
+//! must be `Send`; the shared observability handles must additionally be
+//! `Sync`. If a future PR stores an `Rc`, a raw pointer, or a non-`Sync`
+//! cell inside any of these, this file stops compiling — which is the
+//! entire point.
+
+use iolap_core::{
+    BatchReport, FaultInjector, FaultPlan, IolapConfig, IolapDriver, QueryResult, Sink, Tracer,
+};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn engine_types_are_session_safe() {
+    // Moved between scheduler workers, one step at a time.
+    assert_send::<IolapDriver>();
+    // Handed from worker threads back to polling clients.
+    assert_send::<BatchReport>();
+    assert_send::<QueryResult>();
+    assert_send::<Sink>();
+    assert_send::<IolapConfig>();
+    // Shared behind `Arc` by the driver, its workers, and the trace/fault
+    // observers simultaneously.
+    assert_send::<Tracer>();
+    assert_sync::<Tracer>();
+    assert_send::<FaultInjector>();
+    assert_sync::<FaultInjector>();
+    assert_send::<FaultPlan>();
+}

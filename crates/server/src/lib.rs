@@ -1,0 +1,43 @@
+//! Multi-tenant serving layer for the iOLAP reproduction.
+//!
+//! The paper's delivery model (§1, §6.4) is a user watching a single query
+//! converge; BlinkDB's contract generalizes it to *bounded error or bounded
+//! response time*. This crate is the layer between those two: it multiplexes
+//! many concurrent incremental query sessions over a bounded worker pool,
+//! delivering per-batch [`iolap_core::BatchReport`]s to each client while
+//! enforcing admission control, memory-pressure shedding, and per-session
+//! accuracy-target early stop.
+//!
+//! Architecture (one module per concern):
+//!
+//! * [`policy`] — [`StopPolicy`]: when a session's accuracy/latency contract
+//!   is met and its slot can be freed early.
+//! * [`session`] — the client-facing surface: [`SessionSpec`],
+//!   [`SessionHandle`], lifecycle states, admission errors.
+//! * [`scheduler`] — [`Server`]: the worker pool, the cooperative
+//!   round-robin batch scheduler, admission control, and EDF shedding.
+//! * [`wire`] — dependency-free newline-delimited JSON parsing/encoding for
+//!   the line protocol (the canonical escape shared with `bench`'s emitter).
+//! * [`tcp`] — the `std::net::TcpListener` front-end speaking [`wire`].
+//!
+//! Scheduling is *cooperative*: a worker runs exactly one mini-batch
+//! (`IolapDriver::step`) per dispatch, then requeues the session behind its
+//! peers. The ready queue is ordered by `(priority, batches-done, session
+//! id, seed)`, so with a single worker a fixed-seed multi-tenant run is
+//! fully byte-reproducible, and with any worker count each session's report
+//! stream is byte-identical to its solo run (drivers share nothing).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod policy;
+pub mod scheduler;
+pub mod session;
+pub mod tcp;
+pub mod wire;
+
+pub use policy::StopPolicy;
+pub use scheduler::{Server, ServerConfig, ServerStats};
+pub use session::{
+    AdmitError, SessionEnd, SessionHandle, SessionSpec, SessionState, SessionSummary,
+};

@@ -1,0 +1,688 @@
+//! The server core: worker pool, cooperative batch scheduler, admission
+//! control, memory-ceiling shedding.
+//!
+//! ## Scheduling invariants
+//!
+//! * **One mini-batch per dispatch.** A worker takes the first session off
+//!   the ready queue, runs exactly one `IolapDriver::step()` (which
+//!   internally runs any §5.1 recovery replays to the batch boundary), and
+//!   requeues the session behind its peers. No session can monopolize a
+//!   worker.
+//! * **Deterministic order.** The ready queue is a `BTreeSet` of
+//!   `(priority, batches-done, session id, seed)` keys: strict priority
+//!   first (lower = more urgent), then round-robin fairness by batches
+//!   done, then the id/seed tie-break required for byte-reproducible
+//!   fixed-seed runs. With `workers == 1` the whole global schedule is a
+//!   pure function of the submission sequence.
+//! * **Slots are freed at the first idle moment.** Completion, a met
+//!   [`StopPolicy`], cancellation, and failure all release the live slot
+//!   *and* the driver's memory immediately; undelivered reports survive in
+//!   a bounded buffer (state `Draining`) until the client drains them.
+//! * **Backpressure is explicit.** A full report buffer parks the session
+//!   (off the ready queue) until the client pops; a full wait queue rejects
+//!   `submit` with [`AdmitError::QueueFull`]; a breached memory ceiling
+//!   sheds `Queued` work earliest-deadline-first — never `Running` work.
+//!
+//! The only unbounded block in this crate is the worker park on the `work`
+//! condvar below (srclint L006 allowlists exactly that line); every client
+//! wait is timeout-bounded.
+
+use crate::policy::StopPolicy;
+use crate::session::{
+    AdmitError, SessionEnd, SessionHandle, SessionSpec, SessionState, SessionSummary,
+};
+use iolap_core::{BatchReport, DriverError, IolapDriver, Span};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing and policy knobs for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads stepping mini-batches (the compute parallelism).
+    pub workers: usize,
+    /// Bounded live-session slots (sessions eligible for scheduling).
+    pub max_live: usize,
+    /// Bounded wait queue behind the live slots; overflow is rejected.
+    pub max_queued: usize,
+    /// Global ceiling on live session memory (checkpoints + operator
+    /// state, bytes). When breached, `Queued` work is shed
+    /// earliest-deadline-first, one victim per scheduling event. `None`
+    /// disables shedding.
+    pub memory_ceiling: Option<usize>,
+    /// Per-session bound on undelivered reports; a full buffer parks the
+    /// session until the client pops (per-client backpressure).
+    pub report_buffer: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_live: 8,
+            max_queued: 16,
+            memory_ceiling: None,
+            report_buffer: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config with `workers` worker threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        ServerConfig {
+            workers: workers.max(1),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Set the live-slot bound.
+    pub fn max_live(mut self, n: usize) -> Self {
+        self.max_live = n.max(1);
+        self
+    }
+
+    /// Set the wait-queue bound.
+    pub fn max_queued(mut self, n: usize) -> Self {
+        self.max_queued = n;
+        self
+    }
+
+    /// Set the global memory ceiling in bytes.
+    pub fn memory_ceiling(mut self, bytes: usize) -> Self {
+        self.memory_ceiling = Some(bytes);
+        self
+    }
+
+    /// Set the per-session report-buffer bound.
+    pub fn report_buffer(mut self, n: usize) -> Self {
+        self.report_buffer = n.max(1);
+        self
+    }
+}
+
+/// Counters exposed by [`Server::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions currently holding live slots.
+    pub live: usize,
+    /// Sessions waiting in the admission queue.
+    pub queued: usize,
+    /// Sessions ever admitted (live + queued + finished).
+    pub admitted: u64,
+    /// Submissions rejected with [`AdmitError::QueueFull`].
+    pub rejected: u64,
+    /// Queued sessions shed by the memory-ceiling policy.
+    pub shed: u64,
+    /// Current accounted memory across non-terminal sessions (bytes).
+    pub mem_bytes: usize,
+}
+
+/// Ready-queue ordering: strict priority, then round-robin by batches
+/// done, then the deterministic `(session id, seed)` tie-break. Derived
+/// lexicographic `Ord` over the field order *is* the scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyKey {
+    priority: u8,
+    rounds: usize,
+    id: u64,
+    seed: u64,
+}
+
+/// Per-session bookkeeping owned by the scheduler.
+struct Slot {
+    spec: SessionSpec,
+    seed: u64,
+    total_batches: usize,
+    state: SessionState,
+    end: Option<SessionEnd>,
+    end_seq: Option<u64>,
+    /// Present whenever no worker is currently stepping the session (and
+    /// the session still has compute left). `None` while a worker holds
+    /// the driver, and permanently `None` once finished.
+    driver: Option<IolapDriver>,
+    batches_run: usize,
+    reports: VecDeque<BatchReport>,
+    cancel: bool,
+    /// Parked because the report buffer hit its bound; re-readied by the
+    /// client's next pop.
+    waiting_buffer: bool,
+    holds_slot: bool,
+    mem_bytes: usize,
+    submit_span: Span,
+    first_step: Option<Span>,
+    finish_elapsed: Option<Duration>,
+}
+
+impl Slot {
+    fn ready_key(&self, id: u64) -> ReadyKey {
+        ReadyKey {
+            priority: self.spec.priority,
+            rounds: self.batches_run,
+            id,
+            seed: self.seed,
+        }
+    }
+}
+
+/// What to do with a session after a worker finished one step.
+enum Outcome {
+    /// More work: requeue (or park on a full report buffer).
+    Continue,
+    /// No more compute; undelivered reports may remain.
+    Finish(SessionEnd),
+}
+
+struct State {
+    next_id: u64,
+    end_counter: u64,
+    sessions: BTreeMap<u64, Slot>,
+    ready: BTreeSet<ReadyKey>,
+    queued: VecDeque<u64>,
+    live: usize,
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    shutdown: bool,
+}
+
+/// State shared between the [`Server`], its workers, and every
+/// [`SessionHandle`].
+pub struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<State>,
+    /// Workers park here; signaled on every ready-queue insertion.
+    work: Condvar,
+    /// Clients park here (timeout-bounded); signaled on every report
+    /// delivery and lifecycle transition.
+    client: Condvar,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, State> {
+    // A worker panicking while holding the lock poisons it; the state it
+    // guards is counters and queues that the panic path has already made
+    // consistent (the panicking step is caught before requeue), so recover
+    // rather than cascade poison to every client.
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    // ----- client-side operations (called from SessionHandle) -----
+
+    /// Pop the oldest undelivered report. Re-readies a buffer-parked
+    /// session and flips `Draining → Done` when the last report leaves.
+    pub(crate) fn pop_report(&self, id: u64) -> Option<BatchReport> {
+        let mut st = lock(self);
+        let slot = st.sessions.get_mut(&id)?;
+        let report = slot.reports.pop_front()?;
+        if slot.waiting_buffer && !slot.cancel && slot.driver.is_some() {
+            slot.waiting_buffer = false;
+            let key = slot.ready_key(id);
+            st.ready.insert(key);
+            self.work.notify_one();
+        } else if slot.state == SessionState::Draining && slot.reports.is_empty() {
+            slot.state = SessionState::Done;
+            self.client.notify_all();
+        }
+        Some(report)
+    }
+
+    /// Bounded wait for the next report (guard held across check + wait,
+    /// so no wakeup between them is lost). `None` on timeout or when the
+    /// session is terminal with an empty buffer.
+    pub(crate) fn recv_report(&self, id: u64, timeout: Duration) -> Option<BatchReport> {
+        let start = Span::start();
+        let mut st = lock(self);
+        loop {
+            let slot = st.sessions.get(&id)?;
+            if !slot.reports.is_empty() {
+                drop(st);
+                return self.pop_report(id);
+            }
+            if slot.state.is_terminal() {
+                return None;
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return None;
+            }
+            let (guard, _) = self
+                .client
+                .wait_timeout(st, timeout - elapsed)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Bounded wait until the session is finished (no more compute).
+    pub(crate) fn wait_finished(&self, id: u64, timeout: Duration) -> bool {
+        let start = Span::start();
+        let mut st = lock(self);
+        loop {
+            match st.sessions.get(&id) {
+                None => return true,
+                Some(slot) if slot.state.is_finished() => return true,
+                Some(_) => {}
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return false;
+            }
+            let (guard, _) = self
+                .client
+                .wait_timeout(st, timeout - elapsed)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Cancel `id`. Synchronous when no worker holds the driver (queued,
+    /// ready, or buffer-parked); otherwise deferred to the in-flight batch
+    /// boundary (its report is still delivered).
+    pub(crate) fn cancel(&self, id: u64) {
+        let mut st = lock(self);
+        let Some(slot) = st.sessions.get_mut(&id) else {
+            return;
+        };
+        if slot.state.is_finished() {
+            return;
+        }
+        slot.cancel = true;
+        if slot.driver.is_some() {
+            // Not currently being stepped: tear down now.
+            let key = slot.ready_key(id);
+            st.ready.remove(&key);
+            st.queued.retain(|q| *q != id);
+            finish(&self.cfg, &mut st, id, SessionEnd::Cancelled);
+            self.work.notify_all();
+        }
+        self.client.notify_all();
+    }
+
+    pub(crate) fn session_state(&self, id: u64) -> SessionState {
+        let st = lock(self);
+        st.sessions
+            .get(&id)
+            .map(|s| s.state)
+            .unwrap_or(SessionState::Failed)
+    }
+
+    pub(crate) fn summary(&self, id: u64) -> SessionSummary {
+        let st = lock(self);
+        let slot = st.sessions.get(&id);
+        match slot {
+            None => SessionSummary {
+                id,
+                label: String::new(),
+                state: SessionState::Failed,
+                end: Some(SessionEnd::Failed("unknown session".into())),
+                batches_run: 0,
+                total_batches: 0,
+                pending_reports: 0,
+                elapsed: None,
+                end_seq: None,
+                mem_bytes: 0,
+            },
+            Some(s) => SessionSummary {
+                id,
+                label: s.spec.label.clone(),
+                state: s.state,
+                end: s.end.clone(),
+                batches_run: s.batches_run,
+                total_batches: s.total_batches,
+                pending_reports: s.reports.len(),
+                elapsed: s.finish_elapsed,
+                end_seq: s.end_seq,
+                mem_bytes: s.mem_bytes,
+            },
+        }
+    }
+}
+
+// ----- scheduler-internal state transitions (free functions over State so
+// borrows of individual slots never overlap the container mutation) -----
+
+/// Sum of accounted memory across non-terminal sessions.
+fn live_mem(st: &State) -> usize {
+    st.sessions
+        .values()
+        .filter(|s| !s.state.is_terminal())
+        .map(|s| s.mem_bytes)
+        .sum()
+}
+
+/// Move waiting sessions into freed live slots (FIFO admission order).
+fn admit_from_queue(cfg: &ServerConfig, st: &mut State) {
+    while st.live < cfg.max_live {
+        let Some(id) = st.queued.pop_front() else {
+            return;
+        };
+        st.live += 1;
+        let slot = st.sessions.get_mut(&id).expect("queued session exists");
+        slot.holds_slot = true;
+        let key = slot.ready_key(id);
+        st.ready.insert(key);
+    }
+}
+
+/// While the memory ceiling is breached, shed one `Queued` victim:
+/// earliest deadline first (`None` = latest possible), ties to the
+/// youngest (largest id). Running sessions are never shed.
+fn shed_over_ceiling(cfg: &ServerConfig, st: &mut State) {
+    let Some(ceiling) = cfg.memory_ceiling else {
+        return;
+    };
+    if st.queued.is_empty() || live_mem(st) <= ceiling {
+        return;
+    }
+    let victim = st
+        .queued
+        .iter()
+        .copied()
+        .min_by_key(|id| {
+            let s = &st.sessions[id];
+            (
+                s.spec.deadline.unwrap_or(Duration::MAX),
+                std::cmp::Reverse(*id),
+            )
+        })
+        .expect("non-empty queue");
+    st.queued.retain(|q| *q != victim);
+    st.shed += 1;
+    finish(cfg, st, victim, SessionEnd::Shed);
+}
+
+/// Terminalize (or start draining) session `id` with reason `end`: record
+/// the end, free the driver and accounted memory, release the live slot,
+/// admit waiting work, and run the shed check.
+fn finish(cfg: &ServerConfig, st: &mut State, id: u64, end: SessionEnd) {
+    st.end_counter += 1;
+    let seq = st.end_counter;
+    let slot = st.sessions.get_mut(&id).expect("finishing session exists");
+    slot.state = match &end {
+        SessionEnd::Completed | SessionEnd::TargetMet { .. } => {
+            if slot.reports.is_empty() {
+                SessionState::Done
+            } else {
+                SessionState::Draining
+            }
+        }
+        SessionEnd::Cancelled | SessionEnd::Shed => SessionState::Cancelled,
+        SessionEnd::Failed(_) => SessionState::Failed,
+    };
+    slot.end = Some(end);
+    slot.end_seq = Some(seq);
+    slot.finish_elapsed = Some(slot.submit_span.elapsed());
+    slot.driver = None;
+    slot.mem_bytes = 0;
+    slot.waiting_buffer = false;
+    if slot.holds_slot {
+        slot.holds_slot = false;
+        st.live -= 1;
+        admit_from_queue(cfg, st);
+    }
+}
+
+/// Whether `policy` is satisfied by the batch just delivered.
+fn policy_met(policy: &StopPolicy, report: &BatchReport, slot: &Slot) -> bool {
+    match policy {
+        StopPolicy::Batches(n) => slot.batches_run >= *n,
+        StopPolicy::RelativeCI { target, .. } => report
+            .result
+            .max_relative_ci_halfwidth()
+            .is_some_and(|w| w <= *target),
+        StopPolicy::Deadline(d) => slot.first_step.map(|s| s.elapsed() >= *d).unwrap_or(false),
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panic".to_string()
+    }
+}
+
+/// One worker: pick the first ready session, step it once, bookkeep.
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        // Acquire: first key in the ready order, taking driver ownership.
+        let (id, mut driver) = {
+            let mut st = lock(&shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(key) = st.ready.iter().next().copied() {
+                    st.ready.remove(&key);
+                    let slot = st.sessions.get_mut(&key.id).expect("ready session exists");
+                    if slot.state == SessionState::Queued {
+                        slot.state = SessionState::Running;
+                        slot.first_step = Some(Span::start());
+                    }
+                    let d = slot.driver.take().expect("ready session holds driver");
+                    break (key.id, d);
+                }
+                // The worker park: the one sanctioned unbounded wait in
+                // this crate (srclint L006 allowlists exactly this call).
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        // Step outside the lock: one mini-batch, including any §5.1
+        // recovery replays the driver runs internally. The driver has its
+        // own catch_unwind around operator code; this outer one is the
+        // belt-and-braces that keeps a scheduler worker alive no matter
+        // what escapes.
+        let step: Result<Option<Result<BatchReport, DriverError>>, _> =
+            catch_unwind(AssertUnwindSafe(|| driver.step()));
+
+        let mut st = lock(&shared);
+        let cfg = &shared.cfg;
+        let outcome = {
+            let slot = st.sessions.get_mut(&id).expect("stepped session exists");
+            match step {
+                Err(p) => Outcome::Finish(SessionEnd::Failed(panic_message(p))),
+                Ok(None) => Outcome::Finish(SessionEnd::Completed),
+                Ok(Some(Err(e))) => Outcome::Finish(SessionEnd::Failed(e.to_string())),
+                Ok(Some(Ok(report))) => {
+                    slot.batches_run += 1;
+                    slot.mem_bytes = driver.checkpoint_footprint().1
+                        + report.state_bytes_join
+                        + report.state_bytes_other;
+                    let done_all = driver.batches_done() >= driver.num_batches();
+                    let met = policy_met(&slot.spec.policy, &report, slot);
+                    slot.reports.push_back(report);
+                    if slot.cancel {
+                        Outcome::Finish(SessionEnd::Cancelled)
+                    } else if done_all {
+                        Outcome::Finish(SessionEnd::Completed)
+                    } else if met {
+                        Outcome::Finish(SessionEnd::TargetMet {
+                            batches: slot.batches_run,
+                        })
+                    } else {
+                        Outcome::Continue
+                    }
+                }
+            }
+        };
+        match outcome {
+            Outcome::Finish(end) => finish(cfg, &mut st, id, end),
+            Outcome::Continue => {
+                let slot = st.sessions.get_mut(&id).expect("stepped session exists");
+                slot.driver = Some(driver);
+                if slot.reports.len() >= cfg.report_buffer {
+                    slot.waiting_buffer = true;
+                } else {
+                    let key = slot.ready_key(id);
+                    st.ready.insert(key);
+                }
+            }
+        }
+        // One shed victim per scheduling event: pressure that persists
+        // keeps shedding on subsequent events, but a single breach never
+        // mass-evicts the queue in one sweep.
+        shed_over_ceiling(cfg, &mut st);
+        drop(st);
+        shared.work.notify_all();
+        shared.client.notify_all();
+    }
+}
+
+/// The multi-tenant serving core: a bounded worker pool cooperatively
+/// scheduling many concurrent incremental query sessions. See the module
+/// docs for the invariants.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start a server: spawns `cfg.workers` worker threads immediately.
+    pub fn new(cfg: ServerConfig) -> Server {
+        let shared = Arc::new(Shared {
+            cfg: cfg.clone(),
+            state: Mutex::new(State {
+                next_id: 0,
+                end_counter: 0,
+                sessions: BTreeMap::new(),
+                ready: BTreeSet::new(),
+                queued: VecDeque::new(),
+                live: 0,
+                admitted: 0,
+                rejected: 0,
+                shed: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            client: Condvar::new(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a driver as a new session. Returns a handle immediately, or
+    /// rejects explicitly when both the live slots and the wait queue are
+    /// full — admission never blocks the caller.
+    pub fn submit(
+        &self,
+        driver: IolapDriver,
+        spec: SessionSpec,
+    ) -> Result<SessionHandle, AdmitError> {
+        let cfg = &self.shared.cfg;
+        let mut st = lock(&self.shared);
+        if st.shutdown {
+            return Err(AdmitError::ShuttingDown);
+        }
+        if st.live >= cfg.max_live && st.queued.len() >= cfg.max_queued {
+            st.rejected += 1;
+            return Err(AdmitError::QueueFull {
+                live: st.live,
+                queued: st.queued.len(),
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.admitted += 1;
+        let seed = driver.config().seed;
+        let total_batches = driver.num_batches();
+        let mut slot = Slot {
+            spec,
+            seed,
+            total_batches,
+            state: SessionState::Queued,
+            end: None,
+            end_seq: None,
+            driver: Some(driver),
+            batches_run: 0,
+            reports: VecDeque::new(),
+            cancel: false,
+            waiting_buffer: false,
+            holds_slot: false,
+            mem_bytes: 0,
+            submit_span: Span::start(),
+            first_step: None,
+            finish_elapsed: None,
+        };
+        if st.live < cfg.max_live {
+            st.live += 1;
+            slot.holds_slot = true;
+            let key = slot.ready_key(id);
+            st.sessions.insert(id, slot);
+            st.ready.insert(key);
+        } else {
+            st.sessions.insert(id, slot);
+            st.queued.push_back(id);
+        }
+        shed_over_ceiling(cfg, &mut st);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(SessionHandle {
+            shared: Arc::clone(&self.shared),
+            id,
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let st = lock(&self.shared);
+        ServerStats {
+            live: st.live,
+            queued: st.queued.len(),
+            admitted: st.admitted,
+            rejected: st.rejected,
+            shed: st.shed,
+            mem_bytes: live_mem(&st),
+        }
+    }
+
+    /// The server's sizing config.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.cfg
+    }
+
+    /// Stop the workers after their in-flight steps and join them.
+    /// Unfinished sessions stay in whatever state they reached; buffered
+    /// reports remain drainable.
+    pub fn shutdown(&self) {
+        {
+            let mut st = lock(&self.shared);
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.client.notify_all();
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Server")
+            .field("workers", &self.shared.cfg.workers)
+            .field("stats", &stats)
+            .finish()
+    }
+}

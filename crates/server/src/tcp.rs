@@ -1,0 +1,282 @@
+//! Newline-delimited JSON front-end over `std::net::TcpListener`.
+//!
+//! One request object per line, one response object per line:
+//!
+//! ```text
+//! → {"op":"submit","query":"C2","batches":8,"label":"u1","policy":{"kind":"relative_ci","target":0.05}}
+//! ← {"ok":true,"session":0}
+//! → {"op":"poll","session":0,"max":4}
+//! ← {"ok":true,"state":"running","batches_run":2,"reports":[{...},{...}]}
+//! → {"op":"cancel","session":0}
+//! ← {"ok":true}
+//! ```
+//!
+//! The server crate knows nothing about workloads or SQL catalogs; a
+//! [`SubmitFactory`] closure provided by the embedder (the `experiments`
+//! binary wires the built-in workloads in) turns the raw `submit` request
+//! into an `IolapDriver` plus a [`SessionSpec`]. Everything protocol-level
+//! — `poll`, `summary`, `cancel`, `stats` — is handled here.
+//!
+//! [`handle_request`] is the transport-free core (one request line in, one
+//! response line out); [`serve`] is the accept loop that feeds it. Socket
+//! reads block on the network by design, so this module is *not* part of
+//! the srclint L006 scheduler/admission hot-path scope.
+
+use crate::scheduler::Server;
+use crate::session::{AdmitError, SessionHandle, SessionSpec, SessionSummary};
+use crate::wire::{escape, num, parse, value_json, JVal};
+use iolap_core::{BatchReport, IolapDriver};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds a driver + spec from a raw `submit` request object. Errors
+/// become `{"ok":false,"kind":"bad_request"}` responses.
+pub type SubmitFactory =
+    Arc<dyn Fn(&JVal) -> Result<(IolapDriver, SessionSpec), String> + Send + Sync>;
+
+/// Parse the protocol-level session knobs (`label`, `priority`,
+/// `deadline_ms`, `policy`) out of a submit request, for factories that
+/// only want to construct the driver. Unknown policy kinds fall back to
+/// run-to-completion.
+pub fn spec_from_request(req: &JVal) -> SessionSpec {
+    let mut spec = SessionSpec::named(
+        req.get("label")
+            .and_then(JVal::as_str)
+            .unwrap_or_default()
+            .to_string(),
+    );
+    if let Some(p) = req.get("priority").and_then(JVal::as_u64) {
+        spec.priority = p.min(u8::MAX as u64) as u8;
+    }
+    if let Some(ms) = req.get("deadline_ms").and_then(JVal::as_u64) {
+        spec.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(policy) = req.get("policy") {
+        let kind = policy.get("kind").and_then(JVal::as_str).unwrap_or("");
+        spec.policy = match kind {
+            "batches" => crate::StopPolicy::Batches(
+                policy
+                    .get("n")
+                    .and_then(JVal::as_u64)
+                    .map(|n| n as usize)
+                    .unwrap_or(usize::MAX),
+            ),
+            "relative_ci" => crate::StopPolicy::RelativeCI {
+                target: policy.get("target").and_then(JVal::as_f64).unwrap_or(0.05),
+                confidence: policy
+                    .get("confidence")
+                    .and_then(JVal::as_f64)
+                    .unwrap_or(0.95),
+            },
+            "deadline" => crate::StopPolicy::Deadline(Duration::from_millis(
+                policy.get("ms").and_then(JVal::as_u64).unwrap_or(1_000),
+            )),
+            _ => crate::StopPolicy::complete(),
+        };
+    }
+    spec
+}
+
+fn err_response(kind: &str, msg: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"}}",
+        escape(kind),
+        escape(msg)
+    )
+}
+
+/// One batch report as a wire object: identity, convergence, and the
+/// visible rows. `max_rel_ci` is `null` when the batch carries no error
+/// estimates (so accuracy-watching clients see the absence explicitly).
+pub fn report_json(r: &BatchReport) -> String {
+    let mut names = String::from("[");
+    for (i, n) in r.result.names.iter().enumerate() {
+        if i > 0 {
+            names.push(',');
+        }
+        let _ = write!(names, "\"{}\"", escape(n));
+    }
+    names.push(']');
+    let mut rows = String::from("[");
+    for (i, row) in r.result.relation.rows().iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push('[');
+        for (j, v) in row.values.iter().enumerate() {
+            if j > 0 {
+                rows.push(',');
+            }
+            rows.push_str(&value_json(v));
+        }
+        rows.push(']');
+    }
+    rows.push(']');
+    let ci = r
+        .result
+        .max_relative_ci_halfwidth()
+        .map(num)
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        concat!(
+            "{{\"batch\":{},\"fraction\":{},\"elapsed_ms\":{},",
+            "\"recovered\":{},\"max_rel_ci\":{},\"names\":{},\"rows\":{}}}"
+        ),
+        r.batch,
+        num(r.fraction),
+        num(r.elapsed.as_secs_f64() * 1e3),
+        r.recovered,
+        ci,
+        names,
+        rows,
+    )
+}
+
+fn summary_json(s: &SessionSummary) -> String {
+    format!(
+        concat!(
+            "{{\"id\":{},\"label\":\"{}\",\"state\":\"{}\",\"end\":{},",
+            "\"batches_run\":{},\"total_batches\":{},\"pending_reports\":{},",
+            "\"elapsed_ms\":{},\"mem_bytes\":{}}}"
+        ),
+        s.id,
+        escape(&s.label),
+        s.state.as_str(),
+        s.end
+            .as_ref()
+            .map(|e| format!("\"{}\"", e.label()))
+            .unwrap_or_else(|| "null".to_string()),
+        s.batches_run,
+        s.total_batches,
+        s.pending_reports,
+        s.elapsed
+            .map(|d| num(d.as_secs_f64() * 1e3))
+            .unwrap_or_else(|| "null".to_string()),
+        s.mem_bytes,
+    )
+}
+
+/// Handle one request line, returning one response line (no trailing
+/// newline). `sessions` is the connection's handle table: sessions are
+/// scoped to the connection that submitted them.
+pub fn handle_request(
+    server: &Server,
+    factory: &SubmitFactory,
+    sessions: &mut BTreeMap<u64, SessionHandle>,
+    line: &str,
+) -> String {
+    let req = match parse(line) {
+        Ok(v) => v,
+        Err(e) => return err_response("bad_json", &e.to_string()),
+    };
+    let op = req.get("op").and_then(JVal::as_str).unwrap_or("");
+    match op {
+        "submit" => match factory(&req) {
+            Err(msg) => err_response("bad_request", &msg),
+            Ok((driver, spec)) => match server.submit(driver, spec) {
+                Ok(handle) => {
+                    let id = handle.id();
+                    sessions.insert(id, handle);
+                    format!("{{\"ok\":true,\"session\":{id}}}")
+                }
+                Err(AdmitError::QueueFull { live, queued }) => err_response(
+                    "queue_full",
+                    &format!("{live} live, {queued} queued — admission rejected"),
+                ),
+                Err(e @ AdmitError::ShuttingDown) => err_response("shutting_down", &e.to_string()),
+            },
+        },
+        "poll" | "cancel" | "summary" => {
+            let Some(handle) = req
+                .get("session")
+                .and_then(JVal::as_u64)
+                .and_then(|id| sessions.get(&id))
+            else {
+                return err_response("unknown_session", "no such session on this connection");
+            };
+            match op {
+                "poll" => {
+                    let max = req.get("max").and_then(JVal::as_u64).unwrap_or(16) as usize;
+                    let mut reports = String::from("[");
+                    for i in 0..max {
+                        let Some(r) = handle.try_recv() else { break };
+                        if i > 0 {
+                            reports.push(',');
+                        }
+                        reports.push_str(&report_json(&r));
+                    }
+                    reports.push(']');
+                    let s = handle.summary();
+                    format!(
+                        "{{\"ok\":true,\"state\":\"{}\",\"batches_run\":{},\"reports\":{}}}",
+                        s.state.as_str(),
+                        s.batches_run,
+                        reports
+                    )
+                }
+                "cancel" => {
+                    handle.cancel();
+                    "{\"ok\":true}".to_string()
+                }
+                _ => format!(
+                    "{{\"ok\":true,\"summary\":{}}}",
+                    summary_json(&handle.summary())
+                ),
+            }
+        }
+        "stats" => {
+            let s = server.stats();
+            format!(
+                concat!(
+                    "{{\"ok\":true,\"stats\":{{\"live\":{},\"queued\":{},",
+                    "\"admitted\":{},\"rejected\":{},\"shed\":{},\"mem_bytes\":{}}}}}"
+                ),
+                s.live, s.queued, s.admitted, s.rejected, s.shed, s.mem_bytes
+            )
+        }
+        _ => err_response("bad_request", "unknown op"),
+    }
+}
+
+fn handle_conn(stream: TcpStream, server: Arc<Server>, factory: SubmitFactory) {
+    let mut sessions: BTreeMap<u64, SessionHandle> = BTreeMap::new();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_request(&server, &factory, &mut sessions, line.trim());
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+    // Connection gone: cancel what it left running so slots free up.
+    for handle in sessions.values() {
+        if !handle.state().is_finished() {
+            handle.cancel();
+        }
+    }
+}
+
+/// Accept loop: one thread per connection, each feeding
+/// [`handle_request`]. Runs until the listener errors (e.g. is dropped).
+pub fn serve(listener: TcpListener, server: Arc<Server>, factory: SubmitFactory) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { break };
+        let server = Arc::clone(&server);
+        let factory = Arc::clone(&factory);
+        std::thread::spawn(move || handle_conn(stream, server, factory));
+    }
+}

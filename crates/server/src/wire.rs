@@ -1,0 +1,436 @@
+//! Dependency-free JSON for the newline-delimited line protocol.
+//!
+//! The repo's benchmark emitter (`bench/src/json.rs`) already hand-rolls
+//! JSON *encoding*; the TCP front-end additionally needs *parsing* for
+//! request lines. Both directions live here so there is exactly one
+//! escaping/number policy in the tree — the bench emitter delegates its
+//! `escape` to [`escape`] below, and non-finite floats become `null` in
+//! both emitters ([`num`]).
+//!
+//! The parser is a small recursive-descent over the full JSON grammar
+//! (objects, arrays, strings with escapes, numbers, literals). Documents
+//! are request lines a few hundred bytes long; no streaming, no zero-copy.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys keep their document order (the
+/// protocol never relies on it, but determinism is free this way).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JVal {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JVal>),
+    /// An object, in document order.
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    /// Member `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&JVal> {
+        match self {
+            JVal::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`, when non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JVal::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte position plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub pos: usize,
+    /// What was expected.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(input: &str) -> Result<JVal, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError {
+            pos,
+            msg: "trailing characters after document",
+        });
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JVal, ParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(ParseError {
+            pos: *pos,
+            msg: "unexpected end of input",
+        }),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos).map(JVal::Str),
+        Some(b't') => parse_literal(b, pos, "true", JVal::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", JVal::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", JVal::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(_) => Err(ParseError {
+            pos: *pos,
+            msg: "expected a JSON value",
+        }),
+    }
+}
+
+fn parse_literal(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &'static str,
+    v: JVal,
+) -> Result<JVal, ParseError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(ParseError {
+            pos: *pos,
+            msg: "invalid literal",
+        })
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JVal, ParseError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(JVal::Num)
+        .ok_or(ParseError {
+            pos: start,
+            msg: "invalid number",
+        })
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => {
+                return Err(ParseError {
+                    pos: *pos,
+                    msg: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(ParseError {
+                                pos: *pos,
+                                msg: "invalid \\u escape",
+                            })?;
+                        // Surrogate pairs are not reassembled; lone
+                        // surrogates map to U+FFFD. Protocol strings are
+                        // ASCII identifiers in practice.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            pos: *pos,
+                            msg: "invalid escape",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences arrive
+                // already valid: the input is a &str).
+                let s = &b[*pos..];
+                let ch_len = std::str::from_utf8(s)
+                    .ok()
+                    .and_then(|s| s.chars().next())
+                    .map(|c| c.len_utf8())
+                    .ok_or(ParseError {
+                        pos: *pos,
+                        msg: "invalid utf-8 in string",
+                    })?;
+                out.push_str(std::str::from_utf8(&s[..ch_len]).expect("validated utf-8"));
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JVal, ParseError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JVal::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JVal::Arr(items));
+            }
+            _ => {
+                return Err(ParseError {
+                    pos: *pos,
+                    msg: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JVal, ParseError> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JVal::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(ParseError {
+                pos: *pos,
+                msg: "expected object key",
+            });
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(ParseError {
+                pos: *pos,
+                msg: "expected ':'",
+            });
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JVal::Obj(members));
+            }
+            _ => {
+                return Err(ParseError {
+                    pos: *pos,
+                    msg: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+/// Escape a string for a JSON string literal (quotes not included). The
+/// canonical implementation for the whole tree — `bench`'s emitter
+/// delegates here.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite JSON number; non-finite floats become `null` (JSON has no
+/// NaN) — the same policy the benchmark record uses.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Encode one relation cell for the wire: `Null`/`Bool`/`Int`/`Float` map
+/// to their JSON natives, strings are escaped, and the internal lineage
+/// variants (`Ref`, `Pending` — never user-visible in a published result)
+/// fall back to their debug rendering as strings.
+pub fn value_json(v: &iolap_relation::Value) -> String {
+    use iolap_relation::Value;
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => num(*f),
+        Value::Str(s) => format!("\"{}\"", escape(s)),
+        other => format!("\"{}\"", escape(&format!("{other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JVal::Null);
+        assert_eq!(parse("true").unwrap(), JVal::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), JVal::Bool(false));
+        assert_eq!(parse("42").unwrap(), JVal::Num(42.0));
+        assert_eq!(parse("-1.5e2").unwrap(), JVal::Num(-150.0));
+        assert_eq!(parse("\"hi\"").unwrap(), JVal::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"op":"submit","query":"C2","opts":{"batches":8,"tags":["a","b"]},"x":null}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("op").and_then(JVal::as_str), Some("submit"));
+        assert_eq!(
+            v.get("opts")
+                .and_then(|o| o.get("batches"))
+                .and_then(JVal::as_u64),
+            Some(8)
+        );
+        assert_eq!(v.get("x"), Some(&JVal::Null));
+        match v.get("opts").and_then(|o| o.get("tags")) {
+            Some(JVal::Arr(items)) => assert_eq!(items.len(), 2),
+            other => panic!("tags: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\ndA""#).unwrap(),
+            JVal::Str("a\"b\\c\ndA".into())
+        );
+    }
+
+    #[test]
+    fn escape_then_parse_roundtrips() {
+        let nasty = "line1\nline2\t\"quoted\" back\\slash \u{1}";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&doc).unwrap(), JVal::Str(nasty.into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn value_json_covers_variants() {
+        use iolap_relation::Value;
+        assert_eq!(value_json(&Value::Null), "null");
+        assert_eq!(value_json(&Value::Int(-3)), "-3");
+        assert_eq!(value_json(&Value::Bool(true)), "true");
+        assert_eq!(value_json(&Value::Float(1.5)), "1.5");
+        assert_eq!(value_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(value_json(&Value::str("a\"b")), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(JVal::Num(3.5).as_u64(), None);
+        assert_eq!(JVal::Num(-1.0).as_u64(), None);
+        assert_eq!(JVal::Num(7.0).as_u64(), Some(7));
+    }
+}

@@ -1,0 +1,319 @@
+//! Integration tests for the serving layer's nastiest interleavings:
+//! admission overflow, cancel racing a §5.1 recovery replay, EDF shedding
+//! order, stop policies, and report-buffer backpressure.
+
+use iolap_core::{Fault, FaultKind, FaultPlan, IolapConfig, IolapDriver};
+use iolap_engine::plan_sql;
+use iolap_server::{AdmitError, Server, ServerConfig, SessionEnd, SessionSpec, StopPolicy};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(30);
+
+/// Build a driver over the Conviva workload at a tiny pinned scale.
+fn driver(query: &str, rows: usize, batches: usize, faults: Option<FaultPlan>) -> IolapDriver {
+    let catalog = iolap_workloads::conviva_catalog(rows, 17);
+    let registry = iolap_workloads::conviva_registry();
+    let q = iolap_workloads::conviva_queries()
+        .into_iter()
+        .find(|q| q.id == query)
+        .unwrap();
+    let pq = plan_sql(q.sql, &catalog, &registry).unwrap();
+    let mut cfg = IolapConfig::with_batches(batches).trials(12).seed(17);
+    cfg.partition_mode = iolap_relation::PartitionMode::RowShuffle;
+    if let Some(p) = faults {
+        cfg = cfg.fault_plan(p);
+    }
+    IolapDriver::from_plan(&pq, &catalog, q.stream_table, cfg).unwrap()
+}
+
+#[test]
+fn session_runs_to_completion_and_drains() {
+    let server = Server::new(ServerConfig::with_workers(2));
+    let h = server
+        .submit(driver("C3", 300, 5, None), SessionSpec::named("basic"))
+        .unwrap();
+    let reports = h.drain(WAIT);
+    assert_eq!(reports.len(), 5);
+    // Reports arrive in batch order: a session is never scheduled on two
+    // workers at once, whatever the pool size.
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r.batch, i);
+    }
+    let s = h.summary();
+    assert_eq!(s.state.as_str(), "done");
+    assert_eq!(s.end, Some(SessionEnd::Completed));
+    assert_eq!(s.batches_run, 5);
+    assert!(s.elapsed.is_some());
+}
+
+#[test]
+fn admission_rejects_explicitly_when_queue_full() {
+    let server = Server::new(ServerConfig::with_workers(1).max_live(1).max_queued(1));
+    // Pre-built drivers keep the three submits back to back, well inside
+    // the first session's runtime.
+    let d1 = driver("C2", 800, 10, None);
+    let d2 = driver("C2", 800, 10, None);
+    let d3 = driver("C2", 800, 10, None);
+    let h1 = server.submit(d1, SessionSpec::named("live")).unwrap();
+    let h2 = server.submit(d2, SessionSpec::named("queued")).unwrap();
+    // Both capacity classes are full: the third submission must come back
+    // as an error immediately — never block, never silently enqueue.
+    match server.submit(d3, SessionSpec::named("over")) {
+        Err(AdmitError::QueueFull { live, queued }) => {
+            assert_eq!((live, queued), (1, 1));
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(server.stats().rejected, 1);
+    h1.cancel();
+    h2.cancel();
+    assert!(h1.join(WAIT) && h2.join(WAIT));
+}
+
+#[test]
+fn cancel_during_recovery_replay_terminates_at_batch_boundary() {
+    // Arm a forced range failure at batch 2: that batch runs the §5.1
+    // checkpoint-restore + replay cascade inside `driver.step()`. The
+    // client cancels as soon as it has the batch-1 report, so the cancel
+    // flag is raised while the worker is (or is about to be) mid-recovery.
+    let plan = FaultPlan {
+        seed: 7,
+        faults: vec![Fault {
+            kind: FaultKind::FailRange {
+                agg: None,
+                column: None,
+            },
+            batch: 2,
+        }],
+    };
+    // Solo run of the same seeded driver: the exactness reference.
+    let solo = driver("C2", 500, 6, Some(plan.clone()))
+        .run_to_completion()
+        .unwrap();
+    assert!(
+        solo.iter().any(|r| r.recovered),
+        "fault plan must actually trigger a recovery"
+    );
+
+    // A one-report buffer serializes worker and client: the worker parks
+    // after each batch until the client pops, so popping batch 1 releases
+    // the worker into batch 2 — the recovery batch — and the cancel lands
+    // while that replay cascade is (most interleavings) mid-step.
+    let server = Server::new(ServerConfig::with_workers(1).report_buffer(1));
+    let h = server
+        .submit(
+            driver("C2", 500, 6, Some(plan)),
+            SessionSpec::named("cancel-mid-recovery"),
+        )
+        .unwrap();
+    let mut got = Vec::new();
+    while let Some(r) = h.recv_timeout(WAIT) {
+        let cancel_now = r.batch == 1;
+        got.push(r);
+        if cancel_now {
+            std::thread::sleep(Duration::from_millis(2));
+            h.cancel();
+        }
+    }
+    let s = h.summary();
+    assert_eq!(s.end, Some(SessionEnd::Cancelled), "{s:?}");
+    assert!(s.state.is_terminal());
+    // The in-flight batch (recovery and all) runs to its boundary and its
+    // report is still delivered; nothing runs past the cancel after that:
+    // 2 reports if the cancel won the race to the batch boundary, 3 if the
+    // recovery batch was already mid-step (the interleaving under test).
+    assert!(
+        got.len() == 2 || got.len() == 3,
+        "got {} reports",
+        got.len()
+    );
+    // Every report delivered before the cancel took effect is exactly the
+    // solo run's report for that batch — recovery replay included.
+    for (i, r) in got.iter().enumerate() {
+        assert_eq!(r.batch, solo[i].batch);
+        assert_eq!(r.recovered, solo[i].recovered);
+        assert_eq!(
+            format!("{}", r.result.relation),
+            format!("{}", solo[i].result.relation),
+            "batch {i} diverged from solo run"
+        );
+    }
+}
+
+#[test]
+fn memory_ceiling_sheds_queued_sessions_in_edf_order() {
+    // One worker, one live slot, a 1-byte ceiling: the running session
+    // breaches the ceiling at its first batch, and each scheduling event
+    // sheds exactly one *queued* victim — earliest deadline first, the
+    // running session never.
+    let server = Server::new(
+        ServerConfig::with_workers(1)
+            .max_live(1)
+            .max_queued(3)
+            .memory_ceiling(1),
+    );
+    // Pre-build every driver so the four submits land microseconds apart —
+    // all queued before the running session's first step (over 30 000 rows,
+    // tens of milliseconds) ends and fires the first shed event. Memory is
+    // recorded at step ends, so no submit-time shed can fire before then,
+    // and the three victims are all queued when EDF selection starts.
+    let da = driver("C3", 30_000, 6, None);
+    let db = driver("C3", 300, 6, None);
+    let dc = driver("C3", 300, 6, None);
+    let dd = driver("C3", 300, 6, None);
+    let a = server.submit(da, SessionSpec::named("running")).unwrap();
+    let b = server
+        .submit(
+            db,
+            SessionSpec::named("late-deadline").deadline(Duration::from_secs(500)),
+        )
+        .unwrap();
+    let c = server
+        .submit(
+            dc,
+            SessionSpec::named("early-deadline").deadline(Duration::from_secs(1)),
+        )
+        .unwrap();
+    let d = server
+        .submit(dd, SessionSpec::named("no-deadline"))
+        .unwrap();
+    for h in [&a, &b, &c, &d] {
+        assert!(h.join(WAIT), "session wedged: {:?}", h.summary());
+    }
+    let (sa, sb, sc, sd) = (a.summary(), b.summary(), c.summary(), d.summary());
+    // The running session is never shed: it completes all batches.
+    assert_eq!(sa.end, Some(SessionEnd::Completed), "{sa:?}");
+    for s in [&sb, &sc, &sd] {
+        assert_eq!(s.end, Some(SessionEnd::Shed), "{s:?}");
+        assert_eq!(s.batches_run, 0);
+    }
+    // EDF order: earliest deadline first, deadline-less work last.
+    let (eb, ec, ed) = (
+        sb.end_seq.unwrap(),
+        sc.end_seq.unwrap(),
+        sd.end_seq.unwrap(),
+    );
+    assert!(ec < eb && eb < ed, "shed order wrong: c={ec} b={eb} d={ed}");
+    assert_eq!(server.stats().shed, 3);
+}
+
+#[test]
+fn batch_budget_policy_stops_at_exact_count() {
+    let server = Server::new(ServerConfig::with_workers(2));
+    let h = server
+        .submit(
+            driver("C3", 300, 6, None),
+            SessionSpec::named("budget").policy(StopPolicy::Batches(2)),
+        )
+        .unwrap();
+    let reports = h.drain(WAIT);
+    assert_eq!(reports.len(), 2);
+    let s = h.summary();
+    assert_eq!(s.end, Some(SessionEnd::TargetMet { batches: 2 }));
+    assert!(s.stopped_early());
+}
+
+#[test]
+fn relative_ci_policy_stops_strictly_before_completion() {
+    let server = Server::new(ServerConfig::with_workers(2));
+    let h = server
+        .submit(
+            driver("C2", 500, 8, None),
+            SessionSpec::named("accuracy").policy(StopPolicy::RelativeCI {
+                target: 0.5,
+                confidence: 0.95,
+            }),
+        )
+        .unwrap();
+    let reports = h.drain(WAIT);
+    let s = h.summary();
+    assert!(s.stopped_early(), "{s:?}");
+    assert!(
+        s.batches_run < s.total_batches,
+        "stopped at {}/{} — not early",
+        s.batches_run,
+        s.total_batches
+    );
+    // The stopping batch actually satisfies the contract.
+    let last = reports.last().unwrap();
+    let width = last.result.max_relative_ci_halfwidth().unwrap();
+    assert!(width <= 0.5, "stopped at half-width {width}");
+}
+
+#[test]
+fn deadline_policy_stops_at_first_boundary_past_the_deadline() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    let h = server
+        .submit(
+            driver("C3", 300, 6, None),
+            SessionSpec::named("latency").policy(StopPolicy::Deadline(Duration::ZERO)),
+        )
+        .unwrap();
+    let reports = h.drain(WAIT);
+    // A zero deadline is already expired at the first boundary: exactly
+    // one batch runs (the one in flight when the deadline passed).
+    assert_eq!(reports.len(), 1);
+    assert_eq!(h.summary().end, Some(SessionEnd::TargetMet { batches: 1 }));
+}
+
+#[test]
+fn full_report_buffer_parks_the_session_instead_of_dropping_reports() {
+    // A one-report buffer and a deliberately lagging client: the scheduler
+    // must park the session when the buffer is full (off the ready queue —
+    // no busy spin) and re-ready it on every pop. All reports arrive, in
+    // order, none dropped.
+    let server = Server::new(ServerConfig::with_workers(2).report_buffer(1));
+    let h = server
+        .submit(
+            driver("C3", 300, 6, None),
+            SessionSpec::named("slow-client"),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut got = Vec::new();
+    while let Some(r) = h.recv_timeout(WAIT) {
+        got.push(r.batch);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(got, (0..6).collect::<Vec<_>>());
+    assert_eq!(h.summary().end, Some(SessionEnd::Completed));
+}
+
+#[test]
+fn priority_zero_preempts_at_batch_boundaries() {
+    // One worker: a priority-0 session submitted after a priority-1 session
+    // must win every boundary once admitted, so it finishes first even
+    // though it started second.
+    let server = Server::new(ServerConfig::with_workers(1));
+    // The background session is large (tens of ms per batch) so the
+    // foreground submit is guaranteed to land while it still has most of
+    // its batches ahead of it, even if this thread is preempted.
+    let dbg = driver("C3", 30_000, 8, None);
+    let dfg = driver("C3", 400, 8, None);
+    let bg = server
+        .submit(dbg, SessionSpec::named("background").priority(1))
+        .unwrap();
+    let fg = server
+        .submit(dfg, SessionSpec::named("foreground").priority(0))
+        .unwrap();
+    assert!(fg.join(WAIT) && bg.join(WAIT));
+    let (sf, sb) = (fg.summary(), bg.summary());
+    assert_eq!(sf.end, Some(SessionEnd::Completed));
+    assert_eq!(sb.end, Some(SessionEnd::Completed));
+    assert!(
+        sf.end_seq.unwrap() < sb.end_seq.unwrap(),
+        "priority 0 should finish first: fg={:?} bg={:?}",
+        sf.end_seq,
+        sb.end_seq
+    );
+}
+
+#[test]
+fn shutdown_refuses_new_sessions() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    server.shutdown();
+    match server.submit(driver("C3", 300, 4, None), SessionSpec::default()) {
+        Err(AdmitError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}

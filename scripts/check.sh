@@ -26,6 +26,9 @@ IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experime
 echo "== trace --smoke (trace schema golden: scripts/trace-schema.golden)"
 cargo run --release --offline -q -p iolap-bench --bin experiments -- trace --smoke
 
+echo "== serve --smoke (multi-tenant serving: solo-exactness, early stop, admission)"
+cargo run --release --offline -q -p iolap-bench --bin experiments -- serve --smoke
+
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 

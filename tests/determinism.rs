@@ -109,6 +109,52 @@ fn trace_exports_are_bytewise_deterministic() {
     );
 }
 
+/// Multi-tenant determinism: two fixed-seed runs of the *same* concurrent
+/// session mix through the serving layer must deliver byte-identical
+/// per-session report streams. Sessions share nothing (each driver owns
+/// its data and RNG), so per-session results are schedule-independent even
+/// though the interleaving across sessions varies with worker timing.
+#[test]
+fn multi_tenant_session_reports_are_bytewise_deterministic() {
+    use iolap_server::{Server, ServerConfig, SessionSpec};
+    use std::time::Duration;
+
+    let cat = conviva_catalog(120, 11);
+    let registry = conviva_registry();
+    let run = || {
+        let server = Server::new(ServerConfig::with_workers(4));
+        let handles: Vec<_> = ["SBI", "C2", "C3", "SBI", "C2", "C3"]
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let q = conviva_query(id).unwrap();
+                let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+                let d = IolapDriver::from_plan(&pq, &cat, q.stream_table, config(5)).unwrap();
+                (
+                    format!("s{i}:{id}"),
+                    server
+                        .submit(d, SessionSpec::named(format!("s{i}:{id}")))
+                        .unwrap(),
+                )
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(label, h)| {
+                let reports = h.drain(Duration::from_secs(30));
+                assert_eq!(reports.len(), 5, "{label} did not complete");
+                format!("{label}\n{}", canon(&reports))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "two fixed-seed multi-tenant runs diverged per-session"
+    );
+}
+
 #[test]
 fn hda_reports_are_bytewise_deterministic() {
     // C2's correlated subquery gives HDA's inner view many group entries —

@@ -1,0 +1,81 @@
+//! Serving-layer acceptance: ≥8 concurrent sessions over ≥2 distinct
+//! built-in queries on a 4-worker pool, with every session's final answer
+//! exact-equal to its solo run, accuracy-contract sessions stopping
+//! strictly before full-data completion, and admission rejecting (never
+//! hanging) when full. Exercises the same `run_cell` machinery the
+//! `experiments serve` sweep records into `BENCH_PR5.json`.
+
+use iolap_bench::serve::{admission_probe, run_cell, solo_reference};
+use iolap_bench::{conviva_workload, ExpScale};
+
+fn scale() -> ExpScale {
+    ExpScale {
+        tpch_sf: 0.1,
+        conviva_rows: 500,
+        batches: 6,
+        trials: 12,
+        seed: 2016,
+    }
+}
+
+#[test]
+fn eight_sessions_on_four_workers_match_their_solo_runs() {
+    let scale = scale();
+    let w = conviva_workload(&scale);
+    let queries = ["C2", "C3", "SBI", "C1"];
+    let solo = solo_reference(&w, &queries, &scale);
+    let cell = run_cell(&w, &scale, 4, 8, "open", &solo);
+
+    assert_eq!(cell.violations, 0, "cell reported violations: {cell:#?}");
+    assert_eq!(cell.session_results.len(), 8);
+    let distinct: std::collections::BTreeSet<_> = cell
+        .session_results
+        .iter()
+        .map(|s| s.query.as_str())
+        .collect();
+    assert!(
+        distinct.len() >= 2,
+        "needed ≥2 distinct queries: {distinct:?}"
+    );
+
+    for s in &cell.session_results {
+        // Concurrency must never change an answer: every delivered report
+        // was byte-identical to the solo run's report at the same batch.
+        assert!(s.exact_vs_solo, "{} diverged from its solo run", s.label);
+        assert_eq!(s.state, "done", "{}: {s:?}", s.label);
+        if s.policy.starts_with("relative_ci") {
+            // The accuracy contract fires strictly before completion.
+            assert!(s.stopped_early, "{}: {s:?}", s.label);
+            assert!(
+                s.batches_run < s.total_batches,
+                "{} ran {}/{} batches — not strictly early",
+                s.label,
+                s.batches_run,
+                s.total_batches
+            );
+        }
+        if s.policy == "complete" {
+            assert_eq!(s.batches_run, s.total_batches, "{}: {s:?}", s.label);
+        }
+    }
+    assert!(cell.batch_latency.count() > 0);
+}
+
+#[test]
+fn closed_arrival_also_preserves_exactness() {
+    let scale = scale();
+    let w = conviva_workload(&scale);
+    let queries = ["C2", "C3", "SBI", "C1"];
+    let solo = solo_reference(&w, &queries, &scale);
+    // Closed loop: live slots bounded at the worker count, the rest queue.
+    let cell = run_cell(&w, &scale, 2, 8, "closed", &solo);
+    assert_eq!(cell.violations, 0, "cell reported violations: {cell:#?}");
+    assert!(cell.session_results.iter().all(|s| s.exact_vs_solo));
+}
+
+#[test]
+fn admission_rejects_rather_than_hangs_when_full() {
+    let scale = scale();
+    let w = conviva_workload(&scale);
+    assert!(admission_probe(&w, &scale));
+}
