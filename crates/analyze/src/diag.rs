@@ -67,6 +67,13 @@ pub enum Rule {
     /// (allowlisted in `scripts/lint-allow.txt`), which is woken on every
     /// state transition by construction.
     L006,
+    /// No per-row `Value` materialization in the columnar kernel modules
+    /// (`src/kernels/`): no `.clone()`, `.to_vec()`, or `.to_owned()` in
+    /// kernel hot loops. Kernels operate on typed column vectors and
+    /// selection indices; the sole audited exception is the row⇄batch
+    /// facade (`kernels/facade.rs`, allowlisted), whose entire job is
+    /// materialization.
+    L007,
 }
 
 impl Rule {
@@ -87,6 +94,7 @@ impl Rule {
             Rule::L004 => "L004",
             Rule::L005 => "L005",
             Rule::L006 => "L006",
+            Rule::L007 => "L007",
         }
     }
 
@@ -107,6 +115,7 @@ impl Rule {
             Rule::L004 => "fault-hook-ungated",
             Rule::L005 => "instrumentation-coverage",
             Rule::L006 => "no-unbounded-blocking",
+            Rule::L007 => "no-row-materialization-in-kernels",
         }
     }
 
@@ -133,6 +142,7 @@ impl Rule {
             Rule::L004,
             Rule::L005,
             Rule::L006,
+            Rule::L007,
         ]
     }
 }

@@ -38,6 +38,14 @@
 //!   client behind an unbounded park. The worker pool's park/unpark core
 //!   is the one audited exception, allowlisted in
 //!   `scripts/lint-allow.txt`.
+//! * **L007 `no-row-materialization-in-kernels`** — no per-row `Value`
+//!   materialization inside the columnar kernel modules (any file under a
+//!   `src/kernels/` directory): no `.clone()`, `.to_vec()`, or
+//!   `.to_owned()`. Kernels must work over typed column vectors and
+//!   selection indices; cloning a `Value` per row silently reintroduces
+//!   the row-at-a-time cost the columnar layer exists to remove. The
+//!   row⇄batch facade (`kernels/facade.rs`) is the audited exception —
+//!   materialization is its entire job — and is allowlisted.
 //!
 //! Lines inside `#[cfg(test)]` modules (everything from the first such
 //! attribute to end of file — the repo convention keeps test modules last)
@@ -172,6 +180,9 @@ const L006_FILES: &[&str] = &[
 /// `recv_timeout(`/`try_recv()`.
 const L006_PATTERNS: &[&str] = &["thread::sleep", ".recv()", ".wait("];
 
+/// Per-row materialization forms forbidden in kernel modules.
+const L007_PATTERNS: &[&str] = &[".clone()", ".to_vec()", ".to_owned()"];
+
 /// Lint one file's source. `rel_path` is repo-relative with forward
 /// slashes; rules are dispatched on it.
 pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
@@ -216,6 +227,17 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
             for pat in L006_PATTERNS {
                 if line.contains(pat) {
                     findings.push(finding(Rule::L006, rel_path, *no, line));
+                    break;
+                }
+            }
+        }
+    }
+
+    if rel_path.contains("/src/kernels/") {
+        for (no, line) in &lines {
+            for pat in L007_PATTERNS {
+                if line.contains(pat) {
+                    findings.push(finding(Rule::L007, rel_path, *no, line));
                     break;
                 }
             }
@@ -611,6 +633,42 @@ mod tests {
             ..hit.clone()
         };
         assert!(!allow.allows(&other), "only the park core is audited");
+    }
+
+    #[test]
+    fn l007_flags_value_materialization_in_kernels() {
+        let src = "fn gather(col: &Column) {\n\
+                   let v = cells[i].clone();\n\
+                   let owned = dict.to_vec();\n\
+                   let s = name.to_owned();\n\
+                   let ok = col.len();\n\
+                   }\n";
+        let f = lint_source("crates/relation/src/kernels/filter.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::L007));
+        // Comments and test modules are exempt, like every textual lint.
+        let commented = "// values.clone() for the reference path\nfn f() {}\n";
+        assert!(lint_source("crates/relation/src/kernels/fold.rs", commented).is_empty());
+        // Files outside kernels/ are out of scope.
+        assert!(lint_source("crates/relation/src/columnar.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l007_is_allowlistable_for_the_facade() {
+        let allow = Allowlist::parse("L007 crates/relation/src/kernels/facade.rs .clone()");
+        let hit = LintFinding {
+            rule: Rule::L007,
+            file: "crates/relation/src/kernels/facade.rs".into(),
+            line: 1,
+            text: "Batch::from_rows(rel.schema().clone(), rel.rows())".into(),
+        };
+        assert!(allow.allows(&hit));
+        let other = LintFinding {
+            file: "crates/relation/src/kernels/filter.rs".into(),
+            ..hit.clone()
+        };
+        assert!(!allow.allows(&other), "only the facade is audited");
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //! `--listen ADDR` instead serves the newline-delimited JSON protocol on
 //! a TCP socket until killed.
 //!
+//! `kernels` (not part of `all`) micro-benchmarks the columnar kernels —
+//! comparison filters, aggregate trial folds, and the Poisson block draw —
+//! against their row-at-a-time references, and fails on any result that is
+//! not bit-identical to the reference. `--smoke` shrinks the row count for
+//! the offline gate.
+//!
 //! `trace <query>` (not part of `all`) runs one query (default `C2`) with
 //! the causal event journal armed and renders a per-batch timeline, a
 //! top-k exclusive self-time table, and per-operator latency quantiles,
@@ -136,6 +142,7 @@ fn main() {
                 storm = Some(runs);
             }
             "trace" => violations += trace_cmd(&scale, trace_query.as_deref(), smoke),
+            "kernels" => violations += kernels_cmd(&scale, smoke),
             "table1" => table1(&scale),
             "fig7a" => fig7a(&scale),
             "fig7b" => fig7bc(&scale, true),
@@ -821,6 +828,187 @@ fn metrics_breakdown(scale: &ExpScale) {
             self_time_ns as f64 / 1e6
         );
     }
+}
+
+/// `kernels`: micro-benchmark + exactness check of the columnar kernels
+/// against their row-at-a-time references (not part of `all`). Each kernel
+/// must produce results bit-identical to the scalar reference — any
+/// mismatch is a violation that fails the harness. `--smoke` shrinks the
+/// row count for the offline gate. Timings are informative (the acceptance
+/// numbers live in the per-operator `_ns` metrics of the BENCH record).
+fn kernels_cmd(scale: &ExpScale, smoke: bool) -> usize {
+    use iolap_bootstrap::poisson::{block_trial_weights, trial_weights};
+    use iolap_engine::{CmpOp, EvalContext, Expr};
+    use iolap_relation::kernels::filter::{filter_cmp_value, CmpKind};
+    use iolap_relation::kernels::fold::{fold_sum_weighted, gather_numeric};
+    use iolap_relation::{Column, SelVec, Value};
+    use std::time::Instant;
+
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn report(name: &str, rows: usize, t_ref: std::time::Duration, t_vec: std::time::Duration) {
+        let rns = t_ref.as_nanos() as f64 / rows as f64;
+        let vns = t_vec.as_nanos() as f64 / rows as f64;
+        let speedup = if vns > 0.0 { rns / vns } else { f64::INFINITY };
+        println!(
+            "{name:<18} {rows:>8} rows | ref {rns:>8.1} ns/row | vec {vns:>8.1} ns/row | {speedup:>5.2}x"
+        );
+    }
+
+    section(&format!(
+        "kernels: columnar kernels vs row-at-a-time reference ({})",
+        if smoke { "smoke" } else { "full" }
+    ));
+    let n: usize = if smoke { 20_000 } else { 200_000 };
+    let trials = scale.trials;
+    let mut violations = 0usize;
+
+    // Deterministic synthetic columns: floats with NULL holes, a
+    // low-cardinality dictionary string column.
+    let cdns = ["cdn0", "cdn1", "cdn2", "cdn3"];
+    let floats: Vec<Value> = (0..n)
+        .map(|i| {
+            let r = mix(scale.seed ^ i as u64);
+            if r.is_multiple_of(23) {
+                Value::Null
+            } else {
+                Value::Float((r % 10_000) as f64 / 10_000.0)
+            }
+        })
+        .collect();
+    let strs: Vec<Value> = (0..n)
+        .map(|i| Value::str(cdns[(mix(i as u64) % 4) as usize]))
+        .collect();
+
+    // --- comparison kernels (the SELECT hot path). The reference is the
+    // operator's replaced code path — `Expr::eval_predicate` per row — and
+    // the vectorized timing includes column construction, as the operator
+    // pays it per batch.
+    for (name, cells, kind, lit) in [
+        ("filter f64 >", &floats, CmpKind::Gt, Value::Float(0.5)),
+        ("filter str =", &strs, CmpKind::Eq, Value::str("cdn3")),
+    ] {
+        let op = match kind {
+            CmpKind::Gt => CmpOp::Gt,
+            _ => CmpOp::Eq,
+        };
+        let rows: Vec<iolap_relation::Row> = cells
+            .iter()
+            .map(|v| iolap_relation::Row::new(vec![v.clone()]))
+            .collect();
+        let pred = Expr::Cmp {
+            op,
+            left: Box::new(Expr::Col(0)),
+            right: Box::new(Expr::Lit(lit.clone())),
+        };
+        let t0 = Instant::now();
+        let mut ref_sel: Vec<usize> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if pred
+                .eval_predicate(row, &EvalContext::batch())
+                .unwrap_or(false)
+            {
+                ref_sel.push(i);
+            }
+        }
+        let t_ref = t0.elapsed();
+        let t0 = Instant::now();
+        let (col, saw_lineage) = Column::from_cells(cells.iter());
+        let mut sel = SelVec::with_capacity(n);
+        let ok = !saw_lineage && filter_cmp_value(&col, kind, &lit, &mut sel);
+        let t_vec = t0.elapsed();
+        if !ok || sel.iter().collect::<Vec<_>>() != ref_sel {
+            eprintln!("kernels: {name} diverged from the row-at-a-time reference");
+            violations += 1;
+        }
+        report(name, n, t_ref, t_vec);
+    }
+
+    // --- aggregate trial fold (the AGGREGATE hot path): weighted SUM
+    // across all bootstrap trials, gather + fold vs scalar reference.
+    let ws: Vec<Vec<f64>> = (0..n)
+        .map(|i| trial_weights(scale.seed, i as u64, trials))
+        .collect();
+    let mults: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+    let frows: Vec<iolap_relation::Row> = floats
+        .iter()
+        .map(|v| iolap_relation::Row::new(vec![v.clone()]))
+        .collect();
+    let arg = Expr::Col(0);
+    let t0 = Instant::now();
+    let mut ra = vec![0.0; trials];
+    let mut rb = vec![0.0; trials];
+    for (i, row) in frows.iter().enumerate() {
+        // The row path evaluates the argument expression per row (clone +
+        // dispatch) before the trial fold.
+        let v = arg.eval(row, &EvalContext::batch()).unwrap_or(Value::Null);
+        let x = v.as_f64();
+        if v.is_null() || x.is_none() {
+            continue;
+        }
+        let x = x.unwrap_or(0.0);
+        let m = mults[i];
+        for ((ta, tb), w) in ra.iter_mut().zip(rb.iter_mut()).zip(ws[i].iter()) {
+            *ta += m * w * x;
+            *tb += m * w;
+        }
+    }
+    let t_ref = t0.elapsed();
+    let t0 = Instant::now();
+    let mut xs = Vec::new();
+    let mut sel = SelVec::with_capacity(n);
+    let ok = gather_numeric(floats.iter(), false, &mut xs, &mut sel);
+    let mut va = vec![0.0; trials];
+    let mut vb = vec![0.0; trials];
+    for (k, i) in sel.iter().enumerate() {
+        fold_sum_weighted(&mut va, &mut vb, xs[k], mults[i], &ws[i]);
+    }
+    let t_vec = t0.elapsed();
+    let bits_equal = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+    if !ok || !bits_equal(&va, &ra) || !bits_equal(&vb, &rb) {
+        eprintln!("kernels: fold sum(weighted) diverged from the row-at-a-time reference");
+        violations += 1;
+    }
+    report("fold sum(w)", n, t_ref, t_vec);
+
+    // --- Poisson block draw (the SCAN hot path): whole-delta block vs
+    // per-row vectors. One untimed warmup of each shape first, so neither
+    // side pays the allocator's first-touch page faults inside the timer.
+    let n2 = n / 10;
+    drop(block_trial_weights(scale.seed, 0, n2, trials));
+    drop(trial_weights(scale.seed, 0, trials));
+    let t0 = Instant::now();
+    let per_row: Vec<Vec<f64>> = (0..n2)
+        .map(|i| trial_weights(scale.seed, i as u64, trials))
+        .collect();
+    let t_ref = t0.elapsed();
+    let t0 = Instant::now();
+    let block = block_trial_weights(scale.seed, 0, n2, trials);
+    let t_vec = t0.elapsed();
+    let block_ok = trials == 0
+        || (block.len() == n2 * trials
+            && block
+                .chunks_exact(trials)
+                .zip(per_row.iter())
+                .all(|(c, r)| bits_equal(c, r)));
+    if !block_ok {
+        eprintln!("kernels: Poisson block draw diverged from per-row trial_weights");
+        violations += 1;
+    }
+    report("poisson block", n2, t_ref, t_vec);
+
+    if violations == 0 {
+        println!("kernels: all vectorized results bit-identical to references");
+    }
+    violations
 }
 
 // Silence the unused-import lint for BatchedRelation which documents the

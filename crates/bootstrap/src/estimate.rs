@@ -41,8 +41,8 @@ impl ErrorEstimate {
         let mut sorted = trials.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let alpha = (1.0 - confidence) / 2.0;
-        let ci_lo = percentile(&sorted, alpha);
-        let ci_hi = percentile(&sorted, 1.0 - alpha);
+        let ci_lo = percentile(&sorted, alpha)?;
+        let ci_hi = percentile(&sorted, 1.0 - alpha)?;
         let relative_std = if estimate == 0.0 {
             f64::INFINITY
         } else {
@@ -71,17 +71,26 @@ impl ErrorEstimate {
 }
 
 /// Linear-interpolated percentile of a sorted slice, `q ∈ [0, 1]`.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
+///
+/// Follows the same degenerate-input policy as the metrics layer's
+/// histogram quantile: an empty slice has nothing to estimate from
+/// (`None`), and a single observation is returned exactly. The guard also
+/// closes an underflow: `sorted.len() - 1` on an empty slice wrapped in
+/// release builds and panicked in debug.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    let first = *sorted.first()?;
+    if sorted.len() == 1 {
+        return Some(first);
+    }
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     if lo == hi {
-        sorted[lo]
+        Some(sorted[lo])
     } else {
         let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
     }
 }
 
@@ -121,8 +130,27 @@ mod tests {
     #[test]
     fn percentile_interpolates() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 1.0), 4.0);
-        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
+        assert!((percentile(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_guards_degenerate_inputs() {
+        // Regression: `q * (len - 1)` underflowed on an empty slice.
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[], 0.0), None);
+        // A single observation is its own percentile at every q.
+        assert_eq!(percentile(&[7.5], 0.0), Some(7.5));
+        assert_eq!(percentile(&[7.5], 0.5), Some(7.5));
+        assert_eq!(percentile(&[7.5], 1.0), Some(7.5));
+    }
+
+    #[test]
+    fn single_trial_estimate_is_exact() {
+        let e = ErrorEstimate::from_trials(3.0, &[3.5], 0.95).unwrap();
+        assert_eq!(e.ci_lo, 3.5);
+        assert_eq!(e.ci_hi, 3.5);
+        assert_eq!(e.std_error, 0.0);
     }
 }

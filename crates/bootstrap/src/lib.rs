@@ -20,5 +20,5 @@ pub mod poisson;
 pub mod range;
 
 pub use estimate::{percentile, ErrorEstimate};
-pub use poisson::{poisson1, trial_weights, DEFAULT_TRIALS};
+pub use poisson::{block_trial_weights, poisson1, trial_weights, DEFAULT_TRIALS};
 pub use range::{summary_of, RangeOutcome, RangeTracker, VariationRange};

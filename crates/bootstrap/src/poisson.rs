@@ -62,6 +62,22 @@ pub fn trial_weights(seed: u64, row_id: u64, trials: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Block kernel: per-trial weights for `rows` consecutive row ids starting at
+/// `first_row`, row-major (`result[r * trials + t] == trial_weights(seed,
+/// first_row + r, trials)[t]`). One tight loop over the whole mini-batch
+/// amortizes per-row allocation and call overhead on the scan hot path; the
+/// draws are bit-identical to the per-row path by construction.
+pub fn block_trial_weights(seed: u64, first_row: u64, rows: usize, trials: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(rows * trials);
+    for r in 0..rows {
+        let row_id = first_row + r as u64;
+        for t in 0..trials {
+            out.push(poisson1(seed, row_id, t as u32) as f64);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +97,20 @@ mod tests {
         assert_ne!(a, b);
         let c = trial_weights(2, 0, 100);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn block_weights_match_per_row() {
+        let trials = 17;
+        let block = block_trial_weights(9, 5, 4, trials);
+        assert_eq!(block.len(), 4 * trials);
+        for r in 0..4 {
+            let per_row = trial_weights(9, 5 + r as u64, trials);
+            assert_eq!(&block[r * trials..(r + 1) * trials], per_row.as_slice());
+        }
+        // Zero-trial and zero-row blocks are empty, not a panic.
+        assert!(block_trial_weights(9, 5, 4, 0).is_empty());
+        assert!(block_trial_weights(9, 5, 0, 7).is_empty());
     }
 
     #[test]

@@ -13,10 +13,11 @@ use crate::classify::{classify, collect_refs, Decision};
 use crate::ops_agg::AggregateOp;
 use crate::ops_join::{JoinOp, SemiJoinOp};
 use crate::registry::AggRegistry;
-use iolap_bootstrap::poisson::trial_weights;
+use iolap_bootstrap::poisson::block_trial_weights;
 use iolap_bootstrap::RangeOutcome;
-use iolap_engine::{EngineError, EvalContext, Expr, RefMode};
-use iolap_relation::{Relation, Schema, Value};
+use iolap_engine::{CmpOp, EngineError, EvalContext, Expr, RefMode};
+use iolap_relation::kernels::filter::{filter_cmp_value, CmpKind};
+use iolap_relation::{Column, Relation, Schema, SelVec, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -376,16 +377,35 @@ impl ScanOp {
                 self.table.hash(&mut h);
                 h.finish()
             };
-            for row in ctx.stream_delta.rows() {
-                let id = self.rows_emitted;
-                self.rows_emitted += 1;
-                let weights: Arc<[f64]> =
-                    trial_weights(ctx.seed ^ table_salt, id, ctx.trials).into();
-                out.delta_certain.push(ORow {
-                    values: row.values.clone(),
-                    mult: row.mult,
-                    weights: Some(weights),
-                });
+            // Vectorized Poisson kernel: draw the whole mini-batch's trial
+            // weights in one row-major block (bit-identical per (seed, row,
+            // trial) to the per-row path), then slice per-row `Arc`s off it.
+            let rows = ctx.stream_delta.rows();
+            let wsp = crate::metrics::Span::start();
+            let block = block_trial_weights(
+                ctx.seed ^ table_salt,
+                self.rows_emitted,
+                rows.len(),
+                ctx.trials,
+            );
+            wsp.stop(&mut ctx.metrics, "scan.weights_ns");
+            self.rows_emitted += rows.len() as u64;
+            if ctx.trials == 0 {
+                for row in rows {
+                    out.delta_certain.push(ORow {
+                        values: row.values.clone(),
+                        mult: row.mult,
+                        weights: Some(Vec::new().into()),
+                    });
+                }
+            } else {
+                for (row, chunk) in rows.iter().zip(block.chunks_exact(ctx.trials)) {
+                    out.delta_certain.push(ORow {
+                        values: row.values.clone(),
+                        mult: row.mult,
+                        weights: Some(Arc::from(chunk)),
+                    });
+                }
             }
             out.exhausted = ctx.last_batch;
         } else {
@@ -459,16 +479,23 @@ impl SelectOp {
         let mut out = BatchData::empty(input.schema.clone());
 
         if !self.uncertain_pred {
-            for row in input.delta_certain {
-                if self.predicate.eval_predicate(&row.to_row(), &ctx.eval())? {
-                    out.delta_certain.push(row);
-                }
-            }
-            for row in input.uncertain {
-                if self.predicate.eval_predicate(&row.to_row(), &ctx.eval())? {
-                    out.uncertain.push(row);
-                }
-            }
+            let filter_span = crate::metrics::Span::start();
+            let plan = vector_filter_plan(&self.predicate);
+            filter_channel(
+                &self.predicate,
+                plan,
+                input.delta_certain,
+                &mut out.delta_certain,
+                ctx,
+            )?;
+            filter_channel(
+                &self.predicate,
+                plan,
+                input.uncertain,
+                &mut out.uncertain,
+                ctx,
+            )?;
+            filter_span.stop(&mut ctx.metrics, "select.filter_ns");
             out.exhausted = input.exhausted;
             ctx.close_op(sp, (out.delta_certain.len() + out.uncertain.len()) as u64);
             return Ok(out);
@@ -575,6 +602,86 @@ impl SelectOp {
         ctx.close_op(sp, (out.delta_certain.len() + out.uncertain.len()) as u64);
         Ok(out)
     }
+}
+
+/// Recognize `Col ϑ Lit` / `Lit ϑ Col` predicate shapes that the typed
+/// comparison kernels can run without materializing rows. Anything else
+/// (arithmetic, conjunctions, lineage literals) stays on the row path.
+fn vector_filter_plan(pred: &Expr) -> Option<(usize, CmpKind, &Value)> {
+    let Expr::Cmp { op, left, right } = pred else {
+        return None;
+    };
+    let kind = match op {
+        CmpOp::Eq => CmpKind::Eq,
+        CmpOp::Neq => CmpKind::Ne,
+        CmpOp::Lt => CmpKind::Lt,
+        CmpOp::Le => CmpKind::Le,
+        CmpOp::Gt => CmpKind::Gt,
+        CmpOp::Ge => CmpKind::Ge,
+    };
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::Col(i), Expr::Lit(v)) => Some((*i, kind, v)),
+        (Expr::Lit(v), Expr::Col(i)) => Some((*i, kind.mirror(), v)),
+        _ => None,
+    }
+}
+
+/// Vectorized filter of one channel: build the predicate column once, run
+/// the comparison kernel to a selection vector, and move the selected rows
+/// into `out`. Returns the rows untouched (`Err`) when the kernel can't
+/// decide — lineage cells in the column or in the literal — so the caller
+/// falls back to row-at-a-time evaluation with identical semantics.
+fn filter_channel_vectorized(
+    rows: Vec<ORow>,
+    col: usize,
+    op: CmpKind,
+    lit: &Value,
+    out: &mut Vec<ORow>,
+) -> Result<(), Vec<ORow>> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let (column, saw_lineage) = Column::from_cells(rows.iter().map(|r| &r.values[col]));
+    if saw_lineage {
+        return Err(rows);
+    }
+    let mut sel = SelVec::with_capacity(rows.len());
+    if !filter_cmp_value(&column, op, lit, &mut sel) {
+        return Err(rows);
+    }
+    let mut want = sel.iter();
+    let mut next = want.next();
+    for (i, row) in rows.into_iter().enumerate() {
+        if next == Some(i) {
+            out.push(row);
+            next = want.next();
+        }
+    }
+    Ok(())
+}
+
+/// Filter one channel of a deterministic SELECT: kernel path when the
+/// predicate shape matched, row-at-a-time `eval_predicate` otherwise.
+fn filter_channel(
+    predicate: &Expr,
+    plan: Option<(usize, CmpKind, &Value)>,
+    rows: Vec<ORow>,
+    out: &mut Vec<ORow>,
+    ctx: &BatchCtx<'_>,
+) -> Result<(), EngineError> {
+    let rows = match plan {
+        Some((col, op, lit)) => match filter_channel_vectorized(rows, col, op, lit, out) {
+            Ok(()) => return Ok(()),
+            Err(rows) => rows,
+        },
+        None => rows,
+    };
+    for row in rows {
+        if predicate.eval_predicate(&row.to_row(), &ctx.eval())? {
+            out.push(row);
+        }
+    }
+    Ok(())
 }
 
 /// Record in the registry every lineage ref a decisive classification

@@ -17,8 +17,11 @@
 
 use crate::channel::{BatchData, ORow};
 use crate::ops::{BatchCtx, OnlineOp};
-use iolap_engine::{Accumulator, AggCall, EngineError, RefMode};
-use iolap_relation::{AggRef, Schema, Value};
+use iolap_engine::{Accumulator, AggCall, EngineError, Expr, RefMode};
+use iolap_relation::kernels::fold::{
+    fold_count_uniform, fold_count_weighted, fold_sum_uniform, fold_sum_weighted, gather_numeric,
+};
+use iolap_relation::{AggRef, Schema, SelVec, Value};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -219,6 +222,52 @@ impl TrialState {
     }
 }
 
+/// Where one vectorizable aggregate call reads its argument from.
+#[derive(Clone, Debug)]
+enum FastSrc {
+    /// Bare input column.
+    Col(usize),
+    /// Constant literal (lineage-free).
+    Lit(Value),
+}
+
+/// Compile-time description of a fully vectorizable aggregate: every call a
+/// builtin COUNT/SUM/AVG over a bare column or constant, no uncertain
+/// arguments. When present, whole mini-batch chunks fold through the
+/// columnar kernels instead of per-row expression evaluation.
+#[derive(Clone, Debug)]
+struct FastPlan {
+    srcs: Vec<FastSrc>,
+    kinds: Vec<FastKind>,
+}
+
+impl FastPlan {
+    fn compile(aggs: &[AggCall], arg_uncertain: &[bool]) -> Option<FastPlan> {
+        use iolap_engine::{AggKind, BuiltinAgg};
+        if arg_uncertain.iter().any(|b| *b) {
+            return None;
+        }
+        let mut srcs = Vec::with_capacity(aggs.len());
+        let mut kinds = Vec::with_capacity(aggs.len());
+        for call in aggs {
+            kinds.push(match &call.kind {
+                AggKind::Builtin(BuiltinAgg::Count) => FastKind::Count,
+                AggKind::Builtin(BuiltinAgg::Sum) => FastKind::Sum,
+                AggKind::Builtin(BuiltinAgg::Avg) => FastKind::Avg,
+                _ => return None,
+            });
+            srcs.push(match &call.input {
+                Expr::Col(i) => FastSrc::Col(*i),
+                Expr::Lit(v) if !matches!(v, Value::Ref(_) | Value::Pending(_)) => {
+                    FastSrc::Lit(v.clone())
+                }
+                _ => return None,
+            });
+        }
+        Some(FastPlan { srcs, kinds })
+    }
+}
+
 /// Per-group sketch: one main accumulator plus per-trial state, per
 /// aggregate call.
 #[derive(Clone, Debug)]
@@ -290,6 +339,7 @@ pub struct AggregateOp {
     /// aggregate arguments, §4.2).
     unsketchable_rows: Vec<ORow>,
     emitted_certain: HashSet<Arc<[Value]>>,
+    fast: Option<FastPlan>,
 }
 
 impl AggregateOp {
@@ -305,6 +355,7 @@ impl AggregateOp {
         input_tuple_uncertain: bool,
         scale_stream: bool,
     ) -> Self {
+        let fast = FastPlan::compile(&aggs, &arg_uncertain);
         AggregateOp {
             child: Box::new(child),
             group_cols,
@@ -317,6 +368,7 @@ impl AggregateOp {
             sketch: HashMap::new(),
             unsketchable_rows: Vec::new(),
             emitted_certain: HashSet::new(),
+            fast,
         }
     }
 
@@ -392,6 +444,248 @@ impl AggregateOp {
         Ok(())
     }
 
+    /// Fold one chunk of rows into `map`: columnar fast path when the plan
+    /// applies, row-at-a-time otherwise.
+    fn fold_chunk(
+        &self,
+        map: &mut HashMap<Arc<[Value]>, GroupSketch>,
+        rows: &[ORow],
+        certain: bool,
+        registry: &crate::registry::AggRegistry,
+        trials: usize,
+    ) -> Result<(), EngineError> {
+        if self.fold_chunk_columnar(map, rows, certain, trials)? {
+            return Ok(());
+        }
+        for row in rows {
+            self.fold_row(map, row, certain, registry, trials)?;
+        }
+        Ok(())
+    }
+
+    /// Typed group-code assignment for a single-column group key: probe by
+    /// the cell's native representation (`i64`, float bits, `&str`, bool)
+    /// instead of cloning and hashing `Value` slices per row. Returns
+    /// `false` — caller reverts to the generic probe — when the key column
+    /// mixes variants or carries lineage cells. Codes and keys come out in
+    /// first-occurrence order with the exact `Value`-equality semantics of
+    /// the generic path (floats group by bit pattern, `Int(1)` never merges
+    /// with `Float(1.0)` because mixed chunks bail).
+    #[allow(clippy::too_many_arguments)]
+    fn codes_single_col(
+        &self,
+        g: usize,
+        rows: &[ORow],
+        trials: usize,
+        keys: &mut Vec<Arc<[Value]>>,
+        groups: &mut Vec<GroupSketch>,
+        codes: &mut Vec<u32>,
+    ) -> bool {
+        // Bound the code domain up front: `groups.len() ≤ rows.len() < 2³²`
+        // makes the infallible cast below provably exact (the generic path
+        // handles the absurd wider case with a checked conversion).
+        if u32::try_from(rows.len()).is_err() {
+            return false;
+        }
+        let mut ints: HashMap<i64, u32> = HashMap::new();
+        let mut floats: HashMap<u64, u32> = HashMap::new();
+        let mut strs: HashMap<Arc<str>, u32> = HashMap::new();
+        let mut bools = [None::<u32>; 2];
+        let mut null_code: Option<u32> = None;
+        // 0=Int 1=Float 2=Bool 3=Str, pinned by the first non-null cell.
+        let mut kind: Option<u8> = None;
+        for row in rows {
+            let v = &row.values[g];
+            let k = match v {
+                Value::Null => u8::MAX,
+                Value::Int(_) => 0,
+                Value::Float(_) => 1,
+                Value::Bool(_) => 2,
+                Value::Str(_) => 3,
+                Value::Ref(_) | Value::Pending(_) => return false,
+            };
+            if k != u8::MAX {
+                match kind {
+                    None => kind = Some(k),
+                    Some(prev) if prev == k => {}
+                    Some(_) => return false,
+                }
+            }
+            let fresh = |keys: &mut Vec<Arc<[Value]>>, groups: &mut Vec<GroupSketch>| {
+                let code = groups.len() as u32;
+                keys.push(Arc::from(vec![v.clone()]));
+                groups.push(GroupSketch::new(&self.aggs, trials));
+                code
+            };
+            let code = match v {
+                Value::Null => *null_code.get_or_insert_with(|| fresh(keys, groups)),
+                Value::Int(i) => *ints.entry(*i).or_insert_with(|| fresh(keys, groups)),
+                Value::Float(f) => *floats
+                    .entry(f.to_bits())
+                    .or_insert_with(|| fresh(keys, groups)),
+                Value::Bool(b) => {
+                    *bools[usize::from(*b)].get_or_insert_with(|| fresh(keys, groups))
+                }
+                Value::Str(s) => match strs.get(&**s) {
+                    Some(&code) => code,
+                    None => {
+                        let code = fresh(keys, groups);
+                        strs.insert(s.clone(), code);
+                        code
+                    }
+                },
+                Value::Ref(_) | Value::Pending(_) => return false,
+            };
+            codes.push(code);
+        }
+        true
+    }
+
+    /// Columnar fold of one chunk: gather each call's argument column once,
+    /// assign dense group codes with one hash probe per row, then fold main
+    /// accumulators and trial vectors per row by code — no per-row key
+    /// allocation, `EvalContext`, or expression evaluation. Float additions
+    /// hit each (group, call) slot in input row order, exactly like
+    /// [`AggregateOp::fold_row`], so the resulting sketch is bit-identical
+    /// to the row path's.
+    ///
+    /// Returns `Ok(false)` — with `map` untouched — when no fast plan was
+    /// compiled or a lineage cell shows up in an argument column (those need
+    /// resolver access); the caller then falls back to the row path.
+    fn fold_chunk_columnar(
+        &self,
+        map: &mut HashMap<Arc<[Value]>, GroupSketch>,
+        rows: &[ORow],
+        certain: bool,
+        trials: usize,
+    ) -> Result<bool, EngineError> {
+        let Some(plan) = &self.fast else {
+            return Ok(false);
+        };
+        if rows.is_empty() {
+            return Ok(true);
+        }
+        // Pass A: gather argument columns (aborts before any group state
+        // mutation when a lineage cell appears).
+        let ncalls = plan.srcs.len();
+        let mut xs: Vec<Vec<f64>> = vec![Vec::new(); ncalls];
+        let mut sels: Vec<SelVec> = (0..ncalls)
+            .map(|_| SelVec::with_capacity(rows.len()))
+            .collect();
+        for (c, src) in plan.srcs.iter().enumerate() {
+            let count_kind = plan.kinds[c] == FastKind::Count;
+            let ok = match src {
+                FastSrc::Col(j) => gather_numeric(
+                    rows.iter().map(|r| &r.values[*j]),
+                    count_kind,
+                    &mut xs[c],
+                    &mut sels[c],
+                ),
+                FastSrc::Lit(v) => gather_numeric(
+                    std::iter::repeat_n(v, rows.len()),
+                    count_kind,
+                    &mut xs[c],
+                    &mut sels[c],
+                ),
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        // Pass B: dense group codes, one probe per row. Single-column keys
+        // take a typed probe (no per-row `Value` clone or slice hashing);
+        // multi-column or mixed-variant keys fall back to the generic
+        // scratch-buffer probe. Either way group codes are assigned in
+        // first-occurrence order, matching the row path's `entry` order.
+        let mut keys: Vec<Arc<[Value]>> = Vec::new();
+        let mut groups: Vec<GroupSketch> = Vec::new();
+        let mut codes: Vec<u32> = Vec::with_capacity(rows.len());
+        let typed = match self.group_cols.as_slice() {
+            // Global aggregate: every row is the one (empty-key) group.
+            [] => {
+                keys.push(Arc::from(Vec::new()));
+                groups.push(GroupSketch::new(&self.aggs, trials));
+                codes.resize(rows.len(), 0);
+                true
+            }
+            [g] => self.codes_single_col(*g, rows, trials, &mut keys, &mut groups, &mut codes),
+            _ => false,
+        };
+        if !typed {
+            keys.clear();
+            groups.clear();
+            codes.clear();
+            let mut index: HashMap<Arc<[Value]>, u32> = HashMap::new();
+            let mut scratch: Vec<Value> = Vec::with_capacity(self.group_cols.len());
+            for row in rows {
+                scratch.clear();
+                scratch.extend(self.group_cols.iter().map(|&g| row.values[g].clone()));
+                let code = match index.get(scratch.as_slice()) {
+                    Some(&code) => code,
+                    None => {
+                        let code = checked_code(groups.len())?;
+                        let key: Arc<[Value]> = Arc::from(&scratch[..]);
+                        index.insert(key.clone(), code);
+                        keys.push(key);
+                        groups.push(GroupSketch::new(&self.aggs, trials));
+                        code
+                    }
+                };
+                codes.push(code);
+            }
+        }
+        // `certain` is chunk-constant and every group was created by some
+        // row of this chunk, so the per-row `|=` collapses to one sweep.
+        if certain {
+            for group in &mut groups {
+                group.has_certain = true;
+            }
+        }
+        // Pass C: fold per row by code — main accumulator on every row,
+        // trial kernels on participating rows (per-call selection cursors).
+        let mut cursors = vec![0usize; ncalls];
+        for (i, row) in rows.iter().enumerate() {
+            let g = &mut groups[codes[i] as usize];
+            for c in 0..ncalls {
+                let v: &Value = match &plan.srcs[c] {
+                    FastSrc::Col(j) => &row.values[*j],
+                    FastSrc::Lit(l) => l,
+                };
+                g.accs[c].0.update(v, row.mult);
+                let cur = cursors[c];
+                if cur < sels[c].len() && sels[c].get(cur) == i {
+                    cursors[c] = cur + 1;
+                    let x = xs[c][cur];
+                    let TrialState::Fast { kind, a, b } = &mut g.trials[c] else {
+                        return Err(EngineError::Plan(
+                            "fast aggregate plan over non-fast trial state".to_string(),
+                        ));
+                    };
+                    match (*kind, &row.weights) {
+                        (FastKind::Count, None) => fold_count_uniform(a, row.mult),
+                        (FastKind::Count, Some(ws)) => fold_count_weighted(a, row.mult, ws),
+                        (FastKind::Sum | FastKind::Avg, None) => {
+                            fold_sum_uniform(a, b, x, row.mult)
+                        }
+                        (FastKind::Sum | FastKind::Avg, Some(ws)) => {
+                            fold_sum_weighted(a, b, x, row.mult, ws)
+                        }
+                    }
+                }
+            }
+        }
+        // Move the dense groups into the caller's map.
+        for (key, group) in keys.into_iter().zip(groups) {
+            match map.get_mut(&key) {
+                Some(existing) => existing.merge(&group)?,
+                None => {
+                    map.insert(key, group);
+                }
+            }
+        }
+        Ok(true)
+    }
+
     /// Fold `rows` into per-group sketches, splitting across
     /// `ctx.parallelism` worker threads when the batch is large enough to
     /// amortize thread startup ("demonstrated … on over 100 machines" —
@@ -408,9 +702,7 @@ impl AggregateOp {
         let workers = ctx.parallelism.max(1);
         if workers == 1 || rows.len() < 4 * workers {
             let mut map = HashMap::new();
-            for row in rows {
-                self.fold_row(&mut map, row, certain, ctx.registry, ctx.trials)?;
-            }
+            self.fold_chunk(&mut map, rows, certain, ctx.registry, ctx.trials)?;
             return Ok(map);
         }
         type PartialSketch = Result<HashMap<Arc<[Value]>, GroupSketch>, EngineError>;
@@ -432,9 +724,7 @@ impl AggregateOp {
                             f.inject_worker_panic(batch_index);
                         }
                         let mut map = HashMap::new();
-                        for row in part {
-                            self.fold_row(&mut map, row, certain, registry, trials)?;
-                        }
+                        self.fold_chunk(&mut map, part, certain, registry, trials)?;
                         Ok(map)
                     })
                 })
@@ -477,7 +767,11 @@ impl AggregateOp {
         let input_exhausted = input.exhausted;
         let mut out = BatchData::empty(self.schema.clone());
 
+        // Keys touched by this batch: fresh certain rows and everything on
+        // the uncertain channel. Untouched groups only need their scale
+        // refreshed in the registry (delta publication).
         let sketchable = self.sketchable();
+        let mut touched: HashSet<Arc<[Value]>>;
         if sketchable {
             // Fold fresh certain rows into the persistent sketch.
             // (Workers cannot write `&mut Metrics`, so folds are timed and
@@ -487,6 +781,9 @@ impl AggregateOp {
             fold_span.stop(&mut ctx.metrics, "agg.fold_ns");
             ctx.metrics
                 .add("agg.fold_rows", input.delta_certain.len() as u64);
+            // The delta map's key set is exactly the fresh rows' key set, so
+            // reuse it instead of a second per-row key-allocation pass.
+            touched = delta.keys().cloned().collect();
             let mut sketch = std::mem::take(&mut self.sketch);
             for (k, v) in delta {
                 match sketch.get_mut(&k) {
@@ -500,16 +797,12 @@ impl AggregateOp {
         } else {
             self.unsketchable_rows
                 .extend(input.delta_certain.iter().cloned());
+            touched = input
+                .delta_certain
+                .iter()
+                .map(|row| row.to_row().key(&self.group_cols))
+                .collect();
         }
-
-        // Keys touched by this batch: fresh certain rows and everything on
-        // the uncertain channel. Untouched groups only need their scale
-        // refreshed in the registry (delta publication).
-        let mut touched: HashSet<Arc<[Value]>> = input
-            .delta_certain
-            .iter()
-            .map(|row| row.to_row().key(&self.group_cols))
-            .collect();
 
         // Temporary sketch over recomputed rows: the uncertain channel plus
         // (when unsketchable) all retained certain rows.
@@ -691,6 +984,13 @@ impl AggregateOp {
         ctx.close_op(sp, groups_published);
         Ok(out)
     }
+}
+
+/// Checked dense-group-code conversion for the generic probe (the typed
+/// single-column paths bound their domain up front instead).
+fn checked_code(n: usize) -> Result<u32, EngineError> {
+    u32::try_from(n)
+        .map_err(|_| EngineError::Plan("more than u32::MAX groups in one chunk".to_string()))
 }
 
 #[cfg(test)]

@@ -412,12 +412,20 @@ impl AggRegistry {
     /// capture the lineage function and the folded row (§6.1). The captured
     /// row is narrowed to the columns the expression references.
     pub fn make_thunk(expr: &Arc<Expr>, row: &ORow) -> Value {
-        Value::Pending(PendingCell {
-            payload: Arc::new(ThunkPayload {
+        // Content token: a deterministic digest of the lineage expression and
+        // the captured operand row, so cell identity survives re-creation and
+        // never depends on allocation addresses.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{expr:?}").hash(&mut h);
+        row.values.hash(&mut h);
+        Value::Pending(PendingCell::new(
+            Arc::new(ThunkPayload {
                 expr: expr.clone(),
                 row: row.values.clone(),
             }),
-        })
+            h.finish(),
+        ))
     }
 }
 

@@ -362,7 +362,15 @@ mod tests {
         for i in 0..6 {
             let mut counts = [0usize; 3];
             for row in parts.batch(i).rows() {
-                counts[row.values[0].as_i64().unwrap() as usize] += 1;
+                // Checked conversion: a negative or out-of-range stratum id
+                // must fail the test with a message, not wrap into a bogus
+                // index.
+                let stratum = row.values[0]
+                    .as_i64()
+                    .and_then(|v| usize::try_from(v).ok())
+                    .filter(|&s| s < counts.len())
+                    .expect("stratum column must be a small non-negative Int");
+                counts[stratum] += 1;
             }
             // Proportional shares would be 10/4/1 per batch of 15.
             assert!((8..=12).contains(&counts[0]), "batch {i}: {counts:?}");

@@ -14,12 +14,15 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod columnar;
+pub mod kernels;
 pub mod relation;
 pub mod schema;
 pub mod value;
 
 pub use batch::{BatchedRelation, PartitionMode, SamplingProgress};
 pub use catalog::{Catalog, CatalogError};
+pub use columnar::{Batch, Bitmap, Column, ColumnData, SelVec};
 pub use relation::{row_approx_bytes, Relation, Row};
 pub use schema::{Field, Schema, SchemaError};
 pub use value::{AggRef, DataType, PendingCell, Value};

@@ -58,22 +58,35 @@ impl fmt::Display for AggRef {
 /// consumers evaluate it lazily through the resolver.
 ///
 /// The payload is opaque at this layer (the expression type lives in the
-/// engine crate); identity is by allocation.
+/// engine crate); identity is by the creator-supplied *content token*, a
+/// deterministic digest of the captured lineage function and operands. Two
+/// cells with the same token denote the same deferred computation.
+///
+/// Identity was previously the payload's `Arc` address, which is
+/// address-dependent and therefore a determinism hazard (the L002 family):
+/// an unresolved cell's `Debug`/`Display` form, and the order of rows that
+/// tie on every other attribute, would have varied run to run had a cell
+/// ever leaked into a report. The content token makes equality, hashing,
+/// ordering, and formatting reproducible by construction.
 #[derive(Clone)]
 pub struct PendingCell {
     /// Opaque payload, downcast by the resolver that created it.
     pub payload: Arc<dyn std::any::Any + Send + Sync>,
+    /// Deterministic content digest of `(lineage expr, captured operands)`,
+    /// computed by the creator. Identity, hashing, and display all use it.
+    pub token: u64,
 }
 
 impl PendingCell {
-    fn ptr_id(&self) -> usize {
-        Arc::as_ptr(&self.payload) as *const () as usize
+    /// New cell around `payload` with content digest `token`.
+    pub fn new(payload: Arc<dyn std::any::Any + Send + Sync>, token: u64) -> PendingCell {
+        PendingCell { payload, token }
     }
 }
 
 impl fmt::Debug for PendingCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PendingCell@{:x}", self.ptr_id())
+        write!(f, "PendingCell#{:016x}", self.token)
     }
 }
 
@@ -196,6 +209,8 @@ impl Value {
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
             (Str(a), Str(b)) => a.cmp(b),
             (Ref(a), Ref(b)) => (a.agg, a.column).cmp(&(b.agg, b.column)),
+            // Content tokens keep the order of tied rows reproducible.
+            (Pending(a), Pending(b)) => a.token.cmp(&b.token),
             (a, b) => a.variant_rank().cmp(&b.variant_rank()),
         }
     }
@@ -241,7 +256,7 @@ impl PartialEq for Value {
             (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
             (Str(a), Str(b)) => a == b,
             (Ref(a), Ref(b)) => a == b,
-            (Pending(a), Pending(b)) => a.ptr_id() == b.ptr_id(),
+            (Pending(a), Pending(b)) => a.token == b.token,
             _ => false,
         }
     }
@@ -259,7 +274,7 @@ impl Hash for Value {
             Value::Float(f) => f.to_bits().hash(state),
             Value::Str(s) => s.hash(state),
             Value::Ref(r) => r.hash(state),
-            Value::Pending(c) => c.ptr_id().hash(state),
+            Value::Pending(c) => c.token.hash(state),
         }
     }
 }

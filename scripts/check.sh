@@ -20,6 +20,9 @@ cargo run --release --offline -q -p iolap-analyze --bin srclint
 echo "== verify-plans (static plan verifier, all built-in queries)"
 IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- verify-plans
 
+echo "== kernels --smoke (columnar kernels bit-identical to row references)"
+IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- kernels --smoke
+
 echo "== faultstorm --smoke (seeded fault injection, Theorem-1 agreement)"
 IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- faultstorm --smoke
 
