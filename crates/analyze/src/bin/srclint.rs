@@ -1,12 +1,19 @@
 //! `srclint` — offline source-lint gate.
 //!
-//! Scans `crates/**/*.rs` for rules `L001`–`L003`, subtracts the audited
-//! exceptions in `scripts/lint-allow.txt`, prints whatever remains, and
-//! exits nonzero if anything does. Wired into `scripts/check.sh`; needs no
+//! Scans `crates/**/*.rs` for rules `L001`–`L009`, subtracts the audited
+//! exceptions in `scripts/lint-allow.txt`, then turns every allowlist entry
+//! that matched nothing into an `L010` staleness finding. Output is sorted
+//! and deduplicated, so runs are byte-for-byte reproducible.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` internal error (unreadable
+//! allowlist or scan failure). Wired into `scripts/check.sh`; needs no
 //! network and no third-party lint registry.
 
-use iolap_analyze::{lint_tree, repo_root, Allowlist, Rule};
+use iolap_analyze::{lint_tree, repo_root, sort_findings, Allowlist, Rule};
 use std::process::ExitCode;
+
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_INTERNAL: u8 = 2;
 
 fn main() -> ExitCode {
     let root = repo_root();
@@ -14,19 +21,24 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("srclint: cannot read allowlist: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INTERNAL);
         }
     };
     let findings = match lint_tree(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("srclint: scan failed: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INTERNAL);
         }
     };
     let total = findings.len();
-    let (allowed, violations): (Vec<_>, Vec<_>) =
+    // Staleness (L010) is computed against the raw findings: an entry is
+    // live iff it matches at least one finding the scan produced.
+    let stale = allow.stale_entries(&findings);
+    let (allowed, mut violations): (Vec<_>, Vec<_>) =
         findings.into_iter().partition(|f| allow.allows(f));
+    violations.extend(stale);
+    sort_findings(&mut violations);
     for f in &violations {
         println!("{f}");
     }
@@ -46,6 +58,6 @@ fn main() -> ExitCode {
     if violations.is_empty() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FINDINGS)
     }
 }

@@ -36,6 +36,16 @@ pub enum Rule {
     /// Root annotation cross-check: the rewriter's recorded root tags
     /// disagree with the independently derived root tags.
     V008,
+    /// The columnar aggregate fast path (`FastPlan` in `ops_agg.rs`) must
+    /// never be eligible when any aggregate argument is uncertain: the
+    /// fast fold bypasses lineage-ref emission, so an uncertain argument
+    /// folded fast would silently drop §6.1 lineage.
+    V009,
+    /// Recovery-closure survival (§5.1): along every root→streamed-scan
+    /// spine, each operator whose state must survive replay registers
+    /// checkpoint state and the streamed scan checkpoints its cursor, so
+    /// a variation-range failure at any depth can be replayed.
+    V010,
     /// No `unwrap()`/`expect()`/panic macros in `crates/core/src/ops*.rs`
     /// hot paths — errors must propagate as `EngineError`.
     L001,
@@ -74,6 +84,19 @@ pub enum Rule {
     /// facade (`kernels/facade.rs`, allowlisted), whose entire job is
     /// materialization.
     L007,
+    /// Interprocedural panic reachability: no panic site in any function
+    /// reachable over the call graph from the hot-path roots
+    /// (`OnlineOp::process`, the driver batch/recovery loops, the
+    /// scheduler worker turn). Closes L001's fixed-file-list gap.
+    L008,
+    /// Lock-order deadlock detection for `crates/server`: a cycle in the
+    /// static lock-order graph, or re-acquiring an already-held lock
+    /// (directly or via a callee), can deadlock two scheduler threads.
+    L009,
+    /// Allowlist staleness: a `scripts/lint-allow.txt` entry that matches
+    /// no live finding is itself an error — suppressions must not outlive
+    /// the code they excused. Not allowlistable.
+    L010,
 }
 
 impl Rule {
@@ -88,6 +111,8 @@ impl Rule {
             Rule::V006 => "V006",
             Rule::V007 => "V007",
             Rule::V008 => "V008",
+            Rule::V009 => "V009",
+            Rule::V010 => "V010",
             Rule::L001 => "L001",
             Rule::L002 => "L002",
             Rule::L003 => "L003",
@@ -95,6 +120,9 @@ impl Rule {
             Rule::L005 => "L005",
             Rule::L006 => "L006",
             Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
+            Rule::L010 => "L010",
         }
     }
 
@@ -109,6 +137,8 @@ impl Rule {
             Rule::V006 => "scale-config-mismatch",
             Rule::V007 => "checkpoint-state-mismatch",
             Rule::V008 => "root-annotation-mismatch",
+            Rule::V009 => "fast-path-uncertain-arg",
+            Rule::V010 => "recovery-spine-closure",
             Rule::L001 => "no-panic-hot",
             Rule::L002 => "no-unordered-iter-output",
             Rule::L003 => "no-instant-outside-metrics",
@@ -116,6 +146,9 @@ impl Rule {
             Rule::L005 => "instrumentation-coverage",
             Rule::L006 => "no-unbounded-blocking",
             Rule::L007 => "no-row-materialization-in-kernels",
+            Rule::L008 => "panic-reachable-hot",
+            Rule::L009 => "lock-order-deadlock",
+            Rule::L010 => "stale-allow-entry",
         }
     }
 
@@ -130,6 +163,8 @@ impl Rule {
             Rule::V006,
             Rule::V007,
             Rule::V008,
+            Rule::V009,
+            Rule::V010,
         ]
     }
 
@@ -143,6 +178,9 @@ impl Rule {
             Rule::L005,
             Rule::L006,
             Rule::L007,
+            Rule::L008,
+            Rule::L009,
+            Rule::L010,
         ]
     }
 }
@@ -173,5 +211,100 @@ impl fmt::Display for Diagnostic {
             write!(f, " col {c}")?;
         }
         write!(f, ": {}", self.message)
+    }
+}
+
+/// Deterministic diagnostic order: (path, column, rule, message), exact
+/// repeats deduped. The path plays the role a file/line pair plays for
+/// lint findings.
+pub fn sort_diagnostics(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| {
+        (&a.path, a.column, a.rule, &a.message).cmp(&(&b.path, b.column, b.rule, &b.message))
+    });
+    diags.dedup_by(|a, b| {
+        a.rule == b.rule && a.path == b.path && a.column == b.column && a.message == b.message
+    });
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One diagnostic as a machine-readable JSON object (stable key order).
+pub fn diagnostic_json(d: &Diagnostic) -> String {
+    let column = match d.column {
+        Some(c) => c.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"rule\":\"{}\",\"title\":\"{}\",\"path\":\"{}\",\"column\":{},\"message\":\"{}\"}}",
+        d.rule.id(),
+        d.rule.title(),
+        json_escape(&d.path),
+        column,
+        json_escape(&d.message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_sorted_like_the_enum() {
+        for rules in [Rule::verifier_rules(), Rule::lint_rules()] {
+            let ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+            let mut sorted = ids.clone();
+            sorted.sort();
+            assert_eq!(
+                ids, sorted,
+                "enum order must match id order for Ord sorting"
+            );
+        }
+    }
+
+    #[test]
+    fn sort_dedup_is_stable_and_exact() {
+        let d = |rule, path: &str, msg: &str| Diagnostic {
+            rule,
+            path: path.into(),
+            column: None,
+            message: msg.into(),
+        };
+        let mut v = vec![
+            d(Rule::V002, "b", "m"),
+            d(Rule::V001, "a", "m"),
+            d(Rule::V002, "b", "m"),
+        ];
+        sort_diagnostics(&mut v);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].path, "a");
+    }
+
+    #[test]
+    fn diagnostic_json_escapes() {
+        let d = Diagnostic {
+            rule: Rule::V001,
+            path: "Select/Scan".into(),
+            column: Some(2),
+            message: "quote \" and\nnewline".into(),
+        };
+        let j = diagnostic_json(&d);
+        assert!(j.contains("\"rule\":\"V001\""));
+        assert!(j.contains("\"column\":2"));
+        assert!(j.contains("quote \\\" and\\nnewline"));
     }
 }

@@ -1,0 +1,516 @@
+//! A hand-rolled, zero-dependency Rust token lexer for the source lints.
+//!
+//! The textual lints (L001–L007) and the interprocedural analyses (call
+//! graph, lock-order) all consume this token stream instead of raw line
+//! substrings, which is what makes them blind to comments and string
+//! literals *by construction*:
+//!
+//! * `//` line comments (incl. `///` and `//!` doc comments) are skipped;
+//! * `/* … */` block comments are skipped, including **nested** blocks;
+//! * `"…"` strings, `r"…"` / `r#"…"#` raw strings (any `#` depth), `b"…"`
+//!   byte strings, and `br#"…"#` raw byte strings become single `Literal`
+//!   tokens — their contents never produce `Ident`/`Punct` tokens;
+//! * `'a'` char literals (incl. escapes and `b'a'` byte chars) are
+//!   `Literal`s, while `'a` lifetimes are `Lifetime` tokens — the
+//!   disambiguation looks one character past the opening quote;
+//! * `r#ident` raw identifiers lex as the bare identifier.
+//!
+//! Every token carries its 1-based source line, so findings point at real
+//! code. Multi-character operators are emitted as single-character `Punct`
+//! tokens (`::` is two `:` tokens); the consumers only ever match short
+//! token patterns, where this keeps the matcher trivial.
+//!
+//! The repo convention keeps `#[cfg(test)]` modules last in a file;
+//! [`production_prefix`] truncates a token stream at the first such
+//! attribute so test code is never linted.
+
+/// Kind of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `state`, `unwrap`, …).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `!`, `:`, …).
+    Punct,
+    /// String / char / byte / numeric literal, as one opaque token.
+    Literal,
+    /// Lifetime (`'a`, `'_`, `'static`), without the quote.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text. Identifiers carry the name (raw identifiers without the
+    /// `r#`), puncts the single character, literals their raw source slice.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True for a punct token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals or comments
+/// simply consume to end of input (the lints degrade gracefully on
+/// malformed source; rustc owns rejecting it).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// The production prefix of a token stream: everything before the first
+/// `#[cfg(test)]` attribute (the repo convention keeps test modules last in
+/// a file, so the remainder is test-only code).
+pub fn production_prefix(tokens: &[Token]) -> &[Token] {
+    for (i, w) in tokens.windows(7).enumerate() {
+        if w[0].is_punct('#')
+            && w[1].is_punct('[')
+            && w[2].is_ident("cfg")
+            && w[3].is_punct('(')
+            && w[4].is_ident("test")
+            && w[5].is_punct(')')
+            && w[6].is_punct(']')
+        {
+            return &tokens[..i];
+        }
+    }
+    tokens
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek(0)?;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte() => {}
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let start = self.pos;
+                    self.bump();
+                    // Multi-byte (non-ASCII) characters become one punct.
+                    while self.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.out.push(Token {
+                        kind: TokKind::Punct,
+                        text,
+                        line,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == b'\n' {
+                break;
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Past the opening `/*`; block comments nest in Rust.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// Cooked string starting at the current `"`; `start` is the literal's
+    /// first byte (maybe a `b` prefix already consumed by the caller).
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::Literal,
+            text,
+            line,
+        });
+    }
+
+    /// Raw string starting at the current `"` with `hashes` trailing `#`
+    /// required to close; `start` is the literal's first byte.
+    fn raw_string(&mut self, start: usize, hashes: usize) {
+        let line = self.line;
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::Literal,
+            text,
+            line,
+        });
+    }
+
+    /// `'` — char literal or lifetime. A char literal either escapes
+    /// (`'\n'`) or closes one character later (`'a'`, `'('`); anything else
+    /// is a lifetime (`'a`, `'static`, `'_`).
+    fn quote(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump(); // '
+                self.bump(); // backslash
+                self.bump(); // escaped char
+                while let Some(c) = self.bump() {
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.out.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                });
+            }
+            Some(c) if !is_ident_continue(c) || self.closes_as_char() => {
+                // Plain char literal: `'x'` (x possibly multi-byte).
+                self.bump(); // '
+                while let Some(c) = self.bump() {
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.out.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                // Lifetime: quote then identifier characters.
+                self.bump(); // '
+                let id_start = self.pos;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[id_start..self.pos]).into_owned();
+                self.out.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+
+    /// At an opening `'` whose next char is an identifier char: true when
+    /// the character after that is the closing `'` (i.e. `'a'`, a char
+    /// literal, not the lifetime `'a`).
+    fn closes_as_char(&self) -> bool {
+        self.peek(2) == Some(b'\'')
+    }
+
+    /// Dispatch `r` / `b` prefixes: raw strings, raw identifiers, byte
+    /// strings, byte chars. Returns false when the prefix is just the start
+    /// of an ordinary identifier (caller falls through to `ident`).
+    fn raw_or_byte(&mut self) -> bool {
+        let start = self.pos;
+        let c = self.peek(0).unwrap_or(0);
+        if c == b'r' {
+            // r"…" | r#"…"# | r#ident
+            let mut k = 1;
+            while self.peek(k) == Some(b'#') {
+                k += 1;
+            }
+            let hashes = k - 1;
+            match self.peek(k) {
+                Some(b'"') => {
+                    for _ in 0..k {
+                        self.bump();
+                    }
+                    self.raw_string(start, hashes);
+                    return true;
+                }
+                Some(h) if hashes == 1 && is_ident_start(h) => {
+                    // Raw identifier: lex as the bare name.
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.ident();
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        // b"…" | br"…" | br#"…"# | b'…'
+        let mut k = 1;
+        if self.peek(k) == Some(b'r') {
+            k += 1;
+        }
+        let mut hashes = 0;
+        while self.peek(k + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(k + hashes) {
+            Some(b'"') if k == 2 || hashes == 0 => {
+                for _ in 0..(k + hashes) {
+                    self.bump();
+                }
+                if k == 2 {
+                    self.raw_string(start, hashes);
+                } else {
+                    self.string(start);
+                }
+                true
+            }
+            Some(b'\'') if k == 1 && hashes == 0 => {
+                self.bump(); // b
+                self.quote_as_char(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Byte-char tail starting at the `'`; always a char-like literal
+    /// (there are no byte lifetimes).
+    fn quote_as_char(&mut self, start: usize) {
+        let line = self.line;
+        self.bump(); // '
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::Literal,
+            text,
+            line,
+        });
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::Ident,
+            text,
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        // Fractional part — only when followed by a digit, so `0..n` ranges
+        // and `1.method()` calls keep their `.` as punctuation.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Token {
+            kind: TokKind::Literal,
+            text,
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        assert!(lex("// x.unwrap()\n").is_empty());
+        assert!(lex("/* x.unwrap() */").is_empty());
+        assert!(lex("/* outer /* nested .unwrap() */ still comment */").is_empty());
+        assert_eq!(idents("/// doc .unwrap()\nfn f() {}"), ["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_are_single_literals() {
+        let toks = kinds("let s = \"a.unwrap() \\\" quoted\";");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || (t != "unwrap" && t != "quoted")));
+        let toks = kinds("let r = r#\"raw \" .unwrap() \"#;");
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        let toks = kinds("let b = b\"bytes .unwrap()\";");
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        let toks = kinds("let b = br#\"raw bytes .unwrap()\"#;");
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let toks = lex("let c = 'a'; let q = '\\''; fn f<'a>(x: &'a str) -> &'static str {}");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(lits.contains(&"'a'"));
+        assert!(lits.contains(&"'\\''"));
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_bare() {
+        assert_eq!(idents("let r#fn = 1;"), ["let", "fn"]);
+    }
+
+    #[test]
+    fn numbers_keep_range_dots() {
+        let toks = kinds("for i in 0..10 { let x = 1.5; }");
+        assert!(toks.contains(&(TokKind::Literal, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Literal, "1.5".to_string())));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Punct && t == ".")
+                .count(),
+            2,
+            "the range's two dots stay puncts"
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_literals() {
+        let toks = lex("let a = \"one\nline two\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn production_prefix_stops_at_cfg_test() {
+        let toks = lex("fn f() {}\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }");
+        let prod = production_prefix(&toks);
+        assert!(!prod.iter().any(|t| t.is_ident("unwrap")));
+        assert!(prod.iter().any(|t| t.is_ident("f")));
+        // Non-test cfg attributes do not truncate.
+        let toks = lex("#[cfg(feature = \"x\")]\nfn f() { a.unwrap(); }");
+        assert!(production_prefix(&toks)
+            .iter()
+            .any(|t| t.is_ident("unwrap")));
+    }
+}

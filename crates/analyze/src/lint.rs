@@ -1,5 +1,11 @@
-//! Offline source lints: hand-rolled (zero registry dependencies) textual
-//! checks enforcing repo rules that rustc/clippy cannot express.
+//! Offline source lints: hand-rolled (zero registry dependencies) checks
+//! enforcing repo rules that rustc/clippy cannot express.
+//!
+//! Since analysis v2 the lints run over the token stream of
+//! [`crate::lexer`], not raw line text, so string literals, comments, and
+//! doc-comments can never produce findings. Finding *text* is still the
+//! (chain-folded) source line, so `scripts/lint-allow.txt` substring
+//! entries keep their meaning.
 //!
 //! Rules:
 //!
@@ -42,21 +48,37 @@
 //!   materialization inside the columnar kernel modules (any file under a
 //!   `src/kernels/` directory): no `.clone()`, `.to_vec()`, or
 //!   `.to_owned()`. Kernels must work over typed column vectors and
-//!   selection indices; cloning a `Value` per row silently reintroduces
-//!   the row-at-a-time cost the columnar layer exists to remove. The
-//!   row⇄batch facade (`kernels/facade.rs`) is the audited exception —
-//!   materialization is its entire job — and is allowlisted.
+//!   selection indices. The row⇄batch facade (`kernels/facade.rs`) is the
+//!   audited exception and is allowlisted.
+//! * **L008 `panic-reachable-hot`** — interprocedural: no panic site
+//!   (`.unwrap(`/`.expect(`/panic-family macro) in any function reachable
+//!   over the call graph from the hot-path roots (`OnlineOp::process`, the
+//!   driver's `step`/`run_batch`/`run_to_completion`, the scheduler's
+//!   `worker_loop`). This closes L001's fixed-file-list gap: a panic in a
+//!   helper three calls deep is a finding. `crates/core/src/faults.rs` is
+//!   exempt by rule definition — its panics are deliberate injected
+//!   faults contained by the driver's `catch_unwind` perimeter.
+//! * **L009 `lock-order-deadlock`** — static lock-order analysis of
+//!   `crates/server`: held-lock sets propagated over the call graph; any
+//!   cycle in the lock-order graph, or re-acquiring a held lock, is a
+//!   finding. See [`crate::lockorder`].
+//! * **L010 `stale-allow-entry`** — every `scripts/lint-allow.txt` entry
+//!   must still match a live finding; dead entries are themselves errors
+//!   (a suppression must not outlive the code it excused). Reported with
+//!   the allowlist file/line. Not allowlistable.
 //!
-//! Lines inside `#[cfg(test)]` modules (everything from the first such
-//! attribute to end of file — the repo convention keeps test modules last)
-//! and `//` comment lines are not linted. Audited exceptions live in
+//! Tokens after the first `#[cfg(test)]` attribute (the repo convention
+//! keeps test modules last) are not linted. Audited exceptions live in
 //! `scripts/lint-allow.txt`, one per line:
 //!
 //! ```text
 //! RULE  FILE-SUFFIX  SUBSTRING-OF-FLAGGED-LINE
 //! ```
 
+use crate::callgraph::{self, CallGraph};
 use crate::diag::Rule;
+use crate::lexer::{self, TokKind, Token};
+use crate::lockorder;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
@@ -72,7 +94,8 @@ pub struct LintFinding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// The flagged source line, trimmed.
+    /// The flagged source line (chain-folded), trimmed — or, for the
+    /// interprocedural rules, a rendered description of the finding.
     pub text: String,
 }
 
@@ -89,7 +112,28 @@ impl fmt::Display for LintFinding {
 /// Parsed allowlist of audited exceptions.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
-    entries: Vec<(String, String, String)>,
+    entries: Vec<AllowEntry>,
+}
+
+/// One parsed allowlist entry with its source line (for L010 reporting).
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule id, e.g. `"L006"`.
+    pub rule: String,
+    /// Path suffix the entry applies to.
+    pub file: String,
+    /// Substring of the flagged line.
+    pub substr: String,
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+}
+
+impl AllowEntry {
+    fn matches(&self, finding: &LintFinding) -> bool {
+        self.rule == finding.rule.id()
+            && finding.file.ends_with(self.file.as_str())
+            && finding.text.contains(self.substr.as_str())
+    }
 }
 
 impl Allowlist {
@@ -97,7 +141,7 @@ impl Allowlist {
     /// `RULE<ws>FILE<ws>SUBSTRING` where SUBSTRING is the rest of the line.
     pub fn parse(text: &str) -> Allowlist {
         let mut entries = Vec::new();
-        for line in text.lines() {
+        for (i, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -107,7 +151,12 @@ impl Allowlist {
                 continue;
             };
             let substr = parts.next().unwrap_or("").trim().to_string();
-            entries.push((rule.to_string(), file.to_string(), substr));
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                substr,
+                line: i + 1,
+            });
         }
         Allowlist { entries }
     }
@@ -124,16 +173,33 @@ impl Allowlist {
     /// Whether `finding` matches an audited exception: rule equal, file a
     /// path-suffix match, and the entry substring contained in the flagged
     /// line. L004 findings are never allowed — an ungated fault hook is a
-    /// release-reachability bug, not an auditable style exception.
+    /// release-reachability bug, not an auditable style exception. L010
+    /// findings (stale entries) are likewise never allowlistable: an
+    /// allowlist cannot excuse its own rot.
     pub fn allows(&self, finding: &LintFinding) -> bool {
-        if finding.rule == Rule::L004 {
+        if finding.rule == Rule::L004 || finding.rule == Rule::L010 {
             return false;
         }
-        self.entries.iter().any(|(rule, file, substr)| {
-            rule == finding.rule.id()
-                && finding.file.ends_with(file.as_str())
-                && finding.text.contains(substr.as_str())
-        })
+        self.entries.iter().any(|e| e.matches(finding))
+    }
+
+    /// L010: entries that match none of `findings` are stale — the code
+    /// they excused no longer triggers the rule — and become findings
+    /// themselves, pointing at the allowlist file/line.
+    pub fn stale_entries(&self, findings: &[LintFinding]) -> Vec<LintFinding> {
+        self.entries
+            .iter()
+            .filter(|e| !findings.iter().any(|f| e.matches(f)))
+            .map(|e| LintFinding {
+                rule: Rule::L010,
+                file: "scripts/lint-allow.txt".to_string(),
+                line: e.line,
+                text: format!(
+                    "stale allowlist entry `{} {} {}` matches no live finding",
+                    e.rule, e.file, e.substr
+                ),
+            })
+            .collect()
     }
 
     /// Number of entries (reporting).
@@ -153,15 +219,6 @@ const L001_FILES: &[&str] = &[
     "crates/core/src/ops_join.rs",
 ];
 
-const L001_PATTERNS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
 const L002_FILES: &[&str] = &[
     "crates/core/src/registry.rs",
     "crates/core/src/sink.rs",
@@ -175,118 +232,399 @@ const L006_FILES: &[&str] = &[
     "crates/server/src/session.rs",
 ];
 
-/// Unbounded-blocking forms. `.wait(` deliberately does not match the
-/// sanctioned `.wait_timeout(`, and `.recv()` does not match
-/// `recv_timeout(`/`try_recv()`.
-const L006_PATTERNS: &[&str] = &["thread::sleep", ".recv()", ".wait("];
+/// Order-revealing hash-container accessors (L002). Point lookups
+/// (`get`/`insert`/`contains_key`) stay legal.
+const L002_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
 
-/// Per-row materialization forms forbidden in kernel modules.
-const L007_PATTERNS: &[&str] = &[".clone()", ".to_vec()", ".to_owned()"];
+/// Per-row materialization methods forbidden in kernel modules (L007).
+const L007_METHODS: &[&str] = &["clone", "to_vec", "to_owned"];
 
-/// Lint one file's source. `rel_path` is repo-relative with forward
-/// slashes; rules are dispatched on it.
+/// L008 call-graph roots: `(file suffix, fn name)`. A panic site in any
+/// function reachable from one of these is a finding.
+pub const L008_ROOTS: &[(&str, &str)] = &[
+    ("crates/core/src/ops.rs", "process"),
+    ("crates/core/src/driver.rs", "step"),
+    ("crates/core/src/driver.rs", "run_batch"),
+    ("crates/core/src/driver.rs", "run_to_completion"),
+    ("crates/server/src/scheduler.rs", "worker_loop"),
+];
+
+/// Files whose panic *sites* L008 ignores: deliberate fault injection
+/// contained by the driver's `catch_unwind` perimeter.
+const L008_EXEMPT: &[&str] = &["crates/core/src/faults.rs"];
+
+/// Source-line index: maps token lines back to chain-folded logical lines
+/// so finding text and line numbers match the historical (allowlist-
+/// compatible) form.
+struct LineIndex {
+    /// Logical lines: `(1-based start line, folded text)`.
+    logical: Vec<(usize, String)>,
+    /// Physical 1-based line → index into `logical`.
+    map: Vec<usize>,
+}
+
+impl LineIndex {
+    fn build(content: &str) -> LineIndex {
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        let mut map: Vec<usize> = vec![0];
+        for (i, line) in content.lines().enumerate() {
+            let trimmed = line.trim_start();
+            // Comment-only lines carry no tokens and do not break a chain
+            // or consume a slot in the L004 gate window.
+            if trimmed.starts_with("//") && !logical.is_empty() {
+                map.push(logical.len() - 1);
+                continue;
+            }
+            // Method-chain continuations fold into the previous logical
+            // line so `self.state\n    .values()` reports the chain start.
+            match logical.last_mut() {
+                Some((_, prev)) if trimmed.starts_with('.') => prev.push_str(trimmed.trim_end()),
+                _ => logical.push((i + 1, line.trim_end().to_string())),
+            }
+            map.push(logical.len() - 1);
+        }
+        if logical.is_empty() {
+            logical.push((1, String::new()));
+        }
+        LineIndex { logical, map }
+    }
+
+    /// Logical index for a physical line.
+    fn idx(&self, line: usize) -> usize {
+        self.map
+            .get(line)
+            .copied()
+            .unwrap_or(self.logical.len() - 1)
+    }
+}
+
+/// Lint one file's source (the per-file rules L001–L007). `rel_path` is
+/// repo-relative with forward slashes; rules are dispatched on it. The
+/// interprocedural rules (L008/L009) need the whole file set — use
+/// [`lint_files`] or [`lint_tree`].
 pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
-    let mut findings = Vec::new();
-    let lines = logical_lines(content);
-    let lines: Vec<(usize, &str)> = lines.iter().map(|(n, s)| (*n, s.as_str())).collect();
+    let tokens = lexer::lex(content);
+    let toks = lexer::production_prefix(&tokens);
+    let index = LineIndex::build(content);
+    // (rule, logical index) pairs; the set dedups chain-folded repeats.
+    let mut hits: BTreeSet<(Rule, usize)> = BTreeSet::new();
 
     if L001_FILES.contains(&rel_path) {
-        for (no, line) in &lines {
-            for pat in L001_PATTERNS {
-                if line.contains(pat) {
-                    findings.push(finding(Rule::L001, rel_path, *no, line));
-                    break;
-                }
-            }
+        for line in panic_site_lines(toks) {
+            hits.insert((Rule::L001, index.idx(line)));
+        }
+        for line in spanless_process_lines(toks) {
+            hits.insert((Rule::L005, index.idx(line)));
         }
     }
 
-    if L001_FILES.contains(&rel_path) {
-        findings.extend(l005_spanless_process(rel_path, &lines));
-    }
-
     if L002_FILES.contains(&rel_path) {
-        let tracked = tracked_hash_idents(&lines);
-        for (no, line) in &lines {
-            if tracked.iter().any(|id| unordered_iteration(line, id)) {
-                findings.push(finding(Rule::L002, rel_path, *no, line));
-            }
+        let tracked = tracked_hash_idents(toks);
+        for line in unordered_iteration_lines(toks, &tracked) {
+            hits.insert((Rule::L002, index.idx(line)));
         }
     }
 
     if rel_path.starts_with("crates/core/src/") && rel_path != "crates/core/src/metrics.rs" {
-        for (no, line) in &lines {
-            if contains_word(line, "Instant") {
-                findings.push(finding(Rule::L003, rel_path, *no, line));
+        for t in toks {
+            if t.is_ident("Instant") {
+                hits.insert((Rule::L003, index.idx(t.line)));
             }
         }
     }
 
     if L006_FILES.contains(&rel_path) {
-        for (no, line) in &lines {
-            for pat in L006_PATTERNS {
-                if line.contains(pat) {
-                    findings.push(finding(Rule::L006, rel_path, *no, line));
-                    break;
-                }
-            }
+        for line in unbounded_blocking_lines(toks) {
+            hits.insert((Rule::L006, index.idx(line)));
         }
     }
 
     if rel_path.contains("/src/kernels/") {
-        for (no, line) in &lines {
-            for pat in L007_PATTERNS {
-                if line.contains(pat) {
-                    findings.push(finding(Rule::L007, rel_path, *no, line));
-                    break;
-                }
+        for (i, t) in toks.iter().enumerate() {
+            if i > 0
+                && toks[i - 1].is_punct('.')
+                && t.kind == TokKind::Ident
+                && L007_METHODS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct(')'))
+            {
+                hits.insert((Rule::L007, index.idx(t.line)));
             }
         }
     }
 
     if rel_path.starts_with("crates/core/src/") && rel_path != "crates/core/src/faults.rs" {
-        for (k, (no, line)) in lines.iter().enumerate() {
-            if !line.contains("inject_") {
-                continue;
+        // Logical lines containing a `Some(` token pair, for the gate check.
+        let mut gated: BTreeSet<usize> = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("Some") && toks.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+                gated.insert(index.idx(t.line));
             }
-            let gated = (k.saturating_sub(2)..=k).any(|p| lines[p].1.contains("Some("));
-            if !gated {
-                findings.push(finding(Rule::L004, rel_path, *no, line));
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && t.text.starts_with("inject_")
+                && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+            {
+                let k = index.idx(t.line);
+                let is_gated = (k.saturating_sub(2)..=k).any(|p| gated.contains(&p));
+                if !is_gated {
+                    hits.insert((Rule::L004, k));
+                }
             }
         }
     }
 
+    let mut findings: Vec<LintFinding> = hits
+        .into_iter()
+        .map(|(rule, idx)| {
+            let (no, text) = &index.logical[idx];
+            LintFinding {
+                rule,
+                file: rel_path.to_string(),
+                line: *no,
+                text: text.trim().to_string(),
+            }
+        })
+        .collect();
+    findings.sort_by_key(|a| (a.line, a.rule));
     findings
 }
 
-/// L005: every `fn process(` body in the operator hot-path files must open
-/// a trace span (`.op_span(`) before the next `fn `, so the causal trace
-/// tree has no silent gaps. The `OnlineOp` enum dispatcher — whose body is
-/// a `match self` delegating to the variant impls, each of which opens its
-/// own span — is exempt.
-fn l005_spanless_process(rel_path: &str, lines: &[(usize, &str)]) -> Vec<LintFinding> {
-    let mut findings = Vec::new();
-    for (k, (no, line)) in lines.iter().enumerate() {
-        if !line.contains("fn process(") {
+/// Token lines of panic sites: `.unwrap(` / `.expect(` method calls and
+/// panic-family macro invocations.
+fn panic_site_lines(toks: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
             continue;
         }
-        let body_end = lines[k + 1..]
-            .iter()
-            .position(|(_, l)| l.contains("fn "))
-            .map(|p| k + 1 + p)
-            .unwrap_or(lines.len());
-        let body = &lines[k..body_end];
-        let spanned = body.iter().any(|(_, l)| l.contains(".op_span("));
-        let dispatcher = body.iter().any(|(_, l)| l.contains("match self"));
-        if !spanned && !dispatcher {
-            findings.push(finding(Rule::L005, rel_path, *no, line));
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = toks.get(i + 1).is_some_and(|p| p.is_punct('('));
+        if prev_dot && next_paren && (t.text == "unwrap" || t.text == "expect") {
+            out.push(t.line);
+        }
+        if !prev_dot
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            out.push(t.line);
         }
     }
+    out
+}
+
+/// L005: `fn process(` bodies (to the next `fn` token) without an
+/// `.op_span(` call; `match self` dispatchers are exempt. Returns the
+/// lines of the offending `fn` tokens.
+fn spanless_process_lines(toks: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("process"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            let end = toks[i + 1..]
+                .iter()
+                .position(|t| t.is_ident("fn"))
+                .map(|p| i + 1 + p)
+                .unwrap_or(toks.len());
+            let body = &toks[i..end];
+            let spanned = body
+                .windows(3)
+                .any(|w| w[0].is_punct('.') && w[1].is_ident("op_span") && w[2].is_punct('('));
+            let dispatcher = body
+                .windows(2)
+                .any(|w| w[0].is_ident("match") && w[1].is_ident("self"));
+            if !spanned && !dispatcher {
+                out.push(toks[i].line);
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Identifiers declared with a hash-based container type:
+/// `name: HashMap<…>` / `name: HashSet<…>` / `name = HashMap::…`.
+fn tracked_hash_idents(toks: &[Token]) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for w in toks.windows(4) {
+        let decl_colon = w[0].kind == TokKind::Ident
+            && w[1].is_punct(':')
+            && (w[2].is_ident("HashMap") || w[2].is_ident("HashSet"))
+            && w[3].is_punct('<');
+        let decl_assign = w[0].kind == TokKind::Ident
+            && w[1].is_punct('=')
+            && (w[2].is_ident("HashMap") || w[2].is_ident("HashSet"))
+            && w[3].is_punct(':');
+        if decl_colon || decl_assign {
+            idents.insert(w[0].text.clone());
+        }
+    }
+    idents
+}
+
+/// Token lines where a tracked hash container is iterated directly:
+/// order-revealing method calls (`x.values()`) or for-loop forms
+/// (`for … in [&[mut]] [self.]x`).
+fn unordered_iteration_lines(toks: &[Token], tracked: &BTreeSet<String>) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !tracked.contains(&t.text) {
+            continue;
+        }
+        // Method form: x . <order-revealing method> (
+        if let (Some(dot), Some(m), Some(paren)) =
+            (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+        {
+            if dot.is_punct('.')
+                && m.kind == TokKind::Ident
+                && L002_METHODS.contains(&m.text.as_str())
+                && paren.is_punct('(')
+            {
+                out.push(t.line);
+                continue;
+            }
+        }
+        // For-loop form: `in` [& [mut]] [self .] x, not followed by `.`
+        // (a trailing `.` means a method/field chain, judged above).
+        let mut j = i;
+        if j >= 2 && toks[j - 1].is_punct('.') && toks[j - 2].is_ident("self") {
+            j -= 2;
+        }
+        while j >= 1 && (toks[j - 1].is_punct('&') || toks[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        let after_in = j >= 1 && toks[j - 1].is_ident("in");
+        let chained = toks.get(i + 1).is_some_and(|n| n.is_punct('.'));
+        if after_in && !chained {
+            out.push(t.line);
+        }
+    }
+    out
+}
+
+/// L006 unbounded-blocking forms: `thread::sleep`, bare `.recv()`, and
+/// `.wait(` (the distinct idents `recv_timeout`/`try_recv`/`wait_timeout`
+/// never match — an advantage of token matching over substrings).
+fn unbounded_blocking_lines(toks: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("sleep"))
+        {
+            out.push(t.line);
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        if prev_dot
+            && t.is_ident("recv")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct(')'))
+        {
+            out.push(t.line);
+        }
+        if prev_dot && t.is_ident("wait") && toks.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+            out.push(t.line);
+        }
+    }
+    out
+}
+
+/// Lint a set of `(rel_path, source)` files: the per-file rules plus the
+/// interprocedural L008 (panic reachability) and L009 (lock order) over
+/// the whole set. This is also the fixture-test entry point — virtual
+/// paths must use the `crates/<name>/src/…` shape to trigger the scoped
+/// rules.
+pub fn lint_files(files: &[(String, String)]) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (path, src) in files {
+        findings.extend(lint_source(path, src));
+    }
+    let graph = CallGraph::build(files);
+    findings.extend(l008_findings(&graph));
+    findings.extend(l009_findings(&graph));
+    sort_findings(&mut findings);
     findings
 }
 
-/// Lint every `crates/**/*.rs` file under `repo_root`. Files are visited in
-/// sorted order so the report itself is deterministic.
+/// L008 over a built call graph: panic sites reachable from the hot-path
+/// roots.
+fn l008_findings(graph: &CallGraph) -> Vec<LintFinding> {
+    let mut roots = Vec::new();
+    for (file, name) in L008_ROOTS {
+        roots.extend(graph.find(file, name));
+    }
+    graph
+        .reachable_panics(&roots, L008_EXEMPT)
+        .into_iter()
+        .map(|p| LintFinding {
+            rule: Rule::L008,
+            file: p.file,
+            line: p.line,
+            text: format!("{} reachable from hot path via {}", p.what, p.chain),
+        })
+        .collect()
+}
+
+/// L009 over a built call graph: lock-order analysis of `crates/server`.
+fn l009_findings(graph: &CallGraph) -> Vec<LintFinding> {
+    lockorder::analyze(graph, "crates/server/")
+        .findings
+        .into_iter()
+        .map(|f| LintFinding {
+            rule: Rule::L009,
+            file: f.file,
+            line: f.line,
+            text: f.message,
+        })
+        .collect()
+}
+
+/// One lint finding as a machine-readable JSON object (stable key order,
+/// mirroring [`crate::diag::diagnostic_json`] for the verifier side).
+pub fn finding_json(f: &LintFinding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"title\":\"{}\",\"file\":\"{}\",\"line\":{},\"text\":\"{}\"}}",
+        f.rule.id(),
+        f.rule.title(),
+        crate::diag::json_escape(&f.file),
+        f.line,
+        crate::diag::json_escape(&f.text)
+    )
+}
+
+/// Deterministic finding order: (file, line, rule), exact repeats deduped.
+pub fn sort_findings(findings: &mut Vec<LintFinding>) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.text).cmp(&(&b.file, b.line, b.rule, &b.text))
+    });
+    findings.dedup_by(|a, b| {
+        a.rule == b.rule && a.file == b.file && a.line == b.line && a.text == b.text
+    });
+}
+
+/// Lint every `crates/**/*.rs` file under `repo_root` (per-file rules),
+/// plus the interprocedural rules over the production sources
+/// (`crates/*/src/**`). Files are visited in sorted order and findings
+/// sorted by (file, line, rule), so the report is deterministic.
 pub fn lint_tree(repo_root: &Path) -> io::Result<Vec<LintFinding>> {
     let mut files = Vec::new();
     collect_rs_files(&repo_root.join("crates"), &mut files)?;
@@ -301,6 +639,11 @@ pub fn lint_tree(repo_root: &Path) -> io::Result<Vec<LintFinding>> {
         let content = fs::read_to_string(&path)?;
         findings.extend(lint_source(&rel, &content));
     }
+    let prod = callgraph::collect_prod_sources(repo_root)?;
+    let graph = CallGraph::build(&prod);
+    findings.extend(l008_findings(&graph));
+    findings.extend(l009_findings(&graph));
+    sort_findings(&mut findings);
     Ok(findings)
 }
 
@@ -319,151 +662,6 @@ pub fn lint_counts(findings: &[LintFinding]) -> Vec<(Rule, usize)> {
         .iter()
         .map(|&r| (r, findings.iter().filter(|f| f.rule == r).count()))
         .collect()
-}
-
-fn finding(rule: Rule, file: &str, line: usize, text: &str) -> LintFinding {
-    LintFinding {
-        rule,
-        file: file.to_string(),
-        line,
-        text: text.trim().to_string(),
-    }
-}
-
-/// Lintable logical lines: `(1-based number, text)` for every line before
-/// the first `#[cfg(test)]` whose trimmed form is not a `//` comment.
-/// Method-chain continuations (lines starting with `.`) are folded into the
-/// previous logical line so `self.state\n    .values()` still matches; the
-/// reported line number is the chain's first line.
-fn logical_lines(content: &str) -> Vec<(usize, String)> {
-    let mut out: Vec<(usize, String)> = Vec::new();
-    for (i, line) in content.lines().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            break;
-        }
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        match out.last_mut() {
-            Some((_, prev)) if trimmed.starts_with('.') => prev.push_str(trimmed.trim_end()),
-            _ => out.push((i + 1, line.trim_end().to_string())),
-        }
-    }
-    out
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Whether `line` contains `word` delimited by non-identifier characters.
-fn contains_word(line: &str, word: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' '));
-        let after = at + word.len();
-        let after_ok = !line[after..].chars().next().is_some_and(is_ident_char);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = after;
-    }
-    false
-}
-
-/// Identifier ending immediately before byte offset `end` (declaration
-/// patterns like `name: HashMap<` or `name = HashMap::new()`).
-fn ident_before(line: &str, end: usize) -> Option<String> {
-    let head = line[..end].trim_end();
-    let tail: String = head
-        .chars()
-        .rev()
-        .take_while(|&c| is_ident_char(c))
-        .collect();
-    if tail.is_empty() {
-        None
-    } else {
-        Some(tail.chars().rev().collect())
-    }
-}
-
-/// Identifiers declared with a hash-based container type in this file.
-fn tracked_hash_idents(lines: &[(usize, &str)]) -> BTreeSet<String> {
-    let mut idents = BTreeSet::new();
-    for (_, line) in lines {
-        for pat in [": HashMap<", ": HashSet<"] {
-            if let Some(pos) = line.find(pat) {
-                if let Some(id) = ident_before(line, pos) {
-                    idents.insert(id);
-                }
-            }
-        }
-        for pat in ["= HashMap::", "= HashSet::"] {
-            if let Some(pos) = line.find(pat) {
-                if let Some(id) = ident_before(line, pos) {
-                    idents.insert(id);
-                }
-            }
-        }
-    }
-    idents
-}
-
-/// Whether `line` iterates the tracked hash container `id` directly
-/// (method-call or for-loop forms). Order-revealing accessors only —
-/// `get`/`insert`/`contains_key` are point lookups and stay legal.
-fn unordered_iteration(line: &str, id: &str) -> bool {
-    const METHODS: &[&str] = &[
-        ".iter()",
-        ".iter_mut()",
-        ".into_iter()",
-        ".keys()",
-        ".values()",
-        ".values_mut()",
-        ".drain(",
-    ];
-    for m in METHODS {
-        let pat = format!("{id}{m}");
-        if find_with_left_boundary(line, &pat) {
-            return true;
-        }
-    }
-    for prefix in ["in &mut self.", "in &self.", "in self.", "in &", "in "] {
-        let pat = format!("{prefix}{id}");
-        let mut start = 0;
-        while let Some(pos) = line[start..].find(&pat) {
-            let at = start + pos;
-            let before_ok =
-                at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' '));
-            let after = at + pat.len();
-            let after_ok = !line[after..]
-                .chars()
-                .next()
-                .is_some_and(|c| is_ident_char(c) || c == '.');
-            if before_ok && after_ok {
-                return true;
-            }
-            start = after;
-        }
-    }
-    false
-}
-
-/// Substring match requiring a non-identifier character (or start of line)
-/// immediately before the match, so tracked ident `state` does not flag
-/// `mystate.iter()`.
-fn find_with_left_boundary(line: &str, pat: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(pat) {
-        let at = start + pos;
-        if at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' ')) {
-            return true;
-        }
-        start = at + pat.len();
-    }
-    false
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -515,6 +713,19 @@ mod tests {
     }
 
     #[test]
+    fn l001_is_blind_to_literals_by_construction() {
+        // The substring matcher's false-positive class: patterns inside
+        // strings, raw strings, and doc comments must produce nothing.
+        let src = "/// Returns `x.unwrap()` semantics.\n\
+                   fn f() -> String {\n\
+                   let a = \"call .unwrap() then panic!(now)\";\n\
+                   let b = r#\"x.expect(\"msg\")\"#;\n\
+                   format!(\"{a}{b}\")\n\
+                   }\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+    }
+
+    #[test]
     fn l002_flags_tracked_map_iteration() {
         let src = "struct S { state: HashMap<u32, u32> }\n\
                    impl S {\n\
@@ -541,6 +752,12 @@ mod tests {
         assert_eq!(lint_source("crates/core/src/driver.rs", src).len(), 1);
         assert!(lint_source("crates/core/src/metrics.rs", src).is_empty());
         assert!(lint_source("crates/engine/src/expr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_is_blind_to_instant_in_strings() {
+        let src = "fn f() { let s = \"took Instant measurements\"; }\n";
+        assert!(lint_source("crates/core/src/driver.rs", src).is_empty());
     }
 
     #[test]
@@ -619,6 +836,12 @@ mod tests {
     }
 
     #[test]
+    fn l006_is_blind_to_recv_in_strings() {
+        let src = "fn f() { let s = \"client .recv() stalled; cv.wait(st)\"; }\n";
+        assert!(lint_source("crates/server/src/scheduler.rs", src).is_empty());
+    }
+
+    #[test]
     fn l006_is_allowlistable_for_the_park_core() {
         let allow = Allowlist::parse("L006 crates/server/src/scheduler.rs work.wait(");
         let hit = LintFinding {
@@ -646,7 +869,7 @@ mod tests {
         let f = lint_source("crates/relation/src/kernels/filter.rs", src);
         assert_eq!(f.len(), 3, "{f:?}");
         assert!(f.iter().all(|x| x.rule == Rule::L007));
-        // Comments and test modules are exempt, like every textual lint.
+        // Comments and test modules are exempt, like every lint.
         let commented = "// values.clone() for the reference path\nfn f() {}\n";
         assert!(lint_source("crates/relation/src/kernels/fold.rs", commented).is_empty());
         // Files outside kernels/ are out of scope.
@@ -699,5 +922,80 @@ mod tests {
             ..hit.clone()
         };
         assert!(!allow.allows(&miss));
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_l010_findings() {
+        let allow = Allowlist::parse(
+            "# header comment\n\
+             L002 crates/core/src/sink.rs self.state.values()\n\
+             L006 crates/server/src/scheduler.rs work.wait(\n",
+        );
+        let live = vec![LintFinding {
+            rule: Rule::L002,
+            file: "crates/core/src/sink.rs".into(),
+            line: 4,
+            text: "let _ = self.state.values().count();".into(),
+        }];
+        let stale = allow.stale_entries(&live);
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].rule, Rule::L010);
+        assert_eq!(stale[0].file, "scripts/lint-allow.txt");
+        assert_eq!(stale[0].line, 3, "line of the dead entry");
+        assert!(stale[0].text.contains("work.wait("));
+        // L010 itself is never allowlistable.
+        assert!(!allow.allows(&stale[0]));
+    }
+
+    #[test]
+    fn lint_files_runs_interprocedural_rules() {
+        // L008: the panic is in a helper, reachable from process().
+        let files = vec![
+            (
+                "crates/core/src/ops.rs".to_string(),
+                "fn process(&mut self) { helper_step(); }\n".to_string(),
+            ),
+            (
+                "crates/core/src/util.rs".to_string(),
+                "fn helper_step() { cfg_val.unwrap(); }\n".to_string(),
+            ),
+        ];
+        let f = lint_files(&files);
+        let l008: Vec<_> = f.iter().filter(|x| x.rule == Rule::L008).collect();
+        assert_eq!(l008.len(), 1, "{f:?}");
+        assert_eq!(l008[0].file, "crates/core/src/util.rs");
+        assert!(
+            l008[0].text.contains("process -> helper_step"),
+            "{}",
+            l008[0].text
+        );
+    }
+
+    #[test]
+    fn lint_findings_are_sorted_and_deduped() {
+        let mut f = vec![
+            LintFinding {
+                rule: Rule::L003,
+                file: "b.rs".into(),
+                line: 2,
+                text: "x".into(),
+            },
+            LintFinding {
+                rule: Rule::L001,
+                file: "a.rs".into(),
+                line: 9,
+                text: "y".into(),
+            },
+            LintFinding {
+                rule: Rule::L003,
+                file: "b.rs".into(),
+                line: 2,
+                text: "x".into(),
+            },
+        ];
+        sort_findings(&mut f);
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].file.as_str(), f[0].line), ("a.rs", 9));
+        assert_eq!((f[1].file.as_str(), f[1].line), ("b.rs", 2));
     }
 }

@@ -1,0 +1,432 @@
+//! L009: static lock-order deadlock detection for `crates/server`.
+//!
+//! Lock identity is the last identifier of the receiver chain before
+//! `.lock(` (`self.shared.state.lock()` → `state`): all server mutexes are
+//! distinct fields, so the field name is the lock. Per function we replay
+//! the [`crate::callgraph::Event`] stream with a scope stack — a guard
+//! acquired inside `{ … }` is released at the matching `}`, and an explicit
+//! `drop(guard)` releases it early. At each acquisition and call we know
+//! the set of held locks:
+//!
+//! * acquiring `L` while `L` is already held (directly or via a callee
+//!   that acquires `L` transitively) is an immediate self-deadlock finding;
+//! * otherwise each held×acquired pair adds a directed edge `held → acq`
+//!   to the lock-order graph, and any cycle in that graph is a finding
+//!   (two threads taking the locks in opposite orders can deadlock).
+//!
+//! Callee lock sets are the transitive fixpoint `acq*` over the call
+//! graph, so `f() { a.lock(); g() }` with `g() { b.lock() }` contributes
+//! the edge `a → b` even though the acquisitions are two functions apart.
+
+use crate::callgraph::{CallGraph, Event, SKIP_NAMES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock-order finding.
+#[derive(Debug)]
+pub struct LockFinding {
+    /// File of the offending acquisition (or cycle witness).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The lock-order graph plus findings for one analysis run.
+pub struct LockOrder {
+    /// Directed edges `held → acquired`, each with one witness site.
+    pub edges: BTreeMap<(String, String), (String, usize)>,
+    /// Self-deadlock and cycle findings.
+    pub findings: Vec<LockFinding>,
+}
+
+/// Analyze lock ordering over the functions of `graph` whose file path
+/// contains `scope` (e.g. `"crates/server/"`). Call resolution still spans
+/// the whole graph so helpers outside the scope propagate their locks.
+pub fn analyze(graph: &CallGraph, scope: &str) -> LockOrder {
+    let transitive = transitive_acquires(graph);
+    let ctors: Vec<Option<String>> = (0..graph.fns.len()).map(|i| guard_ctor(graph, i)).collect();
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    let mut findings = Vec::new();
+
+    for f in graph.fns.iter() {
+        if !f.file.contains(scope) {
+            continue;
+        }
+        // Scope stack: locks acquired per open scope, released on close.
+        let mut scopes: Vec<Vec<(String, Option<String>)>> = vec![Vec::new()];
+        let held = |scopes: &[Vec<(String, Option<String>)>]| -> Vec<String> {
+            scopes.iter().flatten().map(|(l, _)| l.clone()).collect()
+        };
+        for ev in &f.events {
+            match ev {
+                Event::Open => scopes.push(Vec::new()),
+                Event::Close => {
+                    scopes.pop();
+                    if scopes.is_empty() {
+                        scopes.push(Vec::new());
+                    }
+                }
+                Event::Drop { var } => {
+                    for frame in scopes.iter_mut() {
+                        frame.retain(|(_, g)| g.as_deref() != Some(var.as_str()));
+                    }
+                }
+                Event::Lock {
+                    name, guard, line, ..
+                } => {
+                    acquire(
+                        &mut scopes,
+                        &mut edges,
+                        &mut findings,
+                        &f.file,
+                        &f.name,
+                        name,
+                        guard.as_deref(),
+                        *line,
+                    );
+                }
+                Event::Call { name, guard, line } => {
+                    if SKIP_NAMES.contains(&name.as_str()) {
+                        continue;
+                    }
+                    let targets = graph.by_name.get(name);
+                    // A call to a guard-constructor helper (a fn whose sole
+                    // effect is one `.lock(` returned to the caller) is an
+                    // acquisition by the *caller*: the guard lives here.
+                    let ctor_lock = targets.and_then(|ts| {
+                        let names: BTreeSet<&String> =
+                            ts.iter().filter_map(|&t| ctors[t].as_ref()).collect();
+                        (names.len() == 1 && ts.iter().all(|&t| ctors[t].is_some()))
+                            .then(|| (*names.first().unwrap()).clone())
+                    });
+                    if let Some(l) = ctor_lock {
+                        acquire(
+                            &mut scopes,
+                            &mut edges,
+                            &mut findings,
+                            &f.file,
+                            &f.name,
+                            &l,
+                            guard.as_deref(),
+                            *line,
+                        );
+                        // An unbound ctor call is a temporary guard dropped
+                        // at end of statement; model that as release-now.
+                        if guard.is_none() {
+                            if let Some(frame) = scopes.last_mut() {
+                                frame.pop();
+                            }
+                        }
+                        continue;
+                    }
+                    let h = held(&scopes);
+                    if h.is_empty() {
+                        continue;
+                    }
+                    let mut callee_locks: BTreeSet<&String> = BTreeSet::new();
+                    if let Some(targets) = targets {
+                        for &t in targets {
+                            callee_locks.extend(&transitive[t]);
+                        }
+                    }
+                    for acq in callee_locks {
+                        if h.iter().any(|l| l == acq) {
+                            findings.push(LockFinding {
+                                file: f.file.clone(),
+                                line: *line,
+                                message: format!(
+                                    "fn {} calls {}() which acquires `{}` while `{}` is held",
+                                    f.name, name, acq, acq
+                                ),
+                            });
+                        } else {
+                            for l in &h {
+                                edges
+                                    .entry((l.clone(), acq.clone()))
+                                    .or_insert_with(|| (f.file.clone(), *line));
+                            }
+                        }
+                    }
+                }
+                Event::Panic { .. } => {}
+            }
+        }
+    }
+
+    // Cycle detection over the lock-order digraph.
+    if let Some(cycle) = find_cycle(&edges) {
+        let witness = edges
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .cloned()
+            .unwrap_or_else(|| ("crates/server".to_string(), 0));
+        findings.push(LockFinding {
+            file: witness.0,
+            line: witness.1,
+            message: format!("lock-order cycle: {}", cycle.join(" -> ")),
+        });
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    LockOrder { edges, findings }
+}
+
+/// Record one acquisition of `lock` in fn `fn_name`: double-lock finding
+/// when already held, `held → lock` edges otherwise, then push the guard
+/// onto the innermost scope.
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    scopes: &mut [Vec<(String, Option<String>)>],
+    edges: &mut BTreeMap<(String, String), (String, usize)>,
+    findings: &mut Vec<LockFinding>,
+    file: &str,
+    fn_name: &str,
+    lock: &str,
+    guard: Option<&str>,
+    line: usize,
+) {
+    let held: Vec<String> = scopes.iter().flatten().map(|(l, _)| l.clone()).collect();
+    if held.iter().any(|l| l == lock) {
+        findings.push(LockFinding {
+            file: file.to_string(),
+            line,
+            message: format!("fn {fn_name} re-acquires lock `{lock}` while already holding it"),
+        });
+    }
+    for l in &held {
+        if l != lock {
+            edges
+                .entry((l.clone(), lock.to_string()))
+                .or_insert_with(|| (file.to_string(), line));
+        }
+    }
+    scopes
+        .last_mut()
+        .expect("scope stack is never empty")
+        .push((lock.to_string(), guard.map(str::to_string)));
+}
+
+/// `Some(lock)` when fn `i` is a guard constructor: its only effect is a
+/// single `.lock(` whose guard escapes to the caller (no inner scopes, no
+/// drops, no calls into other repo functions that could release it).
+fn guard_ctor(graph: &CallGraph, i: usize) -> Option<String> {
+    let mut lock = None;
+    for ev in &graph.fns[i].events {
+        match ev {
+            Event::Lock { name, .. } => {
+                if lock.is_some() {
+                    return None;
+                }
+                lock = Some(name.clone());
+            }
+            Event::Open | Event::Close | Event::Drop { .. } => return None,
+            Event::Call { name, .. } => {
+                if graph.by_name.contains_key(name) && !SKIP_NAMES.contains(&name.as_str()) {
+                    return None;
+                }
+            }
+            Event::Panic { .. } => {}
+        }
+    }
+    lock
+}
+
+/// For each fn: the set of lock names it acquires, directly or via any
+/// (transitive) callee. Fixpoint over the call graph; cycles converge
+/// because the sets only grow.
+fn transitive_acquires(graph: &CallGraph) -> Vec<BTreeSet<String>> {
+    let mut acq: Vec<BTreeSet<String>> = graph
+        .fns
+        .iter()
+        .map(|f| {
+            f.events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Lock { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let callees: Vec<Vec<usize>> = (0..graph.fns.len()).map(|i| graph.callees(i)).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..acq.len() {
+            for &c in &callees[i] {
+                if c == i {
+                    continue;
+                }
+                let add: Vec<String> = acq[c].difference(&acq[i]).cloned().collect();
+                if !add.is_empty() {
+                    acq[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return acq;
+        }
+    }
+}
+
+/// DFS cycle search; returns the cycle as `[a, b, …, a]` when found.
+fn find_cycle(edges: &BTreeMap<(String, String), (String, usize)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut state: BTreeMap<&String, u8> = BTreeMap::new(); // 1 = on stack, 2 = done
+    let mut stack: Vec<&String> = Vec::new();
+
+    fn dfs<'a>(
+        n: &'a String,
+        adj: &BTreeMap<&'a String, Vec<&'a String>>,
+        state: &mut BTreeMap<&'a String, u8>,
+        stack: &mut Vec<&'a String>,
+    ) -> Option<Vec<String>> {
+        state.insert(n, 1);
+        stack.push(n);
+        for &m in adj.get(n).into_iter().flatten() {
+            match state.get(m) {
+                Some(1) => {
+                    let pos = stack.iter().position(|x| *x == m).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[pos..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(m.clone());
+                    return Some(cycle);
+                }
+                Some(2) => {}
+                _ => {
+                    if let Some(c) = dfs(m, adj, state, stack) {
+                        return Some(c);
+                    }
+                }
+            }
+        }
+        stack.pop();
+        state.insert(n, 2);
+        None
+    }
+
+    let nodes: Vec<&String> = adj.keys().copied().collect();
+    for n in nodes {
+        if !state.contains_key(n) {
+            if let Some(c) = dfs(n, &adj, &mut state, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> LockOrder {
+        let files = vec![("crates/server/src/fixture.rs".to_string(), src.to_string())];
+        analyze(&CallGraph::build(&files), "crates/server/")
+    }
+
+    #[test]
+    fn two_mutex_ordering_cycle_is_a_finding() {
+        let order = run(
+            "fn t1(&self) { let a = self.alpha.lock().unwrap(); let b = self.beta.lock().unwrap(); }\n\
+             fn t2(&self) { let b = self.beta.lock().unwrap(); let a = self.alpha.lock().unwrap(); }\n",
+        );
+        assert!(
+            order
+                .findings
+                .iter()
+                .any(|f| f.message.contains("lock-order cycle")),
+            "findings: {:?}",
+            order.findings
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let order = run(
+            "fn t1(&self) { let a = self.alpha.lock().unwrap(); let b = self.beta.lock().unwrap(); }\n\
+             fn t2(&self) { let a = self.alpha.lock().unwrap(); let b = self.beta.lock().unwrap(); }\n",
+        );
+        assert!(order.findings.is_empty(), "findings: {:?}", order.findings);
+        assert_eq!(order.edges.len(), 1);
+    }
+
+    #[test]
+    fn scoped_guard_releases_at_close() {
+        // shutdown() pattern: state locked in an inner scope, workers after.
+        let order = run(
+            "fn shutdown(&self) { { let mut st = self.state.lock().unwrap(); st.x = 1; } let w = self.workers.lock().unwrap(); }\n\
+             fn other(&self) { let w = self.workers.lock().unwrap(); let st = self.state.lock().unwrap(); }\n",
+        );
+        assert!(order.findings.is_empty(), "findings: {:?}", order.findings);
+    }
+
+    #[test]
+    fn explicit_drop_releases_early() {
+        let order = run(
+            "fn f(&self) { let st = self.state.lock().unwrap(); drop(st); let w = self.workers.lock().unwrap(); }\n\
+             fn g(&self) { let w = self.workers.lock().unwrap(); let st = self.state.lock().unwrap(); }\n",
+        );
+        assert!(order.findings.is_empty(), "findings: {:?}", order.findings);
+    }
+
+    #[test]
+    fn double_lock_is_a_finding() {
+        let order = run("fn f(&self) { let a = self.state.lock().unwrap(); let b = self.state.lock().unwrap(); }\n");
+        assert!(order
+            .findings
+            .iter()
+            .any(|f| f.message.contains("re-acquires")));
+    }
+
+    #[test]
+    fn transitive_lock_through_helper_is_seen() {
+        let order = run(
+            "fn outer(&self) { let w = self.workers.lock().unwrap(); helper_lock_state(self); }\n\
+             fn helper_lock_state(&self) { let st = self.state.lock().unwrap(); }\n\
+             fn elsewhere(&self) { let st = self.state.lock().unwrap(); let w = self.workers.lock().unwrap(); }\n",
+        );
+        assert!(
+            order
+                .findings
+                .iter()
+                .any(|f| f.message.contains("lock-order cycle")),
+            "edges: {:?} findings: {:?}",
+            order.edges,
+            order.findings
+        );
+    }
+
+    #[test]
+    fn guard_constructor_helper_propagates_to_caller() {
+        let order = run(
+            "fn lock_state(&self) -> MutexGuard<'_, State> { self.shared.state.lock().unwrap_or_else(PoisonError::into_inner) }\n\
+             fn a(&self) { let st = lock_state(self); let w = self.workers.lock().unwrap(); }\n\
+             fn b(&self) { let w = self.workers.lock().unwrap(); let st = lock_state(self); }\n",
+        );
+        assert!(
+            order
+                .findings
+                .iter()
+                .any(|f| f.message.contains("lock-order cycle")),
+            "edges: {:?} findings: {:?}",
+            order.edges,
+            order.findings
+        );
+    }
+
+    #[test]
+    fn calling_helper_that_relocks_held_lock_is_a_finding() {
+        let order = run(
+            "fn outer(&self) { let st = self.state.lock().unwrap(); helper_lock_state(self); }\n\
+             fn helper_lock_state(&self) { let g = self.state.lock().unwrap(); if g.busy { g.bump(); } }\n",
+        );
+        assert!(order
+            .findings
+            .iter()
+            .any(|f| f.message.contains("acquires `state` while `state` is held")));
+    }
+}

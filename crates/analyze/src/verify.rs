@@ -25,6 +25,14 @@
 //!   checkpoint state, and §4.2-stateless operators register none.
 //! * **V008** — the rewriter's recorded root annotation agrees with the
 //!   derived root tags.
+//! * **V009** — the columnar aggregate fast path is never eligible for
+//!   uncertain-arg aggregates: a compiled `FastPlan` together with any
+//!   configured-or-derived uncertain argument would fold fast and bypass
+//!   §6.1 lineage-ref emission.
+//! * **V010** — recovery-spine closure (§5.1): along every root→streamed-
+//!   scan spine, each operator whose state must survive replay registers
+//!   checkpoint state and the streamed scan checkpoints its cursor, so a
+//!   simulated variation-range failure at any spine depth can be replayed.
 
 use crate::diag::{Diagnostic, Rule};
 use crate::tags::{derive, expr_uncertain, Tags};
@@ -88,6 +96,10 @@ pub fn verify(q: &OnlineQuery) -> Vec<Diagnostic> {
             ),
         });
     }
+
+    // V010: recovery-spine closure — every operator on a root→streamed-scan
+    // spine can be replayed after a simulated range failure at its depth.
+    check_v010(&q.root, &q.root.kind(), &mut diags);
     diags
 }
 
@@ -189,6 +201,53 @@ fn required_checkpoint_state(op: &OnlineOp, child_tags: &[&Tags]) -> Option<bool
         OnlineOp::Project(_) | OnlineOp::Union(_) => None,
         OnlineOp::Join(_) | OnlineOp::SemiJoin(_) | OnlineOp::Aggregate(_) => Some(true),
     }
+}
+
+/// V010: returns whether `op`'s subtree contains a streamed scan; when it
+/// does, `op` sits on a recovery spine and must satisfy the §5.1 closure —
+/// replay after a variation-range failure at any depth below it restores
+/// its state from checkpoints. Tags are re-derived locally (plans are
+/// small; the extra traversal keeps this pass independent of `check`).
+fn check_v010(op: &OnlineOp, path: &str, diags: &mut Vec<Diagnostic>) -> bool {
+    let children = op.children();
+    let mut on_spine = false;
+    for c in &children {
+        let child_path = format!("{path}/{}", c.kind());
+        on_spine |= check_v010(c, &child_path, diags);
+    }
+    if let OnlineOp::Scan(s) = op {
+        on_spine |= s.streamed;
+    }
+    if !on_spine {
+        return false;
+    }
+    let registered = op.checkpoint_state();
+    if let OnlineOp::Scan(s) = op {
+        if s.streamed && !registered.iter().any(|k| k.contains("cursor")) {
+            diags.push(Diagnostic {
+                rule: Rule::V010,
+                path: path.to_string(),
+                column: None,
+                message: "streamed scan does not checkpoint its cursor — replay after \
+                          a range failure would rescan or skip delivered rows (§5.1)"
+                    .to_string(),
+            });
+        }
+        return true;
+    }
+    let child_tags: Vec<Tags> = children.iter().map(|c| derive(c)).collect();
+    let child_refs: Vec<&Tags> = child_tags.iter().collect();
+    if required_checkpoint_state(op, &child_refs) == Some(true) && registered.is_empty() {
+        diags.push(Diagnostic {
+            rule: Rule::V010,
+            path: path.to_string(),
+            column: None,
+            message: "operator on the recovery spine registers no checkpoint state — \
+                      a simulated range failure below it could not be replayed (§5.1)"
+                .to_string(),
+        });
+    }
+    true
 }
 
 fn check(op: &OnlineOp, path: &str, diags: &mut Vec<Diagnostic>) -> Tags {
@@ -355,6 +414,34 @@ fn check(op: &OnlineOp, path: &str, diags: &mut Vec<Diagnostic>) -> Tags {
                         a.scale_stream, input.reads_stream
                     ),
                 });
+            }
+            // V009: a compiled columnar fast plan must never coexist with an
+            // uncertain aggregate argument (configured or derived) — the
+            // fast fold bypasses lineage-ref emission (§6.1).
+            if a.has_fast_plan() {
+                for (c, call) in a.aggs.iter().enumerate() {
+                    let configured = a.arg_uncertain.get(c).copied().unwrap_or(false);
+                    let derived = expr_uncertain(&call.input, &input.attr_uncertain);
+                    if configured || derived {
+                        diags.push(Diagnostic {
+                            rule: Rule::V009,
+                            path: path.to_string(),
+                            column: Some(a.group_cols.len() + c),
+                            message: format!(
+                                "columnar fast path is eligible but aggregate argument \
+                                 {c} is uncertain ({}) — the fast fold would bypass \
+                                 lineage-ref emission (§6.1)",
+                                if configured && derived {
+                                    "configured and derived"
+                                } else if configured {
+                                    "configured"
+                                } else {
+                                    "derived"
+                                }
+                            ),
+                        });
+                    }
+                }
             }
         }
     }

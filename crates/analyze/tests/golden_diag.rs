@@ -1,0 +1,125 @@
+//! Golden snapshot of the machine-readable diagnostics JSON.
+//!
+//! A fixed corpus — three verifier mutations over a model-checker term,
+//! the L008/L009 lint fixtures, and a depth-2 model-checker report — is
+//! rendered through `diagnostic_json` / `finding_json` /
+//! `ModelCheckReport::to_json` and byte-compared against
+//! `scripts/analyze-diagnostics.golden`, so any drift in the diagnostics
+//! schema (key names, rule titles, message wording) is a deliberate,
+//! reviewed change. Regenerate with
+//! `IOLAP_UPDATE_GOLDEN=1 cargo test -p iolap-analyze --test golden_diag`.
+
+use iolap_analyze::diag::diagnostic_json;
+use iolap_analyze::modelcheck::{self, to_planned, Term, UnaryKind};
+use iolap_analyze::{finding_json, lint_files, verify};
+use iolap_core::{rewrite, OnlineOp, OnlineQuery};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Rewrite the spine term `SelectV(AggSumByK(ScanS))` against the model
+/// world's streamed table.
+fn spine_query() -> OnlineQuery {
+    let term = Term::Unary(
+        UnaryKind::SelectV,
+        Box::new(Term::Unary(UnaryKind::AggSumByK, Box::new(Term::ScanS))),
+    );
+    let streamed: HashSet<String> = ["s".to_string()].into();
+    rewrite(&to_planned(&term), &streamed).unwrap()
+}
+
+/// Disable partitioning on the first partitioned select, preorder.
+fn flip_first_uncertain_select(op: &mut OnlineOp) -> bool {
+    if let OnlineOp::Select(s) = op {
+        if s.uncertain_pred {
+            s.uncertain_pred = false;
+            return true;
+        }
+    }
+    let children: Vec<&mut OnlineOp> = match op {
+        OnlineOp::Scan(_) => Vec::new(),
+        OnlineOp::Select(s) => vec![s.child.as_mut()],
+        OnlineOp::Project(p) => vec![p.child.as_mut()],
+        OnlineOp::Join(j) => vec![j.left.as_mut(), j.right.as_mut()],
+        OnlineOp::SemiJoin(j) => vec![j.left.as_mut(), j.right.as_mut()],
+        OnlineOp::Union(u) => u.children.iter_mut().collect(),
+        OnlineOp::Aggregate(a) => vec![a.child.as_mut()],
+    };
+    children.into_iter().any(flip_first_uncertain_select)
+}
+
+/// The snapshot document: one JSON object, one section per diagnostics
+/// producer, rendered with section-per-line breaks for reviewable diffs.
+fn render() -> String {
+    let mut verifier_diags = Vec::new();
+    // V001/V007/V010: dropped partitioning on the streamed spine.
+    let mut oq = spine_query();
+    assert!(flip_first_uncertain_select(&mut oq.root));
+    verifier_diags.extend(verify(&oq));
+    // V006: sink scaling out of sync with the aggregate.
+    let mut oq = spine_query();
+    oq.sink.stream_factor += 1;
+    verifier_diags.extend(verify(&oq));
+    // V008: stale root annotation.
+    let mut oq = spine_query();
+    oq.root_annotation.tuple_uncertain = !oq.root_annotation.tuple_uncertain;
+    verifier_diags.extend(verify(&oq));
+
+    // L008 + L009: the panic-reachability and lock-order fixtures.
+    let fixtures = vec![
+        (
+            "crates/core/src/driver.rs".to_string(),
+            "pub fn step(&mut self) -> u32 { bump(self.epoch) }\n\
+             fn bump(e: u32) -> u32 { e.checked_add(1).expect(\"epoch overflow\") }\n"
+                .to_string(),
+        ),
+        (
+            "crates/server/src/pool.rs".to_string(),
+            "fn submit(&self) { let q = self.queue.lock().unwrap(); let w = self.workers.lock().unwrap(); }\n\
+             fn drain(&self) { let w = self.workers.lock().unwrap(); let q = self.queue.lock().unwrap(); }\n"
+                .to_string(),
+        ),
+    ];
+    let lint_findings = lint_files(&fixtures);
+    assert!(!lint_findings.is_empty());
+
+    let mut out = String::from("{\n\"verifier\":[\n");
+    for (i, d) in verifier_diags.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}{}",
+            diagnostic_json(d),
+            if i + 1 < verifier_diags.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    out.push_str("],\n\"lints\":[\n");
+    for (i, f) in lint_findings.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}{}",
+            finding_json(f),
+            if i + 1 < lint_findings.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "],\n\"model\":{}\n}}", modelcheck::run(2).to_json());
+    out
+}
+
+#[test]
+fn diagnostics_json_matches_golden_snapshot() {
+    let got = render();
+    let path = iolap_analyze::repo_root().join("scripts/analyze-diagnostics.golden");
+    if std::env::var("IOLAP_UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_default();
+    assert_eq!(
+        want, got,
+        "diagnostics schema drifted from scripts/analyze-diagnostics.golden; \
+         if the change is intentional, regenerate with IOLAP_UPDATE_GOLDEN=1"
+    );
+}

@@ -12,9 +12,16 @@
 //! * V005 — a nondeterministic UDF smuggled into a join key.
 //! * V006 — stream-scaling flags out of sync (aggregate and sink halves).
 //! * V008 — stale root annotation.
+//! * V009 — columnar fast plan compiled before uncertainty was derived.
+//! * V010 — checkpointed state dropped on the streamed spine (with an
+//!   off-spine negative control pinning the rule's path sensitivity).
+//! * L008/L009 — lint-side mutations over virtual source fixtures: a panic
+//!   spliced into a hot-path helper, and a two-mutex ordering cycle.
 
-use iolap_analyze::verify;
+use iolap_analyze::modelcheck::{to_planned, JoinKind, RightShape, Term, UnaryKind};
+use iolap_analyze::{lint_files, verify};
 use iolap_core::ops::ProjMode;
+use iolap_core::ops_agg::AggregateOp;
 use iolap_core::{rewrite, OnlineOp, OnlineQuery};
 use iolap_engine::{plan_sql, Expr, ExprError, ScalarUdf};
 use iolap_relation::{DataType, Value};
@@ -86,9 +93,11 @@ fn v001_v007_dropped_variation_range_partitioning() {
         }
         _ => false,
     });
-    // Disabling partitioning both mis-types the select (V001) and drops the
-    // nondeterministic-set state that must survive recovery (V007).
-    assert_eq!(rule_ids(&oq), ["V001", "V007"]);
+    // Disabling partitioning mis-types the select (V001), drops the
+    // nondeterministic-set state that must survive recovery (V007), and —
+    // because the select sits on the streamed spine — breaks the recovery
+    // closure (V010).
+    assert_eq!(rule_ids(&oq), ["V001", "V007", "V010"]);
 }
 
 #[test]
@@ -116,10 +125,12 @@ fn v002_stale_arg_uncertainty_flag() {
         }
         _ => false,
     });
+    // C3's aggregate folds via the columnar fast path, so marking its
+    // argument uncertain is both a stale flag (V002) and a fast-path
+    // eligibility violation (V009).
     let diags = verify(&oq);
-    assert_eq!(diags.len(), 1, "{diags:?}");
-    assert_eq!(diags[0].rule.id(), "V002");
-    assert_eq!(diags[0].column, col);
+    assert_eq!(rule_ids(&oq), ["V002", "V009"], "{diags:?}");
+    assert!(diags.iter().all(|d| d.column == col), "{diags:?}");
 }
 
 #[test]
@@ -278,6 +289,161 @@ fn v006_stale_sink_factor() {
     let diags = verify(&oq);
     assert_eq!(rule_ids(&oq), ["V006"], "{diags:?}");
     assert_eq!(diags[0].path, "Sink");
+}
+
+/// Rewrite a model-checker term against the model world's streamed table.
+fn model_rewritten(term: &Term) -> OnlineQuery {
+    let pq = to_planned(term);
+    let streamed: HashSet<String> = ["s".to_string()].into();
+    rewrite(&pq, &streamed).unwrap()
+}
+
+#[test]
+fn v009_fast_plan_with_uncertain_argument() {
+    // AVG over a SUM output: the outer aggregate's argument column is
+    // genuinely uncertain, so `AggregateOp::new` refuses to compile the
+    // columnar fast plan. The mutation models a rewriter that compiled the
+    // fast plan *before* deriving uncertainty: rebuild the operator with
+    // all-certain flags (fast plan compiles) and then restore the true
+    // flags on the public field.
+    let term = Term::Unary(
+        UnaryKind::AggAvgByK,
+        Box::new(Term::Unary(UnaryKind::AggSumByK, Box::new(Term::ScanS))),
+    );
+    let mut oq = model_rewritten(&term);
+    assert!(rule_ids(&oq).is_empty());
+    mutate_first(
+        &mut oq.root,
+        "uncertain-arg aggregate",
+        &mut |op| match op {
+            OnlineOp::Aggregate(a) if a.arg_uncertain.iter().any(|&u| u) => {
+                let saved = a.arg_uncertain.clone();
+                *a = AggregateOp::new(
+                    (*a.child).clone(),
+                    a.group_cols.clone(),
+                    a.aggs.clone(),
+                    a.schema.clone(),
+                    a.agg_id,
+                    vec![false; saved.len()],
+                    a.input_tuple_uncertain,
+                    a.scale_stream,
+                );
+                a.arg_uncertain = saved;
+                true
+            }
+            _ => false,
+        },
+    );
+    let diags = verify(&oq);
+    assert_eq!(rule_ids(&oq), ["V009"], "{diags:?}");
+}
+
+#[test]
+fn v010_dropped_spine_state_breaks_recovery_closure() {
+    // A partitioned select directly on the streamed spine: disabling its
+    // partitioning drops checkpointed state that the recovery closure
+    // needs, so V010 joins the V001/V007 pair and anchors at the select.
+    let term = Term::Unary(
+        UnaryKind::SelectV,
+        Box::new(Term::Unary(UnaryKind::AggSumByK, Box::new(Term::ScanS))),
+    );
+    let mut oq = model_rewritten(&term);
+    assert!(rule_ids(&oq).is_empty());
+    mutate_first(&mut oq.root, "spine select", &mut |op| match op {
+        OnlineOp::Select(s) if s.uncertain_pred => {
+            s.uncertain_pred = false;
+            true
+        }
+        _ => false,
+    });
+    let diags = verify(&oq);
+    assert_eq!(rule_ids(&oq), ["V001", "V007", "V010"], "{diags:?}");
+    let v010 = diags.iter().find(|d| d.rule.id() == "V010").unwrap();
+    assert!(v010.path.contains("Select"), "{v010:?}");
+}
+
+#[test]
+fn v010_off_spine_select_does_not_implicate_recovery() {
+    // Negative control for V010's path sensitivity: spurious partitioning
+    // on a *dimension-side* select (off the streamed spine) mis-types the
+    // select (V001) but owes the recovery closure nothing — neither V007
+    // nor V010 may fire.
+    let term = Term::Binary(
+        JoinKind::JoinK0,
+        Box::new(Term::Unary(UnaryKind::SelectV, Box::new(Term::ScanD))),
+        RightShape::ScanS,
+    );
+    let mut oq = model_rewritten(&term);
+    assert!(rule_ids(&oq).is_empty());
+    mutate_first(&mut oq.root, "dimension select", &mut |op| match op {
+        OnlineOp::Select(s) if !s.uncertain_pred => {
+            s.uncertain_pred = true;
+            true
+        }
+        _ => false,
+    });
+    assert_eq!(rule_ids(&oq), ["V001"]);
+}
+
+fn lint_rule_ids(files: &[(String, String)]) -> Vec<&'static str> {
+    let mut ids: Vec<_> = lint_files(files).iter().map(|f| f.rule.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[test]
+fn l008_panic_spliced_into_hot_path_helper() {
+    // `step` is an L008 root in driver.rs; a panic site two calls deep
+    // becomes reachable the moment it is introduced.
+    let clean = vec![(
+        "crates/core/src/driver.rs".to_string(),
+        "pub fn step(&mut self) -> u32 { advance_epoch(self.epoch) }\n\
+         fn advance_epoch(e: u32) -> u32 { bump(e) }\n\
+         fn bump(e: u32) -> u32 { e + 1 }\n"
+            .to_string(),
+    )];
+    assert_eq!(lint_rule_ids(&clean), [] as [&str; 0]);
+
+    let mutated = vec![(
+        "crates/core/src/driver.rs".to_string(),
+        "pub fn step(&mut self) -> u32 { advance_epoch(self.epoch) }\n\
+         fn advance_epoch(e: u32) -> u32 { bump(e) }\n\
+         fn bump(e: u32) -> u32 { e.checked_add(1).expect(\"epoch overflow\") }\n"
+            .to_string(),
+    )];
+    let findings = lint_files(&mutated);
+    assert_eq!(lint_rule_ids(&mutated), ["L008"], "{findings:?}");
+    assert!(
+        findings[0].text.contains("step -> advance_epoch -> bump"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn l009_two_mutex_ordering_cycle() {
+    // Two threads taking `queue` and `workers` in opposite orders deadlock;
+    // the same pair in a consistent order is clean.
+    let cyclic = vec![(
+        "crates/server/src/pool.rs".to_string(),
+        "fn submit(&self) { let q = self.queue.lock().unwrap(); let w = self.workers.lock().unwrap(); }\n\
+         fn drain(&self) { let w = self.workers.lock().unwrap(); let q = self.queue.lock().unwrap(); }\n"
+            .to_string(),
+    )];
+    let findings = lint_files(&cyclic);
+    assert_eq!(lint_rule_ids(&cyclic), ["L009"], "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.text.contains("lock-order cycle")),
+        "{findings:?}"
+    );
+
+    let consistent = vec![(
+        "crates/server/src/pool.rs".to_string(),
+        "fn submit(&self) { let q = self.queue.lock().unwrap(); let w = self.workers.lock().unwrap(); }\n\
+         fn drain(&self) { let q = self.queue.lock().unwrap(); let w = self.workers.lock().unwrap(); }\n"
+            .to_string(),
+    )];
+    assert_eq!(lint_rule_ids(&consistent), [] as [&str; 0]);
 }
 
 #[test]

@@ -38,6 +38,16 @@
 //! not bit-identical to the reference. `--smoke` shrinks the row count for
 //! the offline gate.
 //!
+//! `analyze` (not part of `all`) runs the static-analysis engine end to
+//! end: the token-based source lints over every `crates/**/*.rs` file
+//! (allowlist-subtracted, with dead-allowlist-entry staleness as L010
+//! errors) and the exhaustive plan-space model checker — every operator
+//! tree over the two-table model world, each through the rewriter and the
+//! V001–V010 verifier, against an independent uncertainty-tag model, plus
+//! guaranteed-catch mutation probes on every accepted cell. `--smoke`
+//! bounds the enumeration at depth 3 for the offline gate; the full run
+//! covers depth 4. Exit 0 clean, 1 on findings, 2 on internal error.
+//!
 //! `trace <query>` (not part of `all`) runs one query (default `C2`) with
 //! the causal event journal armed and renders a per-batch timeline, a
 //! top-k exclusive self-time table, and per-operator latency quantiles,
@@ -117,9 +127,20 @@ fn main() {
     let mut violations = 0usize;
     let mut storm: Option<Vec<FaultStormRun>> = None;
     let mut serving: Option<serve::ServingRecord> = None;
+    let mut analysis: Option<AnalysisRecord> = None;
     for exp in which {
         match exp {
             "verify-plans" => violations += verify_plans(&scale),
+            "analyze" => match analyze_cmd(smoke) {
+                Ok(rec) => {
+                    violations += rec.violations();
+                    analysis = Some(rec);
+                }
+                Err(e) => {
+                    eprintln!("analyze: {e}");
+                    std::process::exit(2);
+                }
+            },
             "serve" => {
                 if let Some(addr) = listen.as_deref() {
                     if let Err(e) = serve::serve_listen(addr, &scale) {
@@ -179,7 +200,14 @@ fn main() {
         // The "faults" section reuses this invocation's storm when one ran,
         // else records a fresh smoke storm so the record is self-contained.
         let storm = storm.unwrap_or_else(|| fault_storm(&scale, true));
-        match json::write_bench_json(&path, &scale, &workloads, &storm, serving.as_ref()) {
+        match json::write_bench_json(
+            &path,
+            &scale,
+            &workloads,
+            &storm,
+            serving.as_ref(),
+            analysis.as_ref(),
+        ) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
@@ -423,6 +451,60 @@ fn verify_plans(scale: &ExpScale) -> usize {
             .join(" ")
     );
     diags.len() + failures
+}
+
+/// `analyze`: the full static-analysis sweep — source lints (allowlist-
+/// subtracted, staleness-gated) plus the exhaustive plan-space model
+/// checker. Prints per-rule counts, every surviving finding, and the
+/// model-checker cell accounting; the returned record's `violations()`
+/// feeds the harness exit code (0 clean / 1 findings); I/O errors exit 2
+/// at the call site.
+fn analyze_cmd(smoke: bool) -> std::io::Result<iolap_bench::AnalysisRecord> {
+    section(&format!(
+        "analyze: static-analysis sweep ({})",
+        if smoke { "smoke" } else { "full" }
+    ));
+    let rec = run_analysis(smoke)?;
+
+    for f in &rec.lint_violations {
+        println!("{} {}:{} {}", f.rule.id(), f.file, f.line, f.text);
+    }
+    println!(
+        "lints: {} violation(s), {} allowlisted ({})",
+        rec.lint_violations.len(),
+        rec.lint_allowlisted,
+        iolap_analyze::lint_counts(&rec.lint_violations)
+            .iter()
+            .map(|(r, n)| format!("{}={n}", r.id()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let m = &rec.model;
+    println!(
+        "model checker: depth {} — {} cells, {} accepted, {} agreed-rejected, {} probes",
+        m.depth, m.cells, m.accepted, m.agreed_rejected, m.probes
+    );
+    for (label, cells) in [
+        ("UNSOUND-ACCEPTED", &m.unsound_accepted),
+        ("ACCEPTED-FLAGGED", &m.accepted_flagged),
+        ("MISSED-MUTATION", &m.missed_mutations),
+    ] {
+        for c in cells.iter() {
+            println!("{label} {}", c.to_json());
+        }
+    }
+    // Sound-rejected cells are conservatism, not unsoundness: report them
+    // for the record without failing the gate.
+    println!(
+        "soundness: {} unsound-accepted, {} flagged, {} missed mutations, {} sound-rejected (tolerated)",
+        m.unsound_accepted.len(),
+        m.accepted_flagged.len(),
+        m.missed_mutations.len(),
+        m.sound_rejected.len()
+    );
+    println!("analysis wall time: {:.0} ms", rec.wall_ms);
+    Ok(rec)
 }
 
 /// Table 1: batch sizes for the streamed relations.

@@ -7,6 +7,7 @@
 //! latency, then per-batch wall-clock, driver stats, and the per-operator
 //! metrics breakdown recorded by `iolap_core::metrics`.
 
+use crate::analysis::{run_analysis, AnalysisRecord};
 use crate::serve::{ServeCell, ServingRecord};
 use crate::{
     fault_storm_kinds, measure_trace_overhead, total_latency, ExpScale, FaultStormRun,
@@ -26,7 +27,10 @@ use std::fmt::Write as _;
 /// * 3 — adds the `serving` section (multi-tenant sweep from
 ///   `experiments serve`: per-cell throughput, batch-latency quantiles,
 ///   per-session time-to-target, admission-probe outcome).
-pub const SCHEMA_VERSION: u32 = 3;
+/// * 4 — adds the `analysis` section (static-analysis sweep from
+///   `experiments analyze`: per-rule lint counts with finding detail,
+///   allowlist absorption, and the plan-space model-checker report).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Escape a string for a JSON string literal (quotes not included).
 ///
@@ -237,6 +241,40 @@ pub fn verification_json(workloads: &[Workload]) -> String {
     out
 }
 
+/// Static-analysis sweep record (`"analysis"` section): per-rule counts of
+/// the lint violations that survive the allowlist (zero-filled, so a clean
+/// run is an explicit record), the full finding detail, allowlist
+/// absorption, and the plan-space model-checker report.
+pub fn analysis_json(rec: &AnalysisRecord) -> String {
+    let mut out = format!(
+        "{{\"smoke\":{},\"wall_ms\":{},\"lint_rules\":{{",
+        rec.smoke,
+        num(rec.wall_ms)
+    );
+    for (i, (r, n)) in iolap_analyze::lint_counts(&rec.lint_violations)
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", r.id());
+    }
+    let _ = write!(
+        out,
+        "}},\"lint_allowlisted\":{},\"lint_findings\":[",
+        rec.lint_allowlisted
+    );
+    for (i, f) in rec.lint_violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&iolap_analyze::finding_json(f));
+    }
+    let _ = write!(out, "],\"model\":{}}}", rec.model.to_json());
+    out
+}
+
 /// Fault-storm record: per-kind aggregates over the sweep plus the full
 /// per-run detail, so a regression in any single cell stays attributable.
 pub fn faults_json(storm: &[FaultStormRun]) -> String {
@@ -373,13 +411,17 @@ pub fn serving_json(rec: &ServingRecord) -> String {
 /// full per-query / per-batch / per-operator record to `path`. `storm`
 /// (typically a smoke-scale `fault_storm` sweep) lands as the `"faults"`
 /// section; `serving` (from an `experiments serve` sweep) as the
-/// `"serving"` section, `null` when the sweep was not run.
+/// `"serving"` section, `null` when the sweep was not run; `analysis`
+/// (from an `experiments analyze` sweep) as the `"analysis"` section — a
+/// fresh smoke-depth sweep runs when this invocation did not include one,
+/// so the record is always self-contained.
 pub fn write_bench_json(
     path: &str,
     scale: &ExpScale,
     workloads: &[Workload],
     storm: &[FaultStormRun],
     serving: Option<&ServingRecord>,
+    analysis: Option<&AnalysisRecord>,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     let _ = write!(
@@ -398,11 +440,16 @@ pub fn write_bench_json(
         scale.seed,
         config_json(&scale.config()),
     );
+    let analysis = match analysis {
+        Some(a) => analysis_json(a),
+        None => analysis_json(&run_analysis(true)?),
+    };
     let _ = write!(
         out,
-        "\"trace_overhead\":{},\n\"verification\":{},\n\"faults\":{},\n\"serving\":{},\n\"workloads\":[\n",
+        "\"trace_overhead\":{},\n\"verification\":{},\n\"analysis\":{},\n\"faults\":{},\n\"serving\":{},\n\"workloads\":[\n",
         trace_overhead_json(&measure_trace_overhead(scale)),
         verification_json(workloads),
+        analysis,
         faults_json(storm),
         serving
             .map(serving_json)

@@ -9,8 +9,11 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod json;
 pub mod serve;
+
+pub use analysis::{run_analysis, AnalysisRecord};
 
 // Workload constructors install the static plan verifier into the core
 // driver's debug hook, so every debug-build experiment re-verifies its

@@ -194,7 +194,7 @@ impl TrialState {
             }
             (TrialState::Generic(accs), TrialState::Generic(other)) => {
                 for (x, y) in accs.iter_mut().zip(other.iter()) {
-                    x.0.merge(y.0.as_ref());
+                    x.0.merge(y.0.as_ref())?;
                 }
                 Ok(())
             }
@@ -295,7 +295,7 @@ impl GroupSketch {
 
     fn merge(&mut self, other: &GroupSketch) -> Result<(), EngineError> {
         for (a, b) in self.accs.iter_mut().zip(other.accs.iter()) {
-            a.0.merge(b.0.as_ref());
+            a.0.merge(b.0.as_ref())?;
         }
         for (a, b) in self.trials.iter_mut().zip(other.trials.iter()) {
             a.merge(b)?;
@@ -395,6 +395,13 @@ impl AggregateOp {
 
     fn sketchable(&self) -> bool {
         !self.arg_uncertain.iter().any(|b| *b)
+    }
+
+    /// Whether a columnar fast plan compiled for this aggregate. Exposed
+    /// for the static verifier (V009): a fast plan must never coexist
+    /// with an uncertain aggregate argument.
+    pub fn has_fast_plan(&self) -> bool {
+        self.fast.is_some()
     }
 
     /// Bytes held in sketch + retained-row state.

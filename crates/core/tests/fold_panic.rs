@@ -5,7 +5,7 @@
 
 use iolap_core::{DriverError, IolapConfig, IolapDriver};
 use iolap_engine::aggregate::{Accumulator, Udaf};
-use iolap_engine::FunctionRegistry;
+use iolap_engine::{EngineError, FunctionRegistry};
 use iolap_relation::{Catalog, DataType, Relation, Schema, Value};
 use std::sync::Arc;
 
@@ -18,7 +18,9 @@ impl Accumulator for PoisonAcc {
     fn update(&mut self, _v: &Value, _weight: f64) {
         panic!("poisoned UDAF: invariant violated");
     }
-    fn merge(&mut self, _other: &dyn Accumulator) {}
+    fn merge(&mut self, _other: &dyn Accumulator) -> Result<(), EngineError> {
+        Ok(())
+    }
     fn output(&self, _scale: f64) -> Value {
         Value::Null
     }

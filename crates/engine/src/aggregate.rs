@@ -15,6 +15,7 @@
 //! build variation ranges on top of them.
 
 use crate::expr::ExprError;
+use crate::EngineError;
 use iolap_relation::{DataType, Value};
 use std::collections::HashSet;
 use std::fmt;
@@ -47,7 +48,10 @@ pub trait Accumulator: Send + Sync {
     /// bootstrap multiplier).
     fn update(&mut self, v: &Value, weight: f64);
     /// Merge another accumulator of the same function (partition merge).
-    fn merge(&mut self, other: &dyn Accumulator);
+    /// Errs if `other` is an accumulator of a different concrete kind —
+    /// a planner bug surfaced as a graceful `EngineError` rather than a
+    /// hot-path panic.
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError>;
     /// Current output. `scale` is the extensive-aggregate multiplier `m_i`;
     /// intensive aggregates ignore it.
     fn output(&self, scale: f64) -> Value;
@@ -65,6 +69,19 @@ pub trait Accumulator: Send + Sync {
     fn approx_bytes(&self) -> usize {
         std::mem::size_of_val(self)
     }
+}
+
+/// Downcast `other` for a partition merge, or report the planner bug as a
+/// graceful plan error naming the expected aggregate kind.
+fn downcast_merge<'a, T: 'static>(
+    other: &'a dyn Accumulator,
+    kind: &str,
+) -> Result<&'a T, EngineError> {
+    other.as_any().downcast_ref::<T>().ok_or_else(|| {
+        EngineError::Plan(format!(
+            "accumulator kind mismatch while merging {kind} partitions"
+        ))
+    })
 }
 
 macro_rules! impl_acc_boilerplate {
@@ -90,9 +107,10 @@ impl Accumulator for CountAcc {
             self.n += weight;
         }
     }
-    fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other.as_any().downcast_ref::<CountAcc>().expect("COUNT");
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+        let o = downcast_merge::<CountAcc>(other, "COUNT")?;
         self.n += o.n;
+        Ok(())
     }
     fn output(&self, scale: f64) -> Value {
         Value::Float(self.n * scale)
@@ -114,10 +132,11 @@ impl Accumulator for SumAcc {
             self.any = true;
         }
     }
-    fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other.as_any().downcast_ref::<SumAcc>().expect("SUM");
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+        let o = downcast_merge::<SumAcc>(other, "SUM")?;
         self.sum += o.sum;
         self.any |= o.any;
+        Ok(())
     }
     fn output(&self, scale: f64) -> Value {
         if self.any {
@@ -143,10 +162,11 @@ impl Accumulator for AvgAcc {
             self.n += weight;
         }
     }
-    fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other.as_any().downcast_ref::<AvgAcc>().expect("AVG");
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+        let o = downcast_merge::<AvgAcc>(other, "AVG")?;
         self.sum += o.sum;
         self.n += o.n;
+        Ok(())
     }
     fn output(&self, _scale: f64) -> Value {
         if self.n == 0.0 {
@@ -191,14 +211,12 @@ impl Accumulator for ExtremeAcc {
             self.best = Some(v.clone());
         }
     }
-    fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other
-            .as_any()
-            .downcast_ref::<ExtremeAcc>()
-            .expect("MIN/MAX");
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+        let o = downcast_merge::<ExtremeAcc>(other, "MIN/MAX")?;
         if let Some(b) = &o.best {
             self.update(b, 1.0);
         }
+        Ok(())
     }
     fn output(&self, _scale: f64) -> Value {
         self.best.clone().unwrap_or(Value::Null)
@@ -223,14 +241,12 @@ impl Accumulator for VarianceAcc {
             self.sumsq += x * x * weight;
         }
     }
-    fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other
-            .as_any()
-            .downcast_ref::<VarianceAcc>()
-            .expect("VAR/STDDEV");
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+        let o = downcast_merge::<VarianceAcc>(other, "VAR/STDDEV")?;
         self.n += o.n;
         self.sum += o.sum;
         self.sumsq += o.sumsq;
+        Ok(())
     }
     fn output(&self, _scale: f64) -> Value {
         if self.n <= 0.0 {
@@ -256,12 +272,10 @@ impl Accumulator for CountDistinctAcc {
             self.seen.insert(v.clone());
         }
     }
-    fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other
-            .as_any()
-            .downcast_ref::<CountDistinctAcc>()
-            .expect("COUNT DISTINCT");
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+        let o = downcast_merge::<CountDistinctAcc>(other, "COUNT DISTINCT")?;
         self.seen.extend(o.seen.iter().cloned());
+        Ok(())
     }
     fn output(&self, scale: f64) -> Value {
         Value::Float(self.seen.len() as f64 * scale)
@@ -571,7 +585,7 @@ mod tests {
         feed(&mut a, &[(10.0, 1.0)]);
         let mut b = AvgAcc::default();
         feed(&mut b, &[(30.0, 1.0)]);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.output(1.0), Value::Float(20.0));
     }
 

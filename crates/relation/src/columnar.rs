@@ -322,15 +322,18 @@ impl SelVec {
     }
 }
 
-/// Checked `usize → u32` ordinal conversion: row ordinals wider than `u32`
-/// indicate a batch far past every configured scale, so this aborts loudly
-/// instead of silently wrapping (the columnar kernels never use bare `as`
-/// casts on indices).
+/// Checked `usize → u32` ordinal conversion. Batch construction bounds row
+/// counts to `u32::MAX` ([`Batch::from_rows`]) and dictionaries never hold
+/// more codes than rows, so a wider value is unreachable; it trips the
+/// debug assertion in tests and saturates in release — this sits on the
+/// operator hot path, where aborting the process is never acceptable (the
+/// columnar kernels never use bare `as` casts on indices).
 pub(crate) fn checked_u32(i: usize) -> u32 {
-    match u32::try_from(i) {
-        Ok(v) => v,
-        Err(_) => panic!("columnar ordinal {i} exceeds u32 range"),
-    }
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "columnar ordinal {i} exceeds u32 range"
+    );
+    u32::try_from(i).unwrap_or(u32::MAX)
 }
 
 /// One mini-batch of tuples in columnar (SoA) layout: per-column typed

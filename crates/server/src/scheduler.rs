@@ -359,8 +359,12 @@ fn admit_from_queue(cfg: &ServerConfig, st: &mut State) {
         let Some(id) = st.queued.pop_front() else {
             return;
         };
+        // Queued ids always have a slot; if one ever goes missing, skip it
+        // rather than poisoning the scheduler lock with a panic.
+        let Some(slot) = st.sessions.get_mut(&id) else {
+            continue;
+        };
         st.live += 1;
-        let slot = st.sessions.get_mut(&id).expect("queued session exists");
         slot.holds_slot = true;
         let key = slot.ready_key(id);
         st.ready.insert(key);
@@ -377,18 +381,16 @@ fn shed_over_ceiling(cfg: &ServerConfig, st: &mut State) {
     if st.queued.is_empty() || live_mem(st) <= ceiling {
         return;
     }
-    let victim = st
-        .queued
-        .iter()
-        .copied()
-        .min_by_key(|id| {
-            let s = &st.sessions[id];
-            (
-                s.spec.deadline.unwrap_or(Duration::MAX),
-                std::cmp::Reverse(*id),
-            )
-        })
-        .expect("non-empty queue");
+    let Some(victim) = st.queued.iter().copied().min_by_key(|id| {
+        let deadline = st
+            .sessions
+            .get(id)
+            .and_then(|s| s.spec.deadline)
+            .unwrap_or(Duration::MAX);
+        (deadline, std::cmp::Reverse(*id))
+    }) else {
+        return;
+    };
     st.queued.retain(|q| *q != victim);
     st.shed += 1;
     finish(cfg, st, victim, SessionEnd::Shed);
@@ -400,7 +402,9 @@ fn shed_over_ceiling(cfg: &ServerConfig, st: &mut State) {
 fn finish(cfg: &ServerConfig, st: &mut State, id: u64, end: SessionEnd) {
     st.end_counter += 1;
     let seq = st.end_counter;
-    let slot = st.sessions.get_mut(&id).expect("finishing session exists");
+    let Some(slot) = st.sessions.get_mut(&id) else {
+        return;
+    };
     slot.state = match &end {
         SessionEnd::Completed | SessionEnd::TargetMet { .. } => {
             if slot.reports.is_empty() {
@@ -459,12 +463,19 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
                 if let Some(key) = st.ready.iter().next().copied() {
                     st.ready.remove(&key);
-                    let slot = st.sessions.get_mut(&key.id).expect("ready session exists");
+                    // A dangling ready key (session gone, or its driver
+                    // already owned elsewhere) is dropped and the scan
+                    // resumes — never a worker panic under the state lock.
+                    let Some(slot) = st.sessions.get_mut(&key.id) else {
+                        continue;
+                    };
+                    let Some(d) = slot.driver.take() else {
+                        continue;
+                    };
                     if slot.state == SessionState::Queued {
                         slot.state = SessionState::Running;
                         slot.first_step = Some(Span::start());
                     }
-                    let d = slot.driver.take().expect("ready session holds driver");
                     break (key.id, d);
                 }
                 // The worker park: the one sanctioned unbounded wait in
@@ -484,7 +495,11 @@ fn worker_loop(shared: Arc<Shared>) {
         let mut st = lock(&shared);
         let cfg = &shared.cfg;
         let outcome = {
-            let slot = st.sessions.get_mut(&id).expect("stepped session exists");
+            // If the slot vanished while we stepped (a bookkeeping bug, not
+            // a reachable state), drop the orphan driver and move on.
+            let Some(slot) = st.sessions.get_mut(&id) else {
+                continue;
+            };
             match step {
                 Err(p) => Outcome::Finish(SessionEnd::Failed(panic_message(p))),
                 Ok(None) => Outcome::Finish(SessionEnd::Completed),
@@ -514,7 +529,9 @@ fn worker_loop(shared: Arc<Shared>) {
         match outcome {
             Outcome::Finish(end) => finish(cfg, &mut st, id, end),
             Outcome::Continue => {
-                let slot = st.sessions.get_mut(&id).expect("stepped session exists");
+                let Some(slot) = st.sessions.get_mut(&id) else {
+                    continue;
+                };
                 slot.driver = Some(driver);
                 if slot.reports.len() >= cfg.report_buffer {
                     slot.waiting_buffer = true;

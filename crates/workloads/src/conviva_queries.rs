@@ -15,7 +15,7 @@
 use crate::tpch_queries::QuerySpec;
 use iolap_engine::aggregate::{Accumulator, Udaf};
 use iolap_engine::registry::FnUdf;
-use iolap_engine::{ExprError, FunctionRegistry};
+use iolap_engine::{EngineError, ExprError, FunctionRegistry};
 use iolap_relation::{DataType, Value};
 use std::sync::Arc;
 
@@ -205,10 +205,16 @@ macro_rules! impl_simple_udaf {
                     }
                 }
             }
-            fn merge(&mut self, other: &dyn Accumulator) {
-                let o = other.as_any().downcast_ref::<$acc>().expect($name);
+            fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+                let o = other.as_any().downcast_ref::<$acc>().ok_or_else(|| {
+                    EngineError::Plan(format!(
+                        "accumulator kind mismatch while merging {} partitions",
+                        $name
+                    ))
+                })?;
                 self.n += o.n;
                 self.acc += o.acc;
+                Ok(())
             }
             fn output(&self, _scale: f64) -> Value {
                 if self.n <= 0.0 {

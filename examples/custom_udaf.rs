@@ -15,7 +15,7 @@
 use iolap_core::{IolapConfig, IolapDriver};
 use iolap_engine::aggregate::{Accumulator, Udaf};
 use iolap_engine::registry::FnUdf;
-use iolap_engine::ExprError;
+use iolap_engine::{EngineError, ExprError};
 use iolap_relation::{DataType, Value};
 use iolap_workloads::{conviva_catalog, conviva_registry};
 use std::sync::Arc;
@@ -35,10 +35,13 @@ impl Accumulator for P2MeanAcc {
             self.sumsq += weight * x * x;
         }
     }
-    fn merge(&mut self, other: &dyn Accumulator) {
-        let o = other.as_any().downcast_ref::<P2MeanAcc>().expect("P2_MEAN");
+    fn merge(&mut self, other: &dyn Accumulator) -> Result<(), EngineError> {
+        let o = other.as_any().downcast_ref::<P2MeanAcc>().ok_or_else(|| {
+            EngineError::Plan("accumulator kind mismatch while merging P2_MEAN partitions".into())
+        })?;
         self.n += o.n;
         self.sumsq += o.sumsq;
+        Ok(())
     }
     fn output(&self, _scale: f64) -> Value {
         if self.n <= 0.0 {

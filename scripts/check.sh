@@ -20,6 +20,9 @@ cargo run --release --offline -q -p iolap-analyze --bin srclint
 echo "== verify-plans (static plan verifier, all built-in queries)"
 IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- verify-plans
 
+echo "== analyze --smoke (source lints + allowlist staleness + plan-space model checker)"
+cargo run --release --offline -q -p iolap-bench --bin experiments -- analyze --smoke
+
 echo "== kernels --smoke (columnar kernels bit-identical to row references)"
 IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- kernels --smoke
 
