@@ -36,8 +36,9 @@
 //!   `OnlineOp` enum dispatcher (a pure `match self` delegation) is
 //!   exempt.
 //! * **L006 `no-unbounded-blocking`** — no unbounded blocking in the
-//!   serving layer's scheduler/admission hot paths
-//!   (`crates/server/src/scheduler.rs`, `session.rs`): no
+//!   serving layer's scheduler/admission hot paths and the shard
+//!   coordinator (`crates/server/src/scheduler.rs`, `session.rs`,
+//!   `shard.rs`): no
 //!   `thread::sleep`, no bare channel `.recv()`, no `Condvar` `.wait(`
 //!   without a timeout (`.wait_timeout(` is the sanctioned form). A
 //!   stalled or slow driver must never wedge admission or a polling
@@ -225,11 +226,14 @@ const L002_FILES: &[&str] = &[
     "crates/baselines/src/hda.rs",
 ];
 
-/// The serving layer's scheduler/admission hot paths. `tcp.rs` is exempt:
+/// The serving layer's scheduler/admission hot paths, plus the shard
+/// coordinator (a stalled worker must surface as a read-timeout `Err`,
+/// never wedge a fold behind an unbounded park). `tcp.rs` is exempt:
 /// socket reads legitimately block on the network.
 const L006_FILES: &[&str] = &[
     "crates/server/src/scheduler.rs",
     "crates/server/src/session.rs",
+    "crates/server/src/shard.rs",
 ];
 
 /// Order-revealing hash-container accessors (L002). Point lookups

@@ -8,6 +8,7 @@
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- verify-plans
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- faultstorm --smoke
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- serve --smoke
+//! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- shard --smoke
 //! cargo run --release -p iolap-bench --bin experiments -- serve --listen 127.0.0.1:7878
 //! ```
 //!
@@ -47,6 +48,15 @@
 //! guaranteed-catch mutation probes on every accepted cell. `--smoke`
 //! bounds the enumeration at depth 3 for the offline gate; the full run
 //! covers depth 4. Exit 0 clean, 1 on findings, 2 on internal error.
+//!
+//! `shard` (not part of `all`) runs the scale-out sweep: the same
+//! mini-batch runs with fold dispatch split across in-process shard pools
+//! of growing size, checking every sharded run's published answers are
+//! byte-identical to the unsharded baseline (the partition-grid merge
+//! contract), probing the same claim across real loopback TCP shard
+//! workers with measured data-shipped bytes, and replaying the §5.1 fault
+//! storm at two shards. `--smoke` pins one grid point per axis for the
+//! offline gate. Throughput and shipped bytes are recorded, not asserted.
 //!
 //! `trace <query>` (not part of `all`) runs one query (default `C2`) with
 //! the causal event journal armed and renders a per-batch timeline, a
@@ -128,6 +138,7 @@ fn main() {
     let mut storm: Option<Vec<FaultStormRun>> = None;
     let mut serving: Option<serve::ServingRecord> = None;
     let mut analysis: Option<AnalysisRecord> = None;
+    let mut sharding: Option<ShardingRecord> = None;
     for exp in which {
         match exp {
             "verify-plans" => violations += verify_plans(&scale),
@@ -161,6 +172,15 @@ fn main() {
                 let runs = faultstorm(&scale, smoke);
                 violations += runs.iter().filter(|r| !r.agree).count();
                 storm = Some(runs);
+            }
+            "shard" => {
+                section(&format!(
+                    "shard: scale-out determinism sweep ({})",
+                    if smoke { "smoke" } else { "full" }
+                ));
+                let (record, v) = shard_sweep(&scale, smoke);
+                violations += v;
+                sharding = Some(record);
             }
             "trace" => violations += trace_cmd(&scale, trace_query.as_deref(), smoke),
             "kernels" => violations += kernels_cmd(&scale, smoke),
@@ -207,6 +227,7 @@ fn main() {
             &storm,
             serving.as_ref(),
             analysis.as_ref(),
+            sharding.as_ref(),
         ) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {

@@ -9,6 +9,7 @@
 
 use crate::analysis::{run_analysis, AnalysisRecord};
 use crate::serve::{ServeCell, ServingRecord};
+use crate::shard::{ShardCell, ShardingRecord};
 use crate::{
     fault_storm_kinds, measure_trace_overhead, total_latency, ExpScale, FaultStormRun,
     TraceOverhead, Workload,
@@ -30,7 +31,11 @@ use std::fmt::Write as _;
 /// * 4 — adds the `analysis` section (static-analysis sweep from
 ///   `experiments analyze`: per-rule lint counts with finding detail,
 ///   allowlist absorption, and the plan-space model-checker report).
-pub const SCHEMA_VERSION: u32 = 4;
+/// * 5 — adds the `sharding` section (scale-out sweep from
+///   `experiments shard`: per-cell throughput and byte-identity vs the
+///   unsharded baseline, dispatch/merge latency, shipped partial-state
+///   bytes, the loopback TCP probe, and the 2-shard fault-storm replay).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Escape a string for a JSON string literal (quotes not included).
 ///
@@ -407,6 +412,63 @@ pub fn serving_json(rec: &ServingRecord) -> String {
     out
 }
 
+fn shard_cell_json(c: &ShardCell) -> String {
+    format!(
+        concat!(
+            "{{\"query\":\"{}\",\"shards\":{},\"batches\":{},\"rows\":{},",
+            "\"elapsed_ms\":{},\"rows_per_s\":{},\"dispatch_ms\":{},",
+            "\"merge_ms\":{},\"bytes_shipped\":{},\"identical\":{}}}"
+        ),
+        escape(c.query),
+        c.shards,
+        c.batches,
+        c.rows,
+        num(c.elapsed_ms),
+        num(c.rows_per_s),
+        num(c.dispatch_ms),
+        num(c.merge_ms),
+        c.bytes_shipped,
+        c.identical,
+    )
+}
+
+/// Sharding record: the scale-out sweep cells (shards × batch counts,
+/// `shards = 0` is the single-process baseline), the loopback TCP probe
+/// with its measured data-shipped bytes (`null` when the sandbox denies
+/// loopback), and the 2-shard fault-storm replay tally.
+pub fn sharding_json(rec: &ShardingRecord) -> String {
+    let mut out = format!("{{\"smoke\":{},\"cells\":[", rec.smoke);
+    for (i, c) in rec.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&shard_cell_json(c));
+    }
+    let tcp = match &rec.tcp {
+        None => "null".to_string(),
+        Some(t) => format!(
+            "{{\"shards\":{},\"identical\":{},\"bytes_shipped\":{},\"elapsed_ms\":{}}}",
+            t.shards,
+            t.identical,
+            t.bytes_shipped,
+            num(t.elapsed_ms)
+        ),
+    };
+    let _ = write!(
+        out,
+        concat!(
+            "],\"tcp\":{},\"storm\":{{\"runs\":{},\"agree\":{}}},",
+            "\"scaleout_win\":{},\"violations\":{}}}"
+        ),
+        tcp,
+        rec.storm_runs,
+        rec.storm_agree,
+        rec.scaleout_win,
+        rec.violations(),
+    );
+    out
+}
+
 /// Run every query of `workloads` through the iOLAP driver and write the
 /// full per-query / per-batch / per-operator record to `path`. `storm`
 /// (typically a smoke-scale `fault_storm` sweep) lands as the `"faults"`
@@ -414,7 +476,9 @@ pub fn serving_json(rec: &ServingRecord) -> String {
 /// `"serving"` section, `null` when the sweep was not run; `analysis`
 /// (from an `experiments analyze` sweep) as the `"analysis"` section — a
 /// fresh smoke-depth sweep runs when this invocation did not include one,
-/// so the record is always self-contained.
+/// so the record is always self-contained; `sharding` (from an
+/// `experiments shard` sweep) as the `"sharding"` section, `null` when
+/// the sweep was not run.
 pub fn write_bench_json(
     path: &str,
     scale: &ExpScale,
@@ -422,6 +486,7 @@ pub fn write_bench_json(
     storm: &[FaultStormRun],
     serving: Option<&ServingRecord>,
     analysis: Option<&AnalysisRecord>,
+    sharding: Option<&ShardingRecord>,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     let _ = write!(
@@ -446,13 +511,16 @@ pub fn write_bench_json(
     };
     let _ = write!(
         out,
-        "\"trace_overhead\":{},\n\"verification\":{},\n\"analysis\":{},\n\"faults\":{},\n\"serving\":{},\n\"workloads\":[\n",
+        "\"trace_overhead\":{},\n\"verification\":{},\n\"analysis\":{},\n\"faults\":{},\n\"serving\":{},\n\"sharding\":{},\n\"workloads\":[\n",
         trace_overhead_json(&measure_trace_overhead(scale)),
         verification_json(workloads),
         analysis,
         faults_json(storm),
         serving
             .map(serving_json)
+            .unwrap_or_else(|| "null".to_string()),
+        sharding
+            .map(sharding_json)
             .unwrap_or_else(|| "null".to_string()),
     );
     for (wi, w) in workloads.iter().enumerate() {
@@ -612,6 +680,47 @@ mod tests {
         let s = latency_json(&h);
         // A single sample reports the exact observation, not a bucket guess.
         assert!(s.contains("\"p99_ns\":1000"), "{s}");
+    }
+
+    #[test]
+    fn sharding_json_records_cells_probe_and_storm() {
+        use crate::shard::TcpProbe;
+        let rec = ShardingRecord {
+            smoke: true,
+            cells: vec![ShardCell {
+                query: "C2",
+                shards: 2,
+                batches: 4,
+                rows: 12_000,
+                elapsed_ms: 80.0,
+                rows_per_s: 150_000.0,
+                dispatch_ms: 10.5,
+                merge_ms: 1.25,
+                bytes_shipped: 4096,
+                identical: true,
+            }],
+            tcp: Some(TcpProbe {
+                shards: 2,
+                identical: true,
+                bytes_shipped: 9999,
+                elapsed_ms: 120.0,
+            }),
+            storm_runs: 36,
+            storm_agree: 36,
+            scaleout_win: true,
+        };
+        let s = sharding_json(&rec);
+        assert!(s.contains("\"shards\":2"), "{s}");
+        assert!(s.contains("\"bytes_shipped\":4096"));
+        assert!(
+            s.contains("\"tcp\":{\"shards\":2,\"identical\":true"),
+            "{s}"
+        );
+        assert!(s.contains("\"storm\":{\"runs\":36,\"agree\":36}"));
+        assert!(s.contains("\"scaleout_win\":true"));
+        assert!(s.contains("\"violations\":0}"), "{s}");
+        let skipped = ShardingRecord { tcp: None, ..rec };
+        assert!(sharding_json(&skipped).contains("\"tcp\":null"));
     }
 
     #[test]

@@ -12,8 +12,10 @@
 pub mod analysis;
 pub mod json;
 pub mod serve;
+pub mod shard;
 
 pub use analysis::{run_analysis, AnalysisRecord};
+pub use shard::{shard_sweep, ShardCell, ShardingRecord, TcpProbe};
 
 // Workload constructors install the static plan verifier into the core
 // driver's debug hook, so every debug-build experiment re-verifies its
@@ -350,13 +352,20 @@ pub fn fault_storm_kinds() -> Vec<(&'static str, FaultKind)> {
 /// `smoke` shrinks the sweep to one batch point and two intervals so the
 /// offline gate stays fast; the full sweep covers three of each.
 pub fn fault_storm(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
+    fault_storm_sharded(scale, smoke, 0)
+}
+
+/// [`fault_storm`] with fold dispatch offloaded to an in-process shard
+/// pool of `shards` workers (`0` = unsharded). The scale-out path must
+/// not cost a single Theorem-1-exact cell — see `experiments shard`.
+pub fn fault_storm_sharded(scale: &ExpScale, smoke: bool, shards: usize) -> Vec<FaultStormRun> {
     // Injected worker/deref panics are caught and recovered by the driver,
     // but the default panic hook would still spray their backtraces over
     // the report — silence it for the storm's duration.
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        fault_storm_inner(scale, smoke)
+        fault_storm_inner(scale, smoke, shards)
     }));
     std::panic::set_hook(prev_hook);
     match out {
@@ -365,7 +374,7 @@ pub fn fault_storm(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
     }
 }
 
-fn fault_storm_inner(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
+fn fault_storm_inner(scale: &ExpScale, smoke: bool, shards: usize) -> Vec<FaultStormRun> {
     let mut out = Vec::new();
     let suites: [(Workload, &[&str]); 2] = [
         (tpch_workload(scale), &["Q17", "Q20"]),
@@ -407,6 +416,11 @@ fn fault_storm_inner(scale: &ExpScale, smoke: bool) -> Vec<FaultStormRun> {
                             .flight_recorder();
                         let mut d = IolapDriver::from_plan(&pq, &w.catalog, q.stream_table, cfg)
                             .unwrap_or_else(|e| panic!("{id}: {e}"));
+                        if shards > 0 {
+                            d.set_shard_exec(std::sync::Arc::new(
+                                iolap_server::shard::ThreadShardPool::new(shards),
+                            ));
+                        }
                         let reports = d
                             .run_to_completion()
                             .unwrap_or_else(|e| panic!("{id} under {label}@{bp}: {e}"));

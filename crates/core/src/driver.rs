@@ -205,6 +205,11 @@ pub struct IolapDriver {
     tracer: Option<Arc<Tracer>>,
     /// Root "query" span all batch spans hang off.
     query_span: SpanId,
+    /// Shard pool for scale-out fold dispatch; `None` (the production
+    /// default) folds in-process. Attached post-construction via
+    /// [`IolapDriver::set_shard_exec`] — the pool outlives checkpoints and
+    /// is never part of restored state.
+    shards: Option<Arc<dyn crate::shard::ShardExec>>,
 }
 
 impl IolapDriver {
@@ -301,7 +306,21 @@ impl IolapDriver {
             faults,
             tracer,
             query_span,
+            shards: None,
         })
+    }
+
+    /// Attach a shard pool: aggregate folds dispatch across it from the
+    /// next batch on. Results stay byte-identical to the un-sharded run
+    /// (see [`crate::shard`] for the merge-order discipline).
+    pub fn set_shard_exec(&mut self, exec: Arc<dyn crate::shard::ShardExec>) {
+        self.shards = Some(exec);
+    }
+
+    /// Cumulative partial-state bytes shipped by the attached shard pool
+    /// (0 without one) — the paper's "data shipped" axis.
+    pub fn shard_bytes_shipped(&self) -> u64 {
+        self.shards.as_ref().map_or(0, |s| s.bytes_shipped())
     }
 
     /// The configuration this driver was built with (the serving layer
@@ -657,6 +676,7 @@ impl IolapDriver {
         metrics: &mut Metrics,
         batch_span: SpanId,
     ) -> Result<Vec<(iolap_relation::AggRef, RangeOutcome)>, DriverError> {
+        let shipped_before = self.shard_bytes_shipped();
         let mut ctx = BatchCtx {
             registry: &mut self.registry,
             batch_index: i,
@@ -671,6 +691,7 @@ impl IolapDriver {
             catalog: &self.catalog,
             seed: self.config.seed,
             parallelism: self.config.parallelism,
+            shards: self.shards.as_deref(),
             stats: BatchStats::default(),
             outcomes: Vec::new(),
             metrics: Metrics::new(),
@@ -699,6 +720,12 @@ impl IolapDriver {
         stats.failures += ctx_stats.failures;
         metrics.merge(&ctx_metrics);
         metrics.add("registry.publish_bytes", publish_delta as u64);
+        if self.shards.is_some() {
+            metrics.add(
+                "shard.bytes_shipped",
+                self.shard_bytes_shipped().saturating_sub(shipped_before),
+            );
+        }
         // Derefs happen through `&self` (lazy lineage resolution, possibly
         // on fold workers), so the count lives in the registry; diff it
         // here for the per-batch view. Restores never interleave within

@@ -29,6 +29,7 @@ pub mod ops_agg;
 pub mod ops_join;
 pub mod registry;
 pub mod rewriter;
+pub mod shard;
 pub mod sink;
 pub mod trace;
 
@@ -38,10 +39,15 @@ pub use classify::{classify, interval_of, Decision, IntervalValue};
 pub use config::IolapConfig;
 pub use driver::{install_plan_verifier, BatchReport, DriverError, IolapDriver};
 pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan};
+pub use iolap_engine::EngineError;
 pub use metrics::{Histogram, Metrics, Span};
 pub use ops::{BatchCtx, BatchStats, OnlineOp, ProjMode};
 pub use registry::AggRegistry;
 pub use rewriter::{rewrite, OnlineQuery, RewriteError};
+pub use shard::{
+    fold_fragment_partition, AccState, FoldFragment, FoldPartial, FragKind, FragSrc,
+    LocalShardExec, PartialCall, PartialGroup, ShardExec, PARTITION_ROWS,
+};
 pub use sink::{Presentation, QueryResult, Sink};
 pub use trace::{
     export_chrome, export_jsonl, self_time_by_name, EventKind, SpanId, TraceEvent, TraceMode,

@@ -63,6 +63,10 @@ pub struct BatchCtx<'a> {
     pub seed: u64,
     /// Worker threads for parallel sketch folding (1 = sequential).
     pub parallelism: usize,
+    /// Shard pool for scale-out fold dispatch; `None` (the production
+    /// default) folds every partition in-process. The partition-stable
+    /// grid ([`crate::shard`]) keeps results bit-identical either way.
+    pub shards: Option<&'a dyn crate::shard::ShardExec>,
     /// Instrumentation.
     pub stats: BatchStats,
     /// Named per-operator counters and spans for this batch (see

@@ -17,6 +17,7 @@
 
 use crate::channel::{BatchData, ORow};
 use crate::ops::{BatchCtx, OnlineOp};
+use crate::shard::{self, AccState, FoldFragment, FragKind, FragSrc, PartialGroup};
 use iolap_engine::{Accumulator, AggCall, EngineError, Expr, RefMode};
 use iolap_relation::kernels::fold::{
     fold_count_uniform, fold_count_weighted, fold_sum_uniform, fold_sum_weighted, gather_numeric,
@@ -267,6 +268,33 @@ impl FastPlan {
         Some(FastPlan { srcs, kinds })
     }
 }
+
+/// Instrumentation from one `fold_rows` call. Folds run behind `&self`
+/// (workers and shard pools cannot write `&mut Metrics`), so the numbers
+/// ride back to `process`, which records them around the call.
+#[derive(Clone, Copy, Debug, Default)]
+struct FoldStats {
+    /// Wall time of the shard-pool dispatch (0 when not offloaded).
+    dispatch_ns: u64,
+    /// Wall time of the coordinator-side partition-order merge.
+    merge_ns: u64,
+    /// Per-partition partials merged.
+    partials: u64,
+    /// Whether any fold of this batch went through the shard pool.
+    offloaded: bool,
+}
+
+impl FoldStats {
+    fn absorb(&mut self, o: FoldStats) {
+        self.dispatch_ns += o.dispatch_ns;
+        self.merge_ns += o.merge_ns;
+        self.partials += o.partials;
+        self.offloaded |= o.offloaded;
+    }
+}
+
+/// Group-key → sketch map, the working state of a fold.
+type SketchMap = HashMap<Arc<[Value]>, GroupSketch>;
 
 /// Per-group sketch: one main accumulator plus per-trial state, per
 /// aggregate call.
@@ -693,78 +721,199 @@ impl AggregateOp {
         Ok(true)
     }
 
-    /// Fold `rows` into per-group sketches, splitting across
-    /// `ctx.parallelism` worker threads when the batch is large enough to
-    /// amortize thread startup ("demonstrated … on over 100 machines" —
-    /// the single-process analogue of partition parallelism). Each worker
-    /// folds a chunk into a private map; maps are merged with
-    /// [`GroupSketch::merge`], which is associative and commutative up to
-    /// float summation order.
+    /// Dispatchable shard fragment for this aggregate — present exactly
+    /// when the columnar fast plan compiled (builtin COUNT/SUM/AVG over
+    /// bare columns or literals, no uncertain arguments).
+    fn fragment(&self, trials: usize) -> Option<FoldFragment> {
+        let plan = self.fast.as_ref()?;
+        Some(FoldFragment {
+            agg_id: self.agg_id,
+            group_cols: self.group_cols.clone(),
+            kinds: plan
+                .kinds
+                .iter()
+                .map(|k| match k {
+                    FastKind::Count => FragKind::Count,
+                    FastKind::Sum => FragKind::Sum,
+                    FastKind::Avg => FragKind::Avg,
+                })
+                .collect(),
+            srcs: plan
+                .srcs
+                .iter()
+                .map(|s| match s {
+                    FastSrc::Col(i) => FragSrc::Col(*i),
+                    FastSrc::Lit(v) => FragSrc::Lit(v.clone()),
+                })
+                .collect(),
+            trials,
+        })
+    }
+
+    /// Rebuild a shipped partial group as a [`GroupSketch`] — lossless:
+    /// the engine accumulators are reconstructed bit-for-bit via their
+    /// `from_state` constructors, so a later [`GroupSketch::merge`] adds
+    /// exactly the floats a local fold of the same partition would have.
+    fn sketch_from_partial(&self, pg: PartialGroup) -> (Arc<[Value]>, GroupSketch) {
+        use iolap_engine::{AvgAcc, CountAcc, SumAcc};
+        let key: Arc<[Value]> = pg.key.into();
+        let mut accs = Vec::with_capacity(pg.calls.len());
+        let mut trials = Vec::with_capacity(pg.calls.len());
+        for call in pg.calls {
+            let (acc, kind): (Box<dyn Accumulator>, FastKind) = match call.acc {
+                AccState::Count { n } => (Box::new(CountAcc::from_state(n)), FastKind::Count),
+                AccState::Sum { sum, any } => {
+                    (Box::new(SumAcc::from_state(sum, any)), FastKind::Sum)
+                }
+                AccState::Avg { sum, n } => (Box::new(AvgAcc::from_state(sum, n)), FastKind::Avg),
+            };
+            accs.push(AccBox(acc));
+            trials.push(TrialState::Fast {
+                kind,
+                a: call.a,
+                b: call.b,
+            });
+        }
+        (
+            key,
+            GroupSketch {
+                accs,
+                trials,
+                has_certain: pg.has_certain,
+            },
+        )
+    }
+
+    /// Fold `rows` into per-group sketches over the partition-stable grid
+    /// (`shard::PARTITION_ROWS`-row slices): each partition folds
+    /// sequentially, partial maps merge in partition order. Because both
+    /// the grid and the merge order derive only from the row count, the
+    /// result is bit-identical whether the partitions run on this thread,
+    /// across `ctx.parallelism` workers, or on remote shards via
+    /// `ctx.shards` ("demonstrated … on over 100 machines" — §8's
+    /// scale-up/scale-out equivalence).
     fn fold_rows(
         &self,
         rows: &[ORow],
         certain: bool,
         ctx: &BatchCtx<'_>,
-    ) -> Result<HashMap<Arc<[Value]>, GroupSketch>, EngineError> {
-        let workers = ctx.parallelism.max(1);
-        if workers == 1 || rows.len() < 4 * workers {
-            let mut map = HashMap::new();
-            self.fold_chunk(&mut map, rows, certain, ctx.registry, ctx.trials)?;
-            return Ok(map);
+    ) -> Result<(SketchMap, FoldStats), EngineError> {
+        let mut stats = FoldStats::default();
+        if rows.is_empty() {
+            return Ok((HashMap::new(), stats));
         }
-        type PartialSketch = Result<HashMap<Arc<[Value]>, GroupSketch>, EngineError>;
-        let chunk = rows.len().div_ceil(workers);
+        // Scale-out path: ship the fragment + rows to the shard pool and
+        // merge the per-partition partials it returns. `Ok(None)` (the
+        // pool cannot take this batch — lineage cells, unencodable rows)
+        // falls through to the local fold of the *same* grid.
+        if let Some(exec) = ctx.shards {
+            if let Some(frag) = self.fragment(ctx.trials) {
+                // An armed WorkerPanic fault fires here exactly once per
+                // batch (the shard pool replaces the local worker threads);
+                // catch it so it surfaces as the same `EngineError` the
+                // local path's `join` conversion produces.
+                if let Some(f) = ctx.faults {
+                    let inject = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f.inject_worker_panic(ctx.batch_index)
+                    }));
+                    if let Err(payload) = inject {
+                        return Err(EngineError::Plan(format!(
+                            "aggregate fold worker panicked: {}",
+                            crate::faults::panic_message(payload)
+                        )));
+                    }
+                }
+                let dispatch = crate::metrics::Span::start();
+                if let Some(mut partials) = exec.fold(&frag, rows, certain)? {
+                    stats.dispatch_ns = dispatch.elapsed().as_nanos() as u64;
+                    stats.partials = partials.len() as u64;
+                    stats.offloaded = true;
+                    let merge = crate::metrics::Span::start();
+                    partials.sort_by_key(|p| p.partition);
+                    let mut map: HashMap<Arc<[Value]>, GroupSketch> = HashMap::new();
+                    for part in partials {
+                        for pg in part.groups {
+                            let (key, sketch) = self.sketch_from_partial(pg);
+                            match map.get_mut(&key) {
+                                Some(existing) => existing.merge(&sketch)?,
+                                None => {
+                                    map.insert(key, sketch);
+                                }
+                            }
+                        }
+                    }
+                    stats.merge_ns = merge.elapsed().as_nanos() as u64;
+                    return Ok((map, stats));
+                }
+            }
+        }
+        // Local path: same grid, optionally spread over worker threads.
+        // Workers own contiguous partition *blocks* but still fold and
+        // ship one map per partition, so the coordinator-side merge tree
+        // is the same with 1 worker or 8.
+        let bounds: Vec<(usize, usize)> = shard::partition_bounds(rows.len()).collect();
         let registry: &crate::registry::AggRegistry = ctx.registry;
         let trials = ctx.trials;
-        let faults = ctx.faults;
-        let batch_index = ctx.batch_index;
-        // A panicking worker (e.g. a poisoned UDAF) must not abort the
-        // process: `scope` joins every handle, and a panic surfaces as an
-        // `Err` from `join`, which we convert into an `EngineError` so the
-        // driver can report a failed batch and keep going.
-        let partials: Vec<PartialSketch> = std::thread::scope(|scope| {
-            let handles: Vec<_> = rows
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        if let Some(f) = faults {
-                            f.inject_worker_panic(batch_index);
-                        }
-                        let mut map = HashMap::new();
-                        self.fold_chunk(&mut map, part, certain, registry, trials)?;
-                        Ok(map)
+        let fold_parts = |parts: &[(usize, usize)]| -> Result<Vec<_>, EngineError> {
+            let mut out = Vec::with_capacity(parts.len());
+            for &(s, e) in parts {
+                let mut map = HashMap::new();
+                self.fold_chunk(&mut map, &rows[s..e], certain, registry, trials)?;
+                out.push(map);
+            }
+            Ok(out)
+        };
+        let workers = ctx.parallelism.max(1);
+        type WorkerOut = Result<Vec<HashMap<Arc<[Value]>, GroupSketch>>, EngineError>;
+        let partials: Vec<WorkerOut> = if workers == 1 || rows.len() < 4 * workers {
+            vec![fold_parts(&bounds)]
+        } else {
+            let per = bounds.len().div_ceil(workers);
+            let faults = ctx.faults;
+            let batch_index = ctx.batch_index;
+            let fold_parts = &fold_parts;
+            // A panicking worker (e.g. a poisoned UDAF) must not abort the
+            // process: `scope` joins every handle, and a panic surfaces as
+            // an `Err` from `join`, which we convert into an `EngineError`
+            // so the driver can report a failed batch and keep going.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .chunks(per)
+                    .map(|parts| {
+                        scope.spawn(move || {
+                            if let Some(f) = faults {
+                                f.inject_worker_panic(batch_index);
+                            }
+                            fold_parts(parts)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(result) => result,
-                    Err(payload) => {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic payload".to_string());
-                        Err(EngineError::Plan(format!(
-                            "aggregate fold worker panicked: {msg}"
-                        )))
-                    }
-                })
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(result) => result,
+                        Err(payload) => Err(EngineError::Plan(format!(
+                            "aggregate fold worker panicked: {}",
+                            crate::faults::panic_message(payload)
+                        ))),
+                    })
+                    .collect()
+            })
+        };
         let mut merged: HashMap<Arc<[Value]>, GroupSketch> = HashMap::new();
-        for partial in partials {
-            for (k, v) in partial? {
-                match merged.get_mut(&k) {
-                    Some(existing) => existing.merge(&v)?,
-                    None => {
-                        merged.insert(k, v);
+        for worker_maps in partials {
+            for map in worker_maps? {
+                for (k, v) in map {
+                    match merged.get_mut(&k) {
+                        Some(existing) => existing.merge(&v)?,
+                        None => {
+                            merged.insert(k, v);
+                        }
                     }
                 }
             }
         }
-        Ok(merged)
+        Ok((merged, stats))
     }
 
     pub(crate) fn process(&mut self, ctx: &mut BatchCtx<'_>) -> Result<BatchData, EngineError> {
@@ -778,14 +927,16 @@ impl AggregateOp {
         // the uncertain channel. Untouched groups only need their scale
         // refreshed in the registry (delta publication).
         let sketchable = self.sketchable();
+        let mut shard_stats = FoldStats::default();
         let mut touched: HashSet<Arc<[Value]>>;
         if sketchable {
             // Fold fresh certain rows into the persistent sketch.
             // (Workers cannot write `&mut Metrics`, so folds are timed and
             // counted here, around the call.)
             let fold_span = crate::metrics::Span::start();
-            let delta = self.fold_rows(&input.delta_certain, true, ctx)?;
+            let (delta, fstats) = self.fold_rows(&input.delta_certain, true, ctx)?;
             fold_span.stop(&mut ctx.metrics, "agg.fold_ns");
+            shard_stats.absorb(fstats);
             ctx.metrics
                 .add("agg.fold_rows", input.delta_certain.len() as u64);
             // The delta map's key set is exactly the fresh rows' key set, so
@@ -814,16 +965,18 @@ impl AggregateOp {
         // Temporary sketch over recomputed rows: the uncertain channel plus
         // (when unsketchable) all retained certain rows.
         let fold_span = crate::metrics::Span::start();
-        let mut temp = self.fold_rows(&input.uncertain, false, ctx)?;
+        let (mut temp, fstats) = self.fold_rows(&input.uncertain, false, ctx)?;
         fold_span.stop(&mut ctx.metrics, "agg.fold_ns");
+        shard_stats.absorb(fstats);
         ctx.metrics
             .add("agg.fold_rows", input.uncertain.len() as u64);
         if !sketchable {
             ctx.stats.recomputed_tuples += self.unsketchable_rows.len();
             let rows = std::mem::take(&mut self.unsketchable_rows);
             let refold_span = crate::metrics::Span::start();
-            let certain_part = self.fold_rows(&rows, true, ctx)?;
+            let (certain_part, fstats) = self.fold_rows(&rows, true, ctx)?;
             refold_span.stop(&mut ctx.metrics, "agg.fold_ns");
+            shard_stats.absorb(fstats);
             ctx.metrics.add("agg.refold_rows", rows.len() as u64);
             for (k, v) in certain_part {
                 match temp.get_mut(&k) {
@@ -836,6 +989,26 @@ impl AggregateOp {
             self.unsketchable_rows = rows;
         }
         touched.extend(temp.keys().cloned());
+
+        // Scale-out instrumentation: only when a fold actually dispatched
+        // to the shard pool, so un-sharded runs keep their metric set and
+        // trace schema byte-identical.
+        if shard_stats.offloaded {
+            ctx.metrics
+                .add("shard.dispatch_ns", shard_stats.dispatch_ns);
+            ctx.metrics.add("shard.merge_ns", shard_stats.merge_ns);
+            ctx.metrics.add("shard.partials", shard_stats.partials);
+            ctx.trace_instant(
+                "shard.dispatch",
+                shard_stats.partials,
+                "fragment dispatched to shard pool",
+            );
+            ctx.trace_instant(
+                "shard.merge",
+                shard_stats.partials,
+                "partition-order partial merge",
+            );
+        }
 
         // Merge persistent ∪ temporary, publish, emit.
         let mut all_keys: Vec<Arc<[Value]>> = self.sketch.keys().cloned().collect();

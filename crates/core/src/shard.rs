@@ -1,0 +1,523 @@
+//! Shard-parallel fold fragments: the partition-stable grid, the
+//! self-contained fragment interpreter, and the [`ShardExec`] coordinator
+//! trait.
+//!
+//! The paper's §8 scale-out runs split every mini-batch across worker
+//! nodes and merge partial aggregation state at the coordinator. This
+//! module is the repo's analogue. The load-bearing invariant is
+//! **bit-identity across shard counts**: the published reports of an
+//! N-shard run must equal the single-process run byte for byte. Floating
+//! point addition is not associative, so that only holds if the *merge
+//! tree* is fixed independently of N. Two rules enforce it:
+//!
+//! 1. **Partition grid.** Fold partition boundaries derive only from the
+//!    row count ([`PARTITION_ROWS`]-row slices), never from the shard or
+//!    worker count. Every partition is folded sequentially, in row order.
+//! 2. **Per-partition partials.** Shards ship one partial *per grid
+//!    partition* — never pre-merged per-shard state — and the coordinator
+//!    merges them in global partition order. `(p0+p1)+(p2+p3)` and
+//!    `((p0+p1)+p2)+p3` differ in float; shipping per-partition keeps the
+//!    tree left-leaning and shard-count-free.
+//!
+//! A fragment describes the vectorizable aggregate sub-plan (builtin
+//! COUNT/SUM/AVG over bare columns or literals — the same eligibility as
+//! the columnar fast path). [`fold_fragment_partition`] interprets it
+//! over one partition using the *same* gather + fold kernels as the
+//! in-process columnar fold, touching each (group, call) slot in row
+//! order, so a shard's partial is bit-identical to the slice of local
+//! state the coordinator would have built itself.
+
+use crate::channel::ORow;
+use iolap_engine::EngineError;
+use iolap_relation::kernels::fold::{
+    fold_count_uniform, fold_count_weighted, fold_sum_uniform, fold_sum_weighted, gather_numeric,
+};
+use iolap_relation::{SelVec, Value};
+use std::collections::HashMap;
+
+/// Rows per fold partition. Fixed: the grid depends only on the row
+/// count, so the merge tree — and therefore every float in the published
+/// report — is independent of both `parallelism` and the shard count.
+pub const PARTITION_ROWS: usize = 1024;
+
+/// Half-open `(start, end)` row ranges of the partition grid over `n`
+/// rows. Empty input yields no partitions.
+pub fn partition_bounds(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n.div_ceil(PARTITION_ROWS)).map(move |p| {
+        let start = p * PARTITION_ROWS;
+        (start, (start + PARTITION_ROWS).min(n))
+    })
+}
+
+/// Aggregate kind of one fragment call (the sketchable builtins of §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FragKind {
+    /// `COUNT(expr)` / `COUNT(*)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+/// Where one fragment call reads its argument from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FragSrc {
+    /// Bare input column.
+    Col(usize),
+    /// Constant literal (lineage-free by construction).
+    Lit(Value),
+}
+
+/// A dispatchable aggregate fragment: the part of an online AGGREGATE
+/// plan a shard can execute without the plan tree, the registry, or any
+/// lineage context. Compiled by the aggregate operator from its columnar
+/// fast plan; `None` when the aggregate is not fully vectorizable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FoldFragment {
+    /// Stable lineage-block id of the owning aggregate (`rel(γ)`, §6.1) —
+    /// identifies the fragment across RPC frames.
+    pub agg_id: u32,
+    /// Group-by column indices in the input row layout.
+    pub group_cols: Vec<usize>,
+    /// Kind of each aggregate call.
+    pub kinds: Vec<FragKind>,
+    /// Argument source of each aggregate call.
+    pub srcs: Vec<FragSrc>,
+    /// Bootstrap trial count (length of the per-call trial vectors).
+    pub trials: usize,
+}
+
+/// Main-accumulator state of one call, mirroring the engine accumulators
+/// field for field so the coordinator can rebuild them losslessly
+/// (`CountAcc::from_state` and friends).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccState {
+    /// `COUNT`: Σ weight over non-null inputs.
+    Count {
+        /// Running weighted count.
+        n: f64,
+    },
+    /// `SUM`: Σ x·weight plus the saw-any-numeric flag.
+    Sum {
+        /// Running weighted sum.
+        sum: f64,
+        /// Whether any numeric input contributed (NULL vs 0 on output).
+        any: bool,
+    },
+    /// `AVG`: running sum + running count sketch.
+    Avg {
+        /// Running weighted sum.
+        sum: f64,
+        /// Running weighted count.
+        n: f64,
+    },
+}
+
+impl AccState {
+    fn new(kind: FragKind) -> AccState {
+        match kind {
+            FragKind::Count => AccState::Count { n: 0.0 },
+            FragKind::Sum => AccState::Sum {
+                sum: 0.0,
+                any: false,
+            },
+            FragKind::Avg => AccState::Avg { sum: 0.0, n: 0.0 },
+        }
+    }
+
+    /// One row's main-accumulator update — the exact float operations of
+    /// `CountAcc`/`SumAcc`/`AvgAcc::update`, in the same order.
+    fn update(&mut self, v: &Value, weight: f64) {
+        match self {
+            AccState::Count { n } => {
+                if !v.is_null() {
+                    *n += weight;
+                }
+            }
+            AccState::Sum { sum, any } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x * weight;
+                    *any = true;
+                }
+            }
+            AccState::Avg { sum, n } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x * weight;
+                    *n += weight;
+                }
+            }
+        }
+    }
+}
+
+/// One call's partial state: main accumulator plus the per-trial `a`/`b`
+/// bootstrap vectors (see `TrialState::Fast`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialCall {
+    /// Main-accumulator state.
+    pub acc: AccState,
+    /// Per-trial Σ weight·x (or Σ weight for COUNT).
+    pub a: Vec<f64>,
+    /// Per-trial Σ weight over non-null inputs (AVG denominator).
+    pub b: Vec<f64>,
+}
+
+/// One group's partial state within a partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialGroup {
+    /// Group key (values of `group_cols`, in order).
+    pub key: Vec<Value>,
+    /// Whether any certain row contributed.
+    pub has_certain: bool,
+    /// Per-call partial state, aligned with the fragment's calls.
+    pub calls: Vec<PartialCall>,
+}
+
+/// One grid partition's folded partial: every group that occurred in the
+/// partition, in first-occurrence order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FoldPartial {
+    /// Global partition index on the [`PARTITION_ROWS`] grid.
+    pub partition: usize,
+    /// Per-group partials in first-occurrence order.
+    pub groups: Vec<PartialGroup>,
+}
+
+impl FoldPartial {
+    /// Rough serialized size (the in-process analogue of wire bytes): key
+    /// cells at one word each plus 8 bytes per float slot.
+    pub fn approx_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.key.len() * 8
+                    + g.calls
+                        .iter()
+                        .map(|c| 24 + (c.a.len() + c.b.len()) * 8)
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// A pool of worker shards the aggregate fold can be dispatched to.
+///
+/// Contract: `fold` partitions `rows` on the [`partition_bounds`] grid,
+/// runs [`fold_fragment_partition`] (or its moral equivalent) on each
+/// partition, and returns one [`FoldPartial`] per partition — pre-merging
+/// across partitions is forbidden (see the module docs for why). Returns
+/// `Ok(None)` when the rows cannot be shipped (e.g. lineage cells on a
+/// remote transport); the caller then folds locally.
+pub trait ShardExec: Send + Sync {
+    /// Number of worker shards in the pool.
+    fn shards(&self) -> usize;
+
+    /// Fold `rows` across the pool; one partial per grid partition.
+    fn fold(
+        &self,
+        frag: &FoldFragment,
+        rows: &[ORow],
+        certain: bool,
+    ) -> Result<Option<Vec<FoldPartial>>, EngineError>;
+
+    /// Cumulative bytes of partial state shipped shard→coordinator (the
+    /// paper's "data shipped" axis). In-process pools estimate; TCP pools
+    /// measure actual frame bytes.
+    fn bytes_shipped(&self) -> u64;
+}
+
+/// Interpret `frag` over one grid partition of rows.
+///
+/// Bit-identical to the in-process columnar fold over the same slice: it
+/// gathers with the same [`gather_numeric`], folds trial vectors with the
+/// same kernels, and applies the same main-accumulator float updates —
+/// all in row order per (group, call) slot. Group-probe mechanics differ
+/// (a generic `Value`-keyed probe instead of the typed single-column
+/// probe) but that cannot move any float: probes only decide *which* slot
+/// a row folds into, and `Value` equality is identical (floats compare by
+/// bit pattern).
+///
+/// Returns `None` — partition not interpretable — when a lineage cell
+/// (`Ref`/`Pending`) shows up in an argument column; such rows need
+/// registry access and must fold at the coordinator.
+pub fn fold_fragment_partition(
+    frag: &FoldFragment,
+    rows: &[ORow],
+    certain: bool,
+) -> Option<Vec<FoldPartial>> {
+    let mut out = Vec::with_capacity(rows.len().div_ceil(PARTITION_ROWS));
+    for (partition, (start, end)) in partition_bounds(rows.len()).enumerate() {
+        let groups = fold_one_partition(frag, &rows[start..end], certain)?;
+        out.push(FoldPartial { partition, groups });
+    }
+    Some(out)
+}
+
+fn fold_one_partition(
+    frag: &FoldFragment,
+    rows: &[ORow],
+    certain: bool,
+) -> Option<Vec<PartialGroup>> {
+    let ncalls = frag.srcs.len();
+    // Pass A: gather argument columns (bails before any state mutation
+    // when a lineage cell appears — mirrors the columnar fold).
+    let mut xs: Vec<Vec<f64>> = vec![Vec::new(); ncalls];
+    let mut sels: Vec<SelVec> = (0..ncalls)
+        .map(|_| SelVec::with_capacity(rows.len()))
+        .collect();
+    for (c, src) in frag.srcs.iter().enumerate() {
+        let count_kind = frag.kinds[c] == FragKind::Count;
+        let ok = match src {
+            FragSrc::Col(j) => gather_numeric(
+                rows.iter().map(|r| &r.values[*j]),
+                count_kind,
+                &mut xs[c],
+                &mut sels[c],
+            ),
+            FragSrc::Lit(v) => gather_numeric(
+                std::iter::repeat_n(v, rows.len()),
+                count_kind,
+                &mut xs[c],
+                &mut sels[c],
+            ),
+        };
+        if !ok {
+            return None;
+        }
+    }
+    // Pass B: dense group codes in first-occurrence order. Partitions are
+    // at most PARTITION_ROWS rows, so the u32 code domain cannot overflow.
+    let mut groups: Vec<PartialGroup> = Vec::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(rows.len());
+    let new_group = |key: Vec<Value>| PartialGroup {
+        key,
+        has_certain: certain,
+        calls: frag
+            .kinds
+            .iter()
+            .map(|k| PartialCall {
+                acc: AccState::new(*k),
+                a: vec![0.0; frag.trials],
+                b: vec![0.0; frag.trials],
+            })
+            .collect(),
+    };
+    if frag.group_cols.is_empty() {
+        if !rows.is_empty() {
+            groups.push(new_group(Vec::new()));
+            codes.resize(rows.len(), 0);
+        }
+    } else {
+        let mut index: HashMap<Vec<Value>, u32> = HashMap::new();
+        let mut scratch: Vec<Value> = Vec::with_capacity(frag.group_cols.len());
+        for row in rows {
+            scratch.clear();
+            scratch.extend(frag.group_cols.iter().map(|&g| row.values[g].clone()));
+            let code = match index.get(scratch.as_slice()) {
+                Some(&code) => code,
+                None => {
+                    let code = groups.len() as u32;
+                    index.insert(scratch.clone(), code);
+                    groups.push(new_group(scratch.clone()));
+                    code
+                }
+            };
+            codes.push(code);
+        }
+    }
+    // Pass C: fold per row by code — main accumulator on every row, trial
+    // kernels on participating rows (per-call selection cursors).
+    let mut cursors = vec![0usize; ncalls];
+    for (i, row) in rows.iter().enumerate() {
+        let g = &mut groups[codes[i] as usize];
+        for c in 0..ncalls {
+            let v: &Value = match &frag.srcs[c] {
+                FragSrc::Col(j) => &row.values[*j],
+                FragSrc::Lit(l) => l,
+            };
+            let call = &mut g.calls[c];
+            call.acc.update(v, row.mult);
+            let cur = cursors[c];
+            if cur < sels[c].len() && sels[c].get(cur) == i {
+                cursors[c] = cur + 1;
+                let x = xs[c][cur];
+                match (frag.kinds[c], &row.weights) {
+                    (FragKind::Count, None) => fold_count_uniform(&mut call.a, row.mult),
+                    (FragKind::Count, Some(ws)) => fold_count_weighted(&mut call.a, row.mult, ws),
+                    (FragKind::Sum | FragKind::Avg, None) => {
+                        fold_sum_uniform(&mut call.a, &mut call.b, x, row.mult)
+                    }
+                    (FragKind::Sum | FragKind::Avg, Some(ws)) => {
+                        fold_sum_weighted(&mut call.a, &mut call.b, x, row.mult, ws)
+                    }
+                }
+            }
+        }
+    }
+    Some(groups)
+}
+
+/// In-process reference pool: folds every partition on the calling
+/// thread. Exists so determinism tests can compare shard topologies
+/// without the server crate; real pools live in `iolap-server::shard`.
+#[derive(Debug, Default)]
+pub struct LocalShardExec {
+    shipped: std::sync::atomic::AtomicU64,
+}
+
+impl ShardExec for LocalShardExec {
+    fn shards(&self) -> usize {
+        1
+    }
+
+    fn fold(
+        &self,
+        frag: &FoldFragment,
+        rows: &[ORow],
+        certain: bool,
+    ) -> Result<Option<Vec<FoldPartial>>, EngineError> {
+        let partials = fold_fragment_partition(frag, rows, certain);
+        if let Some(ps) = &partials {
+            let bytes: u64 = ps.iter().map(|p| p.approx_bytes() as u64).sum();
+            self.shipped
+                .fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(partials)
+    }
+
+    fn bytes_shipped(&self) -> u64 {
+        self.shipped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn row(vals: Vec<Value>, mult: f64, weights: Option<Vec<f64>>) -> ORow {
+        ORow {
+            values: Arc::from(vals),
+            mult,
+            weights: weights.map(Arc::from),
+        }
+    }
+
+    fn frag() -> FoldFragment {
+        FoldFragment {
+            agg_id: 7,
+            group_cols: vec![0],
+            kinds: vec![FragKind::Count, FragKind::Sum, FragKind::Avg],
+            srcs: vec![FragSrc::Col(1), FragSrc::Col(1), FragSrc::Col(1)],
+            trials: 2,
+        }
+    }
+
+    #[test]
+    fn grid_depends_only_on_row_count() {
+        assert_eq!(partition_bounds(0).count(), 0);
+        assert_eq!(partition_bounds(1).collect::<Vec<_>>(), vec![(0, 1)]);
+        assert_eq!(partition_bounds(1024).collect::<Vec<_>>(), vec![(0, 1024)]);
+        assert_eq!(
+            partition_bounds(1025).collect::<Vec<_>>(),
+            vec![(0, 1024), (1024, 1025)]
+        );
+        assert_eq!(partition_bounds(4096).count(), 4);
+    }
+
+    #[test]
+    fn interpreter_folds_groups_in_first_occurrence_order() {
+        let rows = vec![
+            row(vec![Value::str("b"), Value::Float(2.0)], 1.0, None),
+            row(vec![Value::str("a"), Value::Float(3.0)], 1.0, None),
+            row(vec![Value::str("b"), Value::Float(5.0)], 1.0, None),
+        ];
+        let partials = fold_fragment_partition(&frag(), &rows, true).unwrap();
+        assert_eq!(partials.len(), 1);
+        let groups = &partials[0].groups;
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].key, vec![Value::str("b")]);
+        assert_eq!(groups[1].key, vec![Value::str("a")]);
+        assert!(groups[0].has_certain);
+        // b: count 2, sum 7; a: count 1, sum 3.
+        assert_eq!(groups[0].calls[0].acc, AccState::Count { n: 2.0 });
+        assert_eq!(
+            groups[0].calls[1].acc,
+            AccState::Sum {
+                sum: 7.0,
+                any: true
+            }
+        );
+        assert_eq!(groups[1].calls[2].acc, AccState::Avg { sum: 3.0, n: 1.0 });
+        // Trial vectors: uniform weights fold mult into every slot.
+        assert_eq!(groups[0].calls[0].a, vec![2.0, 2.0]);
+        assert_eq!(groups[0].calls[1].a, vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn interpreter_applies_poisson_weights_per_trial() {
+        let rows = vec![row(
+            vec![Value::Int(1), Value::Float(10.0)],
+            1.0,
+            Some(vec![0.0, 2.0]),
+        )];
+        let partials = fold_fragment_partition(&frag(), &rows, false).unwrap();
+        let g = &partials[0].groups[0];
+        assert!(!g.has_certain);
+        // COUNT trials: m·w per slot.
+        assert_eq!(g.calls[0].a, vec![0.0, 2.0]);
+        // SUM trials: m·w·x ; denominator m·w.
+        assert_eq!(g.calls[1].a, vec![0.0, 20.0]);
+        assert_eq!(g.calls[1].b, vec![0.0, 2.0]);
+        // Main accumulators use mult only (trial weights are resamples).
+        assert_eq!(g.calls[0].acc, AccState::Count { n: 1.0 });
+    }
+
+    #[test]
+    fn interpreter_bails_on_lineage_cells() {
+        let rows = vec![row(
+            vec![
+                Value::Int(1),
+                Value::Ref(iolap_relation::AggRef {
+                    agg: 0,
+                    column: 0,
+                    key: Arc::from(Vec::new()),
+                }),
+            ],
+            1.0,
+            None,
+        )];
+        assert_eq!(fold_fragment_partition(&frag(), &rows, true), None);
+    }
+
+    #[test]
+    fn interpreter_splits_on_the_grid() {
+        let rows: Vec<ORow> = (0..2050)
+            .map(|i| row(vec![Value::Int(0), Value::Float(i as f64)], 1.0, None))
+            .collect();
+        let partials = fold_fragment_partition(&frag(), &rows, true).unwrap();
+        assert_eq!(partials.len(), 3);
+        assert_eq!(partials[0].partition, 0);
+        assert_eq!(partials[2].partition, 2);
+        let counts: Vec<f64> = partials
+            .iter()
+            .map(|p| match p.groups[0].calls[0].acc {
+                AccState::Count { n } => n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(counts, vec![1024.0, 1024.0, 2.0]);
+        assert!(partials[0].approx_bytes() > 0);
+    }
+
+    #[test]
+    fn local_exec_counts_shipped_bytes() {
+        let rows = vec![row(vec![Value::Int(1), Value::Float(2.0)], 1.0, None)];
+        let exec = LocalShardExec::default();
+        let out = exec.fold(&frag(), &rows, true).unwrap().unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(exec.bytes_shipped() > 0);
+        assert_eq!(exec.shards(), 1);
+    }
+}

@@ -101,6 +101,17 @@ pub struct CountAcc {
     n: f64,
 }
 
+impl CountAcc {
+    /// Lossless state snapshot for shard partial shipping.
+    pub fn state(&self) -> f64 {
+        self.n
+    }
+    /// Rebuild from a [`CountAcc::state`] snapshot (bit-exact).
+    pub fn from_state(n: f64) -> Self {
+        CountAcc { n }
+    }
+}
+
 impl Accumulator for CountAcc {
     fn update(&mut self, v: &Value, weight: f64) {
         if !v.is_null() {
@@ -123,6 +134,18 @@ impl Accumulator for CountAcc {
 pub struct SumAcc {
     sum: f64,
     any: bool,
+}
+
+impl SumAcc {
+    /// Lossless state snapshot (`(sum, saw_any_numeric)`) for shard
+    /// partial shipping.
+    pub fn state(&self) -> (f64, bool) {
+        (self.sum, self.any)
+    }
+    /// Rebuild from a [`SumAcc::state`] snapshot (bit-exact).
+    pub fn from_state(sum: f64, any: bool) -> Self {
+        SumAcc { sum, any }
+    }
 }
 
 impl Accumulator for SumAcc {
@@ -153,6 +176,17 @@ impl Accumulator for SumAcc {
 pub struct AvgAcc {
     sum: f64,
     n: f64,
+}
+
+impl AvgAcc {
+    /// Lossless state snapshot (`(sum, n)`) for shard partial shipping.
+    pub fn state(&self) -> (f64, f64) {
+        (self.sum, self.n)
+    }
+    /// Rebuild from an [`AvgAcc::state`] snapshot (bit-exact).
+    pub fn from_state(sum: f64, n: f64) -> Self {
+        AvgAcc { sum, n }
+    }
 }
 
 impl Accumulator for AvgAcc {

@@ -21,7 +21,9 @@ pub mod plan;
 pub mod planner;
 pub mod registry;
 
-pub use aggregate::{Accumulator, AggKind, AggregateFunction, BuiltinAgg, Udaf};
+pub use aggregate::{
+    Accumulator, AggKind, AggregateFunction, AvgAcc, BuiltinAgg, CountAcc, SumAcc, Udaf,
+};
 pub use executor::{execute, execute_with, EngineError};
 pub use expr::{ArithOp, CmpOp, EvalContext, Expr, ExprError, RefMode, RefResolver, ScalarUdf};
 pub use plan::{AggCall, Plan};

@@ -19,6 +19,9 @@
 //! * [`wire`] — dependency-free newline-delimited JSON parsing/encoding for
 //!   the line protocol (the canonical escape shared with `bench`'s emitter).
 //! * [`tcp`] — the `std::net::TcpListener` front-end speaking [`wire`].
+//! * [`shard`] — scale-out pools (§8): in-process thread shards and TCP
+//!   worker shards executing aggregate fold fragments, merged by the
+//!   coordinator on the partition-stable grid.
 //!
 //! Scheduling is *cooperative*: a worker runs exactly one mini-batch
 //! (`IolapDriver::step`) per dispatch, then requeues the session behind its
@@ -33,6 +36,7 @@
 pub mod policy;
 pub mod scheduler;
 pub mod session;
+pub mod shard;
 pub mod tcp;
 pub mod wire;
 

@@ -55,6 +55,10 @@ pub struct ServerConfig {
     /// Per-session bound on undelivered reports; a full buffer parks the
     /// session until the client pops (per-client backpressure).
     pub report_buffer: usize,
+    /// Shard-parallel fold workers attached to each submitted driver
+    /// (`0` = no sharding). Sharding changes *where* partitions fold,
+    /// never the merge tree, so reports stay byte-identical (§8).
+    pub shard_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +69,7 @@ impl Default for ServerConfig {
             max_queued: 16,
             memory_ceiling: None,
             report_buffer: 64,
+            shard_workers: 0,
         }
     }
 }
@@ -99,6 +104,13 @@ impl ServerConfig {
     /// Set the per-session report-buffer bound.
     pub fn report_buffer(mut self, n: usize) -> Self {
         self.report_buffer = n.max(1);
+        self
+    }
+
+    /// Attach an in-process shard pool of `n` workers to every submitted
+    /// driver (`0` disables sharding).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shard_workers = n;
         self
     }
 }

@@ -58,11 +58,14 @@ pub fn spec_from_request(req: &JVal) -> SessionSpec {
     if let Some(policy) = req.get("policy") {
         let kind = policy.get("kind").and_then(JVal::as_str).unwrap_or("");
         spec.policy = match kind {
+            // `usize::try_from`, not `as usize`: on a 32-bit target a
+            // count above 2^32 must clamp to "run to completion", not
+            // truncate to an arbitrary small batch budget.
             "batches" => crate::StopPolicy::Batches(
                 policy
                     .get("n")
                     .and_then(JVal::as_u64)
-                    .map(|n| n as usize)
+                    .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
                     .unwrap_or(usize::MAX),
             ),
             "relative_ci" => crate::StopPolicy::RelativeCI {
@@ -177,18 +180,31 @@ pub fn handle_request(
     match op {
         "submit" => match factory(&req) {
             Err(msg) => err_response("bad_request", &msg),
-            Ok((driver, spec)) => match server.submit(driver, spec) {
-                Ok(handle) => {
-                    let id = handle.id();
-                    sessions.insert(id, handle);
-                    format!("{{\"ok\":true,\"session\":{id}}}")
+            Ok((mut driver, spec)) => {
+                // Attach the configured shard pool before admission: the
+                // pool changes where fold partitions execute, never the
+                // merge tree, so the report stream stays byte-identical.
+                let shard_workers = server.config().shard_workers;
+                if shard_workers > 0 {
+                    driver.set_shard_exec(std::sync::Arc::new(crate::shard::ThreadShardPool::new(
+                        shard_workers,
+                    )));
                 }
-                Err(AdmitError::QueueFull { live, queued }) => err_response(
-                    "queue_full",
-                    &format!("{live} live, {queued} queued — admission rejected"),
-                ),
-                Err(e @ AdmitError::ShuttingDown) => err_response("shutting_down", &e.to_string()),
-            },
+                match server.submit(driver, spec) {
+                    Ok(handle) => {
+                        let id = handle.id();
+                        sessions.insert(id, handle);
+                        format!("{{\"ok\":true,\"session\":{id}}}")
+                    }
+                    Err(AdmitError::QueueFull { live, queued }) => err_response(
+                        "queue_full",
+                        &format!("{live} live, {queued} queued — admission rejected"),
+                    ),
+                    Err(e @ AdmitError::ShuttingDown) => {
+                        err_response("shutting_down", &e.to_string())
+                    }
+                }
+            }
         },
         "poll" | "cancel" | "summary" => {
             let Some(handle) = req

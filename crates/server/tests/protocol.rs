@@ -217,3 +217,249 @@ fn tcp_socket_round_trip() {
         Some("target_met")
     );
 }
+
+#[test]
+fn poll_with_max_zero_returns_empty_without_consuming() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    let f = factory();
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"submit","query":"C3","label":"z"}"#,
+    );
+    let id = field_u64(&parse(&resp).unwrap(), "session").unwrap();
+
+    // Let at least one report land, then poll with max:0 twice — both
+    // must be ok with an empty report array and leave the buffer intact.
+    std::thread::sleep(Duration::from_millis(50));
+    for _ in 0..2 {
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"poll","session":{id},"max":0}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+        match v.get("reports") {
+            Some(JVal::Arr(reports)) => assert!(reports.is_empty(), "{resp}"),
+            other => panic!("reports: {other:?}"),
+        }
+    }
+    // A real poll still sees batch 0: max:0 consumed nothing.
+    let mut first = None;
+    for _ in 0..200 {
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"poll","session":{id},"max":1}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        if let Some(JVal::Arr(reports)) = v.get("reports") {
+            if let Some(r) = reports.first() {
+                first = r.get("batch").and_then(JVal::as_u64);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(first, Some(0));
+    let _ = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"cancel","session":{id}}}"#),
+    );
+}
+
+#[test]
+fn dispatcher_reports_shutdown_as_protocol_error() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    let f = factory();
+    let mut sessions = BTreeMap::new();
+    server.shutdown();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"submit","query":"C3","label":"late"}"#,
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(false), "{resp}");
+    assert_eq!(
+        v.get("kind").and_then(JVal::as_str),
+        Some("shutting_down"),
+        "{resp}"
+    );
+}
+
+#[test]
+fn sessions_are_scoped_to_their_connection() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    let f = factory();
+    // Connection A submits; connection B (a different handle table) must
+    // not see the session — even cancel is connection-scoped.
+    let mut conn_a = BTreeMap::new();
+    let mut conn_b = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut conn_a,
+        r#"{"op":"submit","query":"C3","label":"a"}"#,
+    );
+    let id = field_u64(&parse(&resp).unwrap(), "session").unwrap();
+    for op in ["poll", "summary", "cancel"] {
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut conn_b,
+            &format!(r#"{{"op":"{op}","session":{id}}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        assert_eq!(
+            v.get("kind").and_then(JVal::as_str),
+            Some("unknown_session"),
+            "{op}: {resp}"
+        );
+    }
+    // The owning connection can still cancel it; afterwards the handle is
+    // still *known* to A (summaries of finished sessions remain useful).
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut conn_a,
+        &format!(r#"{{"op":"cancel","session":{id}}}"#),
+    );
+    assert!(parse(&resp).unwrap().get("ok").and_then(JVal::as_bool) == Some(true));
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut conn_a,
+        &format!(r#"{{"op":"summary","session":{id}}}"#),
+    );
+    assert_eq!(
+        parse(&resp).unwrap().get("ok").and_then(JVal::as_bool),
+        Some(true)
+    );
+}
+
+#[test]
+fn spec_from_request_clamps_batch_policy() {
+    use iolap_server::tcp::spec_from_request;
+    use iolap_server::StopPolicy;
+    let spec = |doc: &str| spec_from_request(&parse(doc).unwrap());
+
+    let s = spec(r#"{"op":"submit","policy":{"kind":"batches","n":4}}"#);
+    assert_eq!(s.policy, StopPolicy::Batches(4));
+    // 2^53 — largest exactly-representable power region; must not truncate.
+    let s = spec(r#"{"op":"submit","policy":{"kind":"batches","n":9007199254740992}}"#);
+    assert_eq!(s.policy, StopPolicy::Batches(9007199254740992));
+    // 2^64 is out of u64 range → treated as "run to completion", never a
+    // silently wrapped small budget.
+    let s = spec(r#"{"op":"submit","policy":{"kind":"batches","n":18446744073709551616}}"#);
+    assert_eq!(s.policy, StopPolicy::Batches(usize::MAX));
+    // Negative and fractional are equally unusable → completion.
+    let s = spec(r#"{"op":"submit","policy":{"kind":"batches","n":-3}}"#);
+    assert_eq!(s.policy, StopPolicy::Batches(usize::MAX));
+    let s = spec(r#"{"op":"submit","policy":{"kind":"batches","n":2.5}}"#);
+    assert_eq!(s.policy, StopPolicy::Batches(usize::MAX));
+}
+
+/// The tentpole determinism claim at the protocol level: a sharded server
+/// publishes byte-identical report lines to an unsharded one.
+#[test]
+fn sharded_server_reports_are_byte_identical() {
+    let drain = |shards: usize| -> Vec<String> {
+        let server = Server::new(ServerConfig::with_workers(1).shards(shards));
+        let f = factory_sized(2600, 3);
+        let mut sessions = BTreeMap::new();
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            r#"{"op":"submit","query":"C2","label":"det"}"#,
+        );
+        let id = field_u64(&parse(&resp).unwrap(), "session").unwrap();
+        let mut reports = Vec::new();
+        for _ in 0..400 {
+            let resp = handle_request(
+                &server,
+                &f,
+                &mut sessions,
+                &format!(r#"{{"op":"poll","session":{id},"max":8}}"#),
+            );
+            let v = parse(&resp).unwrap();
+            if let Some(JVal::Arr(rs)) = v.get("reports") {
+                // Raw JSON bytes, not parsed floats: byte identity is the
+                // contract (elapsed_ms is wall clock — mask it out).
+                for r in rs {
+                    reports.push(render_report_stable(r));
+                }
+            }
+            if v.get("state").and_then(JVal::as_str) == Some("done") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        reports
+    };
+    let baseline = drain(0);
+    assert_eq!(baseline.len(), 3, "session must complete");
+    for shards in [1, 2, 4] {
+        assert_eq!(drain(shards), baseline, "shards={shards}");
+    }
+}
+
+/// Re-serialize a parsed report with the timing field pinned, preserving
+/// every value byte exactly as the wire carried it (floats re-render via
+/// the same `num` policy both servers used).
+fn render_report_stable(r: &JVal) -> String {
+    fn render(v: &JVal, out: &mut String) {
+        use std::fmt::Write as _;
+        match v {
+            JVal::Null => out.push_str("null"),
+            JVal::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JVal::Num(n) => out.push_str(&iolap_server::wire::num(*n)),
+            JVal::Str(s) => {
+                let _ = write!(out, "\"{}\"", iolap_server::wire::escape(s));
+            }
+            JVal::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(item, out);
+                }
+                out.push(']');
+            }
+            JVal::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":", iolap_server::wire::escape(k));
+                    render(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut masked = r.clone();
+    if let JVal::Obj(members) = &mut masked {
+        for (k, v) in members.iter_mut() {
+            if k == "elapsed_ms" {
+                *v = JVal::Num(0.0);
+            }
+        }
+    }
+    let mut out = String::new();
+    render(&masked, &mut out);
+    out
+}

@@ -35,6 +35,9 @@ cargo run --release --offline -q -p iolap-bench --bin experiments -- trace --smo
 echo "== serve --smoke (multi-tenant serving: solo-exactness, early stop, admission)"
 cargo run --release --offline -q -p iolap-bench --bin experiments -- serve --smoke
 
+echo "== shard --smoke (scale-out: sharded runs byte-identical, TCP probe, 2-shard storm)"
+IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- shard --smoke
+
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 

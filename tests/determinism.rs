@@ -155,6 +155,53 @@ fn multi_tenant_session_reports_are_bytewise_deterministic() {
     );
 }
 
+/// Scale-out determinism (§8): attaching a shard pool of any size must
+/// not move a single byte of the published reports. The merge tree is
+/// pinned to the partition grid, so N=1/2/4 runs are identical to each
+/// other *and* — once the shard-only bookkeeping metrics are set aside —
+/// to the single-process run.
+#[test]
+fn shard_count_never_changes_published_reports() {
+    use iolap_server::shard::ThreadShardPool;
+    use std::sync::Arc;
+
+    // ~1400 rows per batch: two grid partitions, so multi-shard pools
+    // genuinely split the work.
+    let cat = conviva_catalog(4200, 11);
+    let registry = conviva_registry();
+    let strip_shard_metrics = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("metric shard."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    for id in ["SBI", "C2", "C3"] {
+        let q = conviva_query(id).unwrap();
+        let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+        let run = |shards: usize| {
+            let mut d = IolapDriver::from_plan(&pq, &cat, q.stream_table, config(3)).unwrap();
+            if shards > 0 {
+                d.set_shard_exec(Arc::new(ThreadShardPool::new(shards)));
+            }
+            canon(&d.run_to_completion().unwrap())
+        };
+        let solo = run(0);
+        let one_shard = run(1);
+        assert_eq!(
+            strip_shard_metrics(&one_shard),
+            strip_shard_metrics(&solo),
+            "{id}: sharded run diverged from single-process run"
+        );
+        for shards in [2usize, 4] {
+            assert_eq!(
+                run(shards),
+                one_shard,
+                "{id}: shard count {shards} changed the published reports"
+            );
+        }
+    }
+}
+
 #[test]
 fn hda_reports_are_bytewise_deterministic() {
     // C2's correlated subquery gives HDA's inner view many group entries —

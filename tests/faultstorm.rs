@@ -40,13 +40,22 @@ fn config(seed: u64, interval: usize, plan: FaultPlan) -> IolapConfig {
 }
 
 /// Run `q` under `cfg` to completion and assert the final answer equals the
-/// offline exact execution of the same plan.
-fn storm_one(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, cfg: IolapConfig) {
+/// offline exact execution of the same plan. `shards > 0` attaches an
+/// in-process shard pool, so the storm also exercises the scale-out fold
+/// path (dispatch, partial ship, partition-order merge) under faults.
+fn storm_one(
+    q: &QuerySpec,
+    cat: &Catalog,
+    registry: &FunctionRegistry,
+    cfg: IolapConfig,
+    shards: usize,
+) {
     let label = format!(
-        "{} seed={} interval={} faults={:?}",
+        "{} seed={} interval={} shards={} faults={:?}",
         q.id,
         cfg.seed,
         cfg.checkpoint_interval,
+        shards,
         cfg.fault_plan.as_ref().map(|p| p
             .faults
             .iter()
@@ -56,6 +65,11 @@ fn storm_one(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, cfg: Iol
     let pq = plan_sql(q.sql, cat, registry).unwrap_or_else(|e| panic!("{label}: plan error {e}"));
     let mut driver = IolapDriver::from_plan(&pq, cat, q.stream_table, cfg)
         .unwrap_or_else(|e| panic!("{label}: driver error {e}"));
+    if shards > 0 {
+        driver.set_shard_exec(std::sync::Arc::new(
+            iolap_server::shard::ThreadShardPool::new(shards),
+        ));
+    }
     let reports = driver
         .run_to_completion()
         .unwrap_or_else(|e| panic!("{label}: run error {e}"));
@@ -67,7 +81,7 @@ fn storm_one(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, cfg: Iol
     );
 }
 
-fn storm(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry) {
+fn storm(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry, shards: usize) {
     // Injected worker/deref panics are caught and recovered, but the
     // default hook would still print their backtraces into the test log.
     let prev = std::panic::take_hook();
@@ -77,7 +91,7 @@ fn storm(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry) {
             for kind in &KINDS {
                 for (batch, interval) in [(2usize, 1usize), (BATCHES - 2, 2)] {
                     let plan = FaultPlan::new(seed).with(batch, kind.clone());
-                    storm_one(q, cat, registry, config(seed, interval, plan));
+                    storm_one(q, cat, registry, config(seed, interval, plan), shards);
                 }
             }
             // Compound storm: several faults armed in one run.
@@ -92,7 +106,7 @@ fn storm(q: &QuerySpec, cat: &Catalog, registry: &FunctionRegistry) {
                 )
                 .with(3, FaultKind::WorkerPanic)
                 .with(4, FaultKind::PerturbRanges { epsilon: 0.2 });
-            storm_one(q, cat, registry, config(seed, 1, plan));
+            storm_one(q, cat, registry, config(seed, 1, plan), shards);
         }
     }));
     std::panic::set_hook(prev);
@@ -109,14 +123,14 @@ fn tpch_query(id: &str) -> QuerySpec {
 fn tpch_q17_survives_fault_storm_exactly() {
     let cat = tpch_catalog(0.04, 41);
     let registry = FunctionRegistry::with_builtins();
-    storm(&tpch_query("Q17"), &cat, &registry);
+    storm(&tpch_query("Q17"), &cat, &registry, 0);
 }
 
 #[test]
 fn tpch_q20_survives_fault_storm_exactly() {
     let cat = tpch_catalog(0.04, 42);
     let registry = FunctionRegistry::with_builtins();
-    storm(&tpch_query("Q20"), &cat, &registry);
+    storm(&tpch_query("Q20"), &cat, &registry, 0);
 }
 
 #[test]
@@ -127,5 +141,26 @@ fn conviva_c8_survives_fault_storm_exactly() {
         .into_iter()
         .find(|q| q.id == "C8")
         .unwrap();
-    storm(&q, &cat, &registry);
+    storm(&q, &cat, &registry, 0);
+}
+
+/// The same storm with fold dispatch offloaded to a two-shard pool: every
+/// fault kind must still land Theorem-1-exact, and the WorkerPanic fault
+/// (which now fires on the dispatch path) must still be recoverable.
+#[test]
+fn conviva_c8_survives_fault_storm_exactly_on_two_shards() {
+    let cat = conviva_catalog(700, 43);
+    let registry = conviva_registry();
+    let q = conviva_queries()
+        .into_iter()
+        .find(|q| q.id == "C8")
+        .unwrap();
+    storm(&q, &cat, &registry, 2);
+}
+
+#[test]
+fn tpch_q17_survives_fault_storm_exactly_on_two_shards() {
+    let cat = tpch_catalog(0.04, 41);
+    let registry = FunctionRegistry::with_builtins();
+    storm(&tpch_query("Q17"), &cat, &registry, 2);
 }
