@@ -97,6 +97,15 @@ pub enum Rule {
     /// no live finding is itself an error — suppressions must not outlive
     /// the code they excused. Not allowlistable.
     L010,
+    /// Serving-layer instrumentation coverage (L005's discipline extended
+    /// to the scheduler): every function in
+    /// `crates/server/src/scheduler.rs` that transitions a session state,
+    /// flips slot ownership, or bumps an admission/shed counter must emit
+    /// a trace event (`trace_mark`) in the same body, so the telemetry
+    /// plane never has a silent lifecycle transition. Not allowlistable:
+    /// an unobservable transition defeats the telemetry contract by
+    /// construction.
+    L011,
 }
 
 impl Rule {
@@ -123,6 +132,7 @@ impl Rule {
             Rule::L008 => "L008",
             Rule::L009 => "L009",
             Rule::L010 => "L010",
+            Rule::L011 => "L011",
         }
     }
 
@@ -149,6 +159,7 @@ impl Rule {
             Rule::L008 => "panic-reachable-hot",
             Rule::L009 => "lock-order-deadlock",
             Rule::L010 => "stale-allow-entry",
+            Rule::L011 => "serving-instrumentation-coverage",
         }
     }
 
@@ -181,6 +192,7 @@ impl Rule {
             Rule::L008,
             Rule::L009,
             Rule::L010,
+            Rule::L011,
         ]
     }
 }

@@ -67,6 +67,15 @@
 //!   must still match a live finding; dead entries are themselves errors
 //!   (a suppression must not outlive the code it excused). Reported with
 //!   the allowlist file/line. Not allowlistable.
+//! * **L011 `serving-instrumentation-coverage`** — L005's discipline
+//!   extended to the serving layer: every function body in
+//!   `crates/server/src/scheduler.rs` that transitions a session state
+//!   (`.state =`), flips slot ownership (`.holds_slot =`), or bumps an
+//!   admission/shed counter (`.rejected +=` / `.shed +=`) must also call
+//!   `trace_mark` in the same body, so no lifecycle transition or
+//!   scheduler decision is invisible to the telemetry plane. Not
+//!   allowlistable — an unobservable transition defeats the tracing
+//!   contract by construction.
 //!
 //! Tokens after the first `#[cfg(test)]` attribute (the repo convention
 //! keeps test modules last) are not linted. Audited exceptions live in
@@ -176,9 +185,11 @@ impl Allowlist {
     /// line. L004 findings are never allowed — an ungated fault hook is a
     /// release-reachability bug, not an auditable style exception. L010
     /// findings (stale entries) are likewise never allowlistable: an
-    /// allowlist cannot excuse its own rot.
+    /// allowlist cannot excuse its own rot. L011 (a scheduler transition
+    /// invisible to tracing) defeats the telemetry contract by
+    /// construction, so it too refuses the allowlist.
     pub fn allows(&self, finding: &LintFinding) -> bool {
-        if finding.rule == Rule::L004 || finding.rule == Rule::L010 {
+        if matches!(finding.rule, Rule::L004 | Rule::L010 | Rule::L011) {
             return false;
         }
         self.entries.iter().any(|e| e.matches(finding))
@@ -265,6 +276,11 @@ pub const L008_ROOTS: &[(&str, &str)] = &[
 /// contained by the driver's `catch_unwind` perimeter.
 const L008_EXEMPT: &[&str] = &["crates/core/src/faults.rs"];
 
+/// L011 scope: the scheduler owns every session state transition and
+/// admission/shed decision, so coverage is checked there (allowlist-free,
+/// like L004/L010).
+const L011_FILES: &[&str] = &["crates/server/src/scheduler.rs"];
+
 /// Source-line index: maps token lines back to chain-folded logical lines
 /// so finding text and line numbers match the historical (allowlist-
 /// compatible) form.
@@ -348,6 +364,12 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
     if L006_FILES.contains(&rel_path) {
         for line in unbounded_blocking_lines(toks) {
             hits.insert((Rule::L006, index.idx(line)));
+        }
+    }
+
+    if L011_FILES.contains(&rel_path) {
+        for line in untraced_transition_lines(toks) {
+            hits.insert((Rule::L011, index.idx(line)));
         }
     }
 
@@ -454,6 +476,45 @@ fn spanless_process_lines(toks: &[Token]) -> Vec<usize> {
                 .windows(2)
                 .any(|w| w[0].is_ident("match") && w[1].is_ident("self"));
             if !spanned && !dispatcher {
+                out.push(toks[i].line);
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// L011: function bodies (to the next `fn` token, like L005) that mutate
+/// scheduler-observable state — `.state =` / `.holds_slot =` assignments
+/// (not `==` comparisons) or `.rejected +=` / `.shed +=` counter bumps —
+/// without calling `trace_mark` in the same body. Returns the lines of
+/// the offending `fn` tokens.
+fn untraced_transition_lines(toks: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let end = toks[i + 1..]
+                .iter()
+                .position(|t| t.is_ident("fn"))
+                .map(|p| i + 1 + p)
+                .unwrap_or(toks.len());
+            let body = &toks[i..end];
+            let transitions = body.windows(4).any(|w| {
+                let assign = w[0].is_punct('.')
+                    && (w[1].is_ident("state") || w[1].is_ident("holds_slot"))
+                    && w[2].is_punct('=')
+                    && !w[3].is_punct('=');
+                let bump = w[0].is_punct('.')
+                    && (w[1].is_ident("rejected") || w[1].is_ident("shed"))
+                    && w[2].is_punct('+')
+                    && w[3].is_punct('=');
+                assign || bump
+            });
+            let traced = body.iter().any(|t| t.is_ident("trace_mark"));
+            if transitions && !traced {
                 out.push(toks[i].line);
             }
             i = end;
@@ -896,6 +957,53 @@ mod tests {
             ..hit.clone()
         };
         assert!(!allow.allows(&other), "only the facade is audited");
+    }
+
+    #[test]
+    fn l011_flags_untraced_scheduler_transitions() {
+        let bad = "fn admit(&self) {\n\
+                   slot.state = SessionState::Running;\n\
+                   slot.holds_slot = true;\n\
+                   }\n\
+                   fn reject(st: &mut State) {\n\
+                   st.rejected += 1;\n\
+                   st.shed += 1;\n\
+                   }\n";
+        let f = lint_source("crates/server/src/scheduler.rs", bad);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::L011));
+        assert_eq!(f[0].line, 1, "finding anchors at the fn");
+        assert_eq!(f[1].line, 5);
+        // A trace_mark call in the same body legitimizes the transition.
+        let good = "fn admit(&self, tracer: Option<&Tracer>) {\n\
+                    trace_mark(tracer, \"sess.admit\", id, \"direct\");\n\
+                    slot.state = SessionState::Running;\n\
+                    }\n";
+        assert!(lint_source("crates/server/src/scheduler.rs", good).is_empty());
+        // Comparisons are reads, not transitions.
+        let cmp = "fn check(&self) -> bool { slot.state == SessionState::Running }\n";
+        assert!(lint_source("crates/server/src/scheduler.rs", cmp).is_empty());
+        // trace_mark in one body cannot cover another body's transition.
+        let split = "fn a(t: Option<&Tracer>) { trace_mark(t, \"x\", 0, \"\"); }\n\
+                     fn b(slot: &mut Slot) { slot.state = SessionState::Done; }\n";
+        let f = lint_source("crates/server/src/scheduler.rs", split);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        // Other files are out of scope.
+        assert!(lint_source("crates/server/src/session.rs", bad).is_empty());
+        assert!(lint_source("crates/core/src/driver.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l011_is_never_allowlistable() {
+        let allow = Allowlist::parse("L011 crates/server/src/scheduler.rs fn admit");
+        let hit = LintFinding {
+            rule: Rule::L011,
+            file: "crates/server/src/scheduler.rs".into(),
+            line: 1,
+            text: "fn admit(&self) {".into(),
+        };
+        assert!(!allow.allows(&hit), "L011 must ignore allowlist entries");
     }
 
     #[test]

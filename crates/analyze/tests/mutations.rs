@@ -447,6 +447,37 @@ fn l009_two_mutex_ordering_cycle() {
 }
 
 #[test]
+fn l011_trace_mark_removed_from_scheduler_transition() {
+    // A scheduler function that transitions session state while calling
+    // trace_mark is clean; deleting the trace_mark call (the realistic
+    // "refactor dropped the instrumentation" bug) is exactly an L011.
+    let clean = vec![(
+        "crates/server/src/scheduler.rs".to_string(),
+        "fn trace_mark(t: Option<&Tracer>, name: &str, id: u64, d: &str) { let _ = (t, name, id, d); }\n\
+         fn admit(slot: &mut Slot, tracer: Option<&Tracer>) {\n\
+         trace_mark(tracer, \"sess.admit\", 0, \"direct\");\n\
+         slot.state = SessionState::Running;\n\
+         slot.holds_slot = true;\n\
+         }\n"
+            .to_string(),
+    )];
+    assert_eq!(lint_rule_ids(&clean), [] as [&str; 0]);
+
+    let mutated = vec![(
+        "crates/server/src/scheduler.rs".to_string(),
+        "fn trace_mark(t: Option<&Tracer>, name: &str, id: u64, d: &str) { let _ = (t, name, id, d); }\n\
+         fn admit(slot: &mut Slot, tracer: Option<&Tracer>) {\n\
+         slot.state = SessionState::Running;\n\
+         slot.holds_slot = true;\n\
+         }\n"
+            .to_string(),
+    )];
+    let findings = lint_files(&mutated);
+    assert_eq!(lint_rule_ids(&mutated), ["L011"], "{findings:?}");
+    assert!(findings[0].text.contains("fn admit"), "{findings:?}");
+}
+
+#[test]
 fn v008_stale_root_annotation() {
     let mut oq = rewritten("SBI");
     oq.root_annotation.tuple_uncertain = !oq.root_annotation.tuple_uncertain;

@@ -9,6 +9,7 @@
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- faultstorm --smoke
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- serve --smoke
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- shard --smoke
+//! cargo run --release -p iolap-bench --bin experiments -- observe --smoke
 //! cargo run --release -p iolap-bench --bin experiments -- serve --listen 127.0.0.1:7878
 //! ```
 //!
@@ -57,6 +58,15 @@
 //! workers with measured data-shipped bytes, and replaying the §5.1 fault
 //! storm at two shards. `--smoke` pins one grid point per axis for the
 //! offline gate. Throughput and shipped bytes are recorded, not asserted.
+//!
+//! `observe` (not part of `all`) runs the telemetry-plane sweep: a pinned
+//! multi-tenant fleet with the scheduler journal armed, byte-comparing the
+//! canonical Prometheus-style exposition and canonical scheduler trace
+//! across repeated runs, checking driver-level canonical traces are
+//! byte-identical across shard counts 0/1/2/4, and measuring the fleet's
+//! journal-on vs journal-off overhead against the 5 % budget. `--smoke`
+//! pins the scale and byte-checks the exposition against
+//! `scripts/observe-exposition.golden` (regenerate: `IOLAP_UPDATE_GOLDEN=1`).
 //!
 //! `trace <query>` (not part of `all`) runs one query (default `C2`) with
 //! the causal event journal armed and renders a per-batch timeline, a
@@ -139,6 +149,7 @@ fn main() {
     let mut serving: Option<serve::ServingRecord> = None;
     let mut analysis: Option<AnalysisRecord> = None;
     let mut sharding: Option<ShardingRecord> = None;
+    let mut telemetry: Option<TelemetryRecord> = None;
     for exp in which {
         match exp {
             "verify-plans" => violations += verify_plans(&scale),
@@ -181,6 +192,15 @@ fn main() {
                 let (record, v) = shard_sweep(&scale, smoke);
                 violations += v;
                 sharding = Some(record);
+            }
+            "observe" => {
+                section(&format!(
+                    "observe: telemetry-plane sweep ({})",
+                    if smoke { "smoke" } else { "full" }
+                ));
+                let (record, v) = observe_sweep(&scale, smoke);
+                violations += v;
+                telemetry = Some(record);
             }
             "trace" => violations += trace_cmd(&scale, trace_query.as_deref(), smoke),
             "kernels" => violations += kernels_cmd(&scale, smoke),
@@ -228,6 +248,7 @@ fn main() {
             serving.as_ref(),
             analysis.as_ref(),
             sharding.as_ref(),
+            telemetry.as_ref(),
         ) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {

@@ -8,6 +8,7 @@
 //! metrics breakdown recorded by `iolap_core::metrics`.
 
 use crate::analysis::{run_analysis, AnalysisRecord};
+use crate::observe::TelemetryRecord;
 use crate::serve::{ServeCell, ServingRecord};
 use crate::shard::{ShardCell, ShardingRecord};
 use crate::{
@@ -35,7 +36,13 @@ use std::fmt::Write as _;
 ///   `experiments shard`: per-cell throughput and byte-identity vs the
 ///   unsharded baseline, dispatch/merge latency, shipped partial-state
 ///   bytes, the loopback TCP probe, and the 2-shard fault-storm replay).
-pub const SCHEMA_VERSION: u32 = 5;
+/// * 6 — adds the `telemetry` section (telemetry-plane sweep from
+///   `experiments observe`: exposition/trace determinism, cross-shard
+///   canonical-trace identity, exposition-golden outcome, SLO burn
+///   counters, and the measured fleet overhead against the 5 % budget);
+///   the `sharding.tcp` probe also gains the `worker_folds` /
+///   `worker_acked` / `worker_response_bytes` counters.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Escape a string for a JSON string literal (quotes not included).
 ///
@@ -447,11 +454,18 @@ pub fn sharding_json(rec: &ShardingRecord) -> String {
     let tcp = match &rec.tcp {
         None => "null".to_string(),
         Some(t) => format!(
-            "{{\"shards\":{},\"identical\":{},\"bytes_shipped\":{},\"elapsed_ms\":{}}}",
+            concat!(
+                "{{\"shards\":{},\"identical\":{},\"bytes_shipped\":{},",
+                "\"elapsed_ms\":{},\"worker_folds\":{},\"worker_acked\":{},",
+                "\"worker_response_bytes\":{}}}"
+            ),
             t.shards,
             t.identical,
             t.bytes_shipped,
-            num(t.elapsed_ms)
+            num(t.elapsed_ms),
+            t.worker_folds,
+            t.worker_acked,
+            t.worker_response_bytes,
         ),
     };
     let _ = write!(
@@ -469,6 +483,45 @@ pub fn sharding_json(rec: &ShardingRecord) -> String {
     out
 }
 
+/// Telemetry-plane record: determinism outcomes of the canonical
+/// exposition/trace exports, the cross-shard trace-identity check, the
+/// exposition-golden outcome, SLO burn counters, and the measured fleet
+/// overhead against the 5 % budget (recorded, not asserted).
+pub fn telemetry_json(rec: &TelemetryRecord) -> String {
+    let s = &rec.slo;
+    format!(
+        concat!(
+            "{{\"smoke\":{},\"sessions\":{},\"trace_events\":{},",
+            "\"exposition_bytes\":{},\"determinism\":{{\"exposition\":{},",
+            "\"trace\":{},\"cross_shard_trace\":{},\"golden\":{}}},",
+            "\"slo\":{{\"ci_sessions\":{},\"ci_met\":{},\"ci_batches\":{},",
+            "\"ci_batches_saved\":{},\"deadline_sessions\":{},",
+            "\"deadline_met\":{},\"deadline_overrun\":{}}},",
+            "\"overhead\":{{\"off_ms\":{},\"on_ms\":{},\"pct\":{},",
+            "\"budget_pct\":5.0}},\"violations\":{}}}"
+        ),
+        rec.smoke,
+        rec.sessions,
+        rec.trace_events,
+        rec.exposition_bytes,
+        rec.exposition_deterministic,
+        rec.trace_deterministic,
+        rec.cross_shard_trace_identical,
+        rec.golden_ok,
+        s.ci_sessions,
+        s.ci_met,
+        s.ci_batches,
+        s.ci_batches_saved,
+        s.deadline_sessions,
+        s.deadline_met,
+        s.deadline_overrun,
+        num(rec.overhead_off_ms),
+        num(rec.overhead_on_ms),
+        num(rec.overhead_pct()),
+        rec.violations(),
+    )
+}
+
 /// Run every query of `workloads` through the iOLAP driver and write the
 /// full per-query / per-batch / per-operator record to `path`. `storm`
 /// (typically a smoke-scale `fault_storm` sweep) lands as the `"faults"`
@@ -478,7 +531,10 @@ pub fn sharding_json(rec: &ShardingRecord) -> String {
 /// fresh smoke-depth sweep runs when this invocation did not include one,
 /// so the record is always self-contained; `sharding` (from an
 /// `experiments shard` sweep) as the `"sharding"` section, `null` when
-/// the sweep was not run.
+/// the sweep was not run; `telemetry` (from an `experiments observe`
+/// sweep) as the `"telemetry"` section, `null` when the sweep was not
+/// run.
+#[allow(clippy::too_many_arguments)]
 pub fn write_bench_json(
     path: &str,
     scale: &ExpScale,
@@ -487,6 +543,7 @@ pub fn write_bench_json(
     serving: Option<&ServingRecord>,
     analysis: Option<&AnalysisRecord>,
     sharding: Option<&ShardingRecord>,
+    telemetry: Option<&TelemetryRecord>,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     let _ = write!(
@@ -511,7 +568,7 @@ pub fn write_bench_json(
     };
     let _ = write!(
         out,
-        "\"trace_overhead\":{},\n\"verification\":{},\n\"analysis\":{},\n\"faults\":{},\n\"serving\":{},\n\"sharding\":{},\n\"workloads\":[\n",
+        "\"trace_overhead\":{},\n\"verification\":{},\n\"analysis\":{},\n\"faults\":{},\n\"serving\":{},\n\"sharding\":{},\n\"telemetry\":{},\n\"workloads\":[\n",
         trace_overhead_json(&measure_trace_overhead(scale)),
         verification_json(workloads),
         analysis,
@@ -521,6 +578,9 @@ pub fn write_bench_json(
             .unwrap_or_else(|| "null".to_string()),
         sharding
             .map(sharding_json)
+            .unwrap_or_else(|| "null".to_string()),
+        telemetry
+            .map(telemetry_json)
             .unwrap_or_else(|| "null".to_string()),
     );
     for (wi, w) in workloads.iter().enumerate() {
@@ -704,6 +764,9 @@ mod tests {
                 identical: true,
                 bytes_shipped: 9999,
                 elapsed_ms: 120.0,
+                worker_folds: 8,
+                worker_acked: 24,
+                worker_response_bytes: 9999,
             }),
             storm_runs: 36,
             storm_agree: 36,
@@ -716,6 +779,8 @@ mod tests {
             s.contains("\"tcp\":{\"shards\":2,\"identical\":true"),
             "{s}"
         );
+        assert!(s.contains("\"worker_folds\":8"), "{s}");
+        assert!(s.contains("\"worker_response_bytes\":9999"), "{s}");
         assert!(s.contains("\"storm\":{\"runs\":36,\"agree\":36}"));
         assert!(s.contains("\"scaleout_win\":true"));
         assert!(s.contains("\"violations\":0}"), "{s}");
@@ -758,5 +823,45 @@ mod tests {
         assert!(s.contains("\"arrival\":\"closed\""), "{s}");
         assert!(s.contains("\"exact_vs_solo\":true"));
         assert!(s.contains("\"violations\":0}"), "{s}");
+    }
+
+    #[test]
+    fn telemetry_json_records_determinism_slo_and_overhead() {
+        let rec = TelemetryRecord {
+            smoke: true,
+            sessions: 4,
+            trace_events: 64,
+            exposition_bytes: 1234,
+            exposition_deterministic: true,
+            trace_deterministic: true,
+            cross_shard_trace_identical: true,
+            golden_ok: false,
+            slo: iolap_server::SloCounters {
+                ci_sessions: 1,
+                ci_met: 1,
+                ci_batches: 2,
+                ci_batches_saved: 4,
+                deadline_sessions: 1,
+                deadline_met: 1,
+                deadline_overrun: 0,
+            },
+            overhead_off_ms: 10.0,
+            overhead_on_ms: 10.3,
+        };
+        let s = telemetry_json(&rec);
+        assert!(
+            s.contains(
+                "\"determinism\":{\"exposition\":true,\"trace\":true,\
+                        \"cross_shard_trace\":true,\"golden\":false}"
+            ),
+            "{s}"
+        );
+        assert!(s.contains("\"ci_batches_saved\":4"), "{s}");
+        assert!(s.contains("\"budget_pct\":5.0"), "{s}");
+        assert!(s.contains("\"violations\":1}"), "{s}");
+        assert!(
+            iolap_server::wire::parse(&s).is_ok(),
+            "telemetry_json must emit valid JSON: {s}"
+        );
     }
 }

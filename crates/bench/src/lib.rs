@@ -11,10 +11,12 @@
 
 pub mod analysis;
 pub mod json;
+pub mod observe;
 pub mod serve;
 pub mod shard;
 
 pub use analysis::{run_analysis, AnalysisRecord};
+pub use observe::{observe_sweep, TelemetryRecord};
 pub use shard::{shard_sweep, ShardCell, ShardingRecord, TcpProbe};
 
 // Workload constructors install the static plan verifier into the core

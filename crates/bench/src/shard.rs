@@ -66,6 +66,13 @@ pub struct TcpProbe {
     pub bytes_shipped: u64,
     /// Wall clock of the TCP run.
     pub elapsed_ms: f64,
+    /// Total `shard.fold` exchanges across worker connections
+    /// (the coordinator-side `shard.stats` view).
+    pub worker_folds: u64,
+    /// Total partials acknowledged as merged.
+    pub worker_acked: u64,
+    /// Total response-line bytes per the worker-stats counters.
+    pub worker_response_bytes: u64,
 }
 
 /// The full `experiments shard` record (`"sharding"` JSON section).
@@ -217,8 +224,15 @@ pub fn shard_sweep(scale: &ExpScale, smoke: bool) -> (ShardingRecord, usize) {
     let tcp = tcp_probe(&w, queries[0], batch_counts[0], &scale);
     match &tcp {
         Some(p) => println!(
-            "tcp probe: shards={} identical={} bytes_shipped={} elapsed_ms={:.1}",
-            p.shards, p.identical, p.bytes_shipped, p.elapsed_ms
+            "tcp probe: shards={} identical={} bytes_shipped={} elapsed_ms={:.1} \
+             worker_folds={} worker_acked={} worker_response_bytes={}",
+            p.shards,
+            p.identical,
+            p.bytes_shipped,
+            p.elapsed_ms,
+            p.worker_folds,
+            p.worker_acked,
+            p.worker_response_bytes
         ),
         None => println!("tcp probe: skipped (loopback bind denied)"),
     }
@@ -296,10 +310,14 @@ fn tcp_probe(
         scale,
         Some(Arc::clone(&pool) as Arc<dyn ShardExec>),
     );
+    let workers = pool.worker_stats();
     Some(TcpProbe {
         shards: pool.shards(),
         identical: run_canon(&reports) == run_canon(&base_reports),
         bytes_shipped: pool.bytes_shipped(),
         elapsed_ms: ms,
+        worker_folds: workers.iter().map(|w| w.folds).sum(),
+        worker_acked: workers.iter().map(|w| w.acked).sum(),
+        worker_response_bytes: workers.iter().map(|w| w.response_bytes).sum(),
     })
 }

@@ -46,10 +46,11 @@ pub use registry::AggRegistry;
 pub use rewriter::{rewrite, OnlineQuery, RewriteError};
 pub use shard::{
     fold_fragment_partition, AccState, FoldFragment, FoldPartial, FragKind, FragSrc,
-    LocalShardExec, PartialCall, PartialGroup, ShardExec, PARTITION_ROWS,
+    LocalShardExec, PartialCall, PartialGroup, ShardExec, ShardTraceCtx, ShardWorkerStats,
+    PARTITION_ROWS,
 };
 pub use sink::{Presentation, QueryResult, Sink};
 pub use trace::{
-    export_chrome, export_jsonl, self_time_by_name, EventKind, SpanId, TraceEvent, TraceMode,
-    Tracer,
+    canonical_events, export_chrome, export_jsonl, self_time_by_name, EventKind, SpanId,
+    TraceEvent, TraceMode, Tracer,
 };

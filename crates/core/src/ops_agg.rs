@@ -824,7 +824,16 @@ impl AggregateOp {
                     }
                 }
                 let dispatch = crate::metrics::Span::start();
-                if let Some(mut partials) = exec.fold(&frag, rows, certain)? {
+                // Forward the operator span as the fold's trace parent so
+                // worker-side span summaries stitch under the right node.
+                let trace_ctx = ctx.trace.map(|t| crate::shard::ShardTraceCtx {
+                    tracer: t,
+                    parent: ctx.cur_span,
+                    batch: ctx.batch_index,
+                });
+                if let Some(mut partials) =
+                    exec.fold_traced(&frag, rows, certain, trace_ctx.as_ref())?
+                {
                     stats.dispatch_ns = dispatch.elapsed().as_nanos() as u64;
                     stats.partials = partials.len() as u64;
                     stats.offloaded = true;

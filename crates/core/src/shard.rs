@@ -28,6 +28,7 @@
 //! state the coordinator would have built itself.
 
 use crate::channel::ORow;
+use crate::trace::{SpanId, Tracer};
 use iolap_engine::EngineError;
 use iolap_relation::kernels::fold::{
     fold_count_uniform, fold_count_weighted, fold_sum_uniform, fold_sum_weighted, gather_numeric,
@@ -201,6 +202,38 @@ impl FoldPartial {
     }
 }
 
+/// Trace context forwarded with a fold dispatch: the coordinator's
+/// journal, the span the fold executes under (the aggregate's operator
+/// span), and the mini-batch index. Pools that offload over a wire ship
+/// `(parent, batch)` in the request frame, run a worker-local journal,
+/// and stitch the worker's span summaries back under `parent` — always as
+/// `shard.*`-named instants, so [`crate::trace::canonical_events`] can
+/// strip them for cross-topology byte comparison.
+#[derive(Clone, Copy)]
+pub struct ShardTraceCtx<'a> {
+    /// Coordinator journal the stitched worker events land in.
+    pub tracer: &'a Tracer,
+    /// Owning span of the fold (the aggregate operator span).
+    pub parent: SpanId,
+    /// Mini-batch index of the dispatch.
+    pub batch: usize,
+}
+
+/// Per-worker counter snapshot, surfaced by [`ShardExec::worker_stats`]
+/// so experiments can report fold traffic without a manual loopback probe.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardWorkerStats {
+    /// Worker shard index within the pool.
+    pub shard: usize,
+    /// Fold requests the worker served.
+    pub folds: u64,
+    /// Ack/ping round-trips the worker answered.
+    pub acked: u64,
+    /// Response bytes the worker shipped back (0 for in-process pools
+    /// that only estimate via [`FoldPartial::approx_bytes`]).
+    pub response_bytes: u64,
+}
+
 /// A pool of worker shards the aggregate fold can be dispatched to.
 ///
 /// Contract: `fold` partitions `rows` on the [`partition_bounds`] grid,
@@ -225,6 +258,29 @@ pub trait ShardExec: Send + Sync {
     /// paper's "data shipped" axis). In-process pools estimate; TCP pools
     /// measure actual frame bytes.
     fn bytes_shipped(&self) -> u64;
+
+    /// [`ShardExec::fold`] with an optional trace context. The default
+    /// ignores the context and delegates, so existing pools keep working;
+    /// tracing pools propagate `trace.parent`/`trace.batch` to workers
+    /// and stitch their span summaries into `trace.tracer` as `shard.*`
+    /// instants (never `Begin`/`End` — span-id allocation must stay
+    /// topology-independent).
+    fn fold_traced(
+        &self,
+        frag: &FoldFragment,
+        rows: &[ORow],
+        certain: bool,
+        trace: Option<&ShardTraceCtx<'_>>,
+    ) -> Result<Option<Vec<FoldPartial>>, EngineError> {
+        let _ = trace;
+        self.fold(frag, rows, certain)
+    }
+
+    /// Per-worker counter snapshots, in shard order. Default: none (pools
+    /// that predate the telemetry plane, or have nothing to report).
+    fn worker_stats(&self) -> Vec<ShardWorkerStats> {
+        Vec::new()
+    }
 }
 
 /// Interpret `frag` over one grid partition of rows.

@@ -383,6 +383,28 @@ pub fn self_time_by_name(events: &[TraceEvent]) -> BTreeMap<&'static str, u64> {
     out
 }
 
+/// Canonical event stream for cross-topology comparison. `shard.*`-named
+/// events (dispatch/merge instants, stitched worker span summaries) are
+/// emitted only when fold partitions are offloaded, so they vary with the
+/// shard count while everything else does not — the merge tree is pinned
+/// to the `PARTITION_ROWS` grid regardless of where partitions execute.
+/// Dropping them and renumbering `seq` contiguously yields a stream whose
+/// normalized export is byte-identical across shard counts N∈{0,1,2,4}:
+/// the trace analogue of `strip_shard_metrics`. Span ids are untouched
+/// because every `shard.*` event is an instant and instants never
+/// allocate span ids, so span numbering is already topology-independent.
+pub fn canonical_events(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| !e.name.starts_with("shard."))
+        .cloned()
+        .collect();
+    for (i, ev) in out.iter_mut().enumerate() {
+        ev.seq = i as u64;
+    }
+    out
+}
+
 fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
@@ -621,6 +643,34 @@ mod tests {
         assert!(chrome.starts_with("{\"traceEvents\":["));
         assert!(chrome.contains("\"s\":\"t\""));
         assert!(chrome.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn canonical_events_strip_shard_topology() {
+        // Two runs of the same plan, one offloaded (extra shard.* instants
+        // interleaved), one local. Canonical streams must export
+        // byte-identically; span ids must survive untouched.
+        let local = Tracer::new();
+        mk(&local);
+        let sharded = Tracer::new();
+        {
+            let q = sharded.begin("query", NO_BATCH, SpanId::NONE);
+            let b = sharded.begin("batch", 0, q);
+            let op = sharded.begin("Aggregate", 0, b);
+            sharded.instant("shard.dispatch", 0, op, 2, "shards=2");
+            sharded.instant("range.check", 0, op, 3, "agg=0 col=0");
+            sharded.instant("shard.worker.fold", 0, op, 1024, "shard=1");
+            sharded.instant("shard.merge", 0, op, 2, "");
+            sharded.end("Aggregate", 0, op, b, 42);
+            sharded.end("batch", 0, b, q, 0);
+            sharded.end("query", NO_BATCH, q, SpanId::NONE, 0);
+        }
+        let a = canonical_events(&local.events());
+        let b = canonical_events(&sharded.events());
+        assert_eq!(export_jsonl(&a, true), export_jsonl(&b, true));
+        assert!(a.iter().all(|e| !e.name.starts_with("shard.")));
+        // Seq renumbered contiguously from zero.
+        assert!(b.iter().enumerate().all(|(i, e)| e.seq == i as u64));
     }
 
     #[test]

@@ -38,10 +38,15 @@ pub mod scheduler;
 pub mod session;
 pub mod shard;
 pub mod tcp;
+pub mod telemetry;
 pub mod wire;
 
 pub use policy::StopPolicy;
 pub use scheduler::{Server, ServerConfig, ServerStats};
 pub use session::{
     AdmitError, SessionEnd, SessionHandle, SessionSpec, SessionState, SessionSummary,
+};
+pub use telemetry::{
+    canonical_trace, predict_batches_remaining, render_exposition, SessionSlo, SloCounters,
+    Telemetry,
 };

@@ -31,7 +31,11 @@ use crate::policy::StopPolicy;
 use crate::session::{
     AdmitError, SessionEnd, SessionHandle, SessionSpec, SessionState, SessionSummary,
 };
-use iolap_core::{BatchReport, DriverError, IolapDriver, Span};
+use crate::telemetry::Telemetry;
+use iolap_core::trace::NO_BATCH;
+use iolap_core::{
+    BatchReport, DriverError, IolapDriver, Span, SpanId, TraceEvent, TraceMode, Tracer,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -59,6 +63,11 @@ pub struct ServerConfig {
     /// (`0` = no sharding). Sharding changes *where* partitions fold,
     /// never the merge tree, so reports stay byte-identical (§8).
     pub shard_workers: usize,
+    /// Scheduler trace journal mode ([`TraceMode::Off`] by default —
+    /// same zero-cost-when-off gating as the driver's tracer). When on,
+    /// every session lifecycle transition and scheduler decision lands a
+    /// `sess.*`/`sched.*` mark in the server's journal.
+    pub trace_mode: TraceMode,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +79,7 @@ impl Default for ServerConfig {
             memory_ceiling: None,
             report_buffer: 64,
             shard_workers: 0,
+            trace_mode: TraceMode::Off,
         }
     }
 }
@@ -111,6 +121,12 @@ impl ServerConfig {
     /// driver (`0` disables sharding).
     pub fn shards(mut self, n: usize) -> Self {
         self.shard_workers = n;
+        self
+    }
+
+    /// Enable the scheduler trace journal.
+    pub fn trace(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
         self
     }
 }
@@ -198,6 +214,9 @@ struct State {
     rejected: u64,
     shed: u64,
     shutdown: bool,
+    /// Fleet telemetry rollups, updated under this same lock (no second
+    /// mutex, no new lock order for the L009 analysis to chase).
+    telemetry: Telemetry,
 }
 
 /// State shared between the [`Server`], its workers, and every
@@ -205,11 +224,26 @@ struct State {
 pub struct Shared {
     cfg: ServerConfig,
     state: Mutex<State>,
+    /// Scheduler trace journal (`None` when `cfg.trace_mode` is off).
+    /// Events are emitted while the state lock is held, which serializes
+    /// their sequence numbers with the scheduling decisions they record.
+    tracer: Option<Arc<Tracer>>,
     /// Workers park here; signaled on every ready-queue insertion.
     work: Condvar,
     /// Clients park here (timeout-bounded); signaled on every report
     /// delivery and lifecycle transition.
     client: Condvar,
+}
+
+/// Emit one scheduler lifecycle mark: an instant with the session id in
+/// `n` (so [`crate::telemetry::canonical_trace`] can group per session)
+/// and no span/batch attribution. Every state-transition site in this
+/// module must route through here when tracing is on — srclint rule L011
+/// rejects a transition without a `trace_mark` in the same function.
+fn trace_mark(tracer: Option<&Tracer>, name: &'static str, id: u64, detail: &str) {
+    if let Some(t) = tracer {
+        t.instant(name, NO_BATCH, SpanId::NONE, id, detail);
+    }
 }
 
 fn lock(shared: &Shared) -> MutexGuard<'_, State> {
@@ -231,11 +265,18 @@ impl Shared {
         let report = slot.reports.pop_front()?;
         if slot.waiting_buffer && !slot.cancel && slot.driver.is_some() {
             slot.waiting_buffer = false;
+            trace_mark(
+                self.tracer.as_deref(),
+                "sess.unpark",
+                id,
+                "client drained buffer",
+            );
             let key = slot.ready_key(id);
             st.ready.insert(key);
             self.work.notify_one();
         } else if slot.state == SessionState::Draining && slot.reports.is_empty() {
             slot.state = SessionState::Done;
+            trace_mark(self.tracer.as_deref(), "sess.done", id, "buffer drained");
             self.client.notify_all();
         }
         Some(report)
@@ -307,7 +348,7 @@ impl Shared {
             let key = slot.ready_key(id);
             st.ready.remove(&key);
             st.queued.retain(|q| *q != id);
-            finish(&self.cfg, &mut st, id, SessionEnd::Cancelled);
+            finish(self, &mut st, id, SessionEnd::Cancelled);
             self.work.notify_all();
         }
         self.client.notify_all();
@@ -366,8 +407,8 @@ fn live_mem(st: &State) -> usize {
 }
 
 /// Move waiting sessions into freed live slots (FIFO admission order).
-fn admit_from_queue(cfg: &ServerConfig, st: &mut State) {
-    while st.live < cfg.max_live {
+fn admit_from_queue(shared: &Shared, st: &mut State) {
+    while st.live < shared.cfg.max_live {
         let Some(id) = st.queued.pop_front() else {
             return;
         };
@@ -378,6 +419,7 @@ fn admit_from_queue(cfg: &ServerConfig, st: &mut State) {
         };
         st.live += 1;
         slot.holds_slot = true;
+        trace_mark(shared.tracer.as_deref(), "sess.admit", id, "from queue");
         let key = slot.ready_key(id);
         st.ready.insert(key);
     }
@@ -386,8 +428,8 @@ fn admit_from_queue(cfg: &ServerConfig, st: &mut State) {
 /// While the memory ceiling is breached, shed one `Queued` victim:
 /// earliest deadline first (`None` = latest possible), ties to the
 /// youngest (largest id). Running sessions are never shed.
-fn shed_over_ceiling(cfg: &ServerConfig, st: &mut State) {
-    let Some(ceiling) = cfg.memory_ceiling else {
+fn shed_over_ceiling(shared: &Shared, st: &mut State) {
+    let Some(ceiling) = shared.cfg.memory_ceiling else {
         return;
     };
     if st.queued.is_empty() || live_mem(st) <= ceiling {
@@ -405,39 +447,65 @@ fn shed_over_ceiling(cfg: &ServerConfig, st: &mut State) {
     };
     st.queued.retain(|q| *q != victim);
     st.shed += 1;
-    finish(cfg, st, victim, SessionEnd::Shed);
+    trace_mark(
+        shared.tracer.as_deref(),
+        "sched.shed",
+        victim,
+        "memory ceiling, EDF victim",
+    );
+    finish(shared, st, victim, SessionEnd::Shed);
 }
 
 /// Terminalize (or start draining) session `id` with reason `end`: record
 /// the end, free the driver and accounted memory, release the live slot,
 /// admit waiting work, and run the shed check.
-fn finish(cfg: &ServerConfig, st: &mut State, id: u64, end: SessionEnd) {
+fn finish(shared: &Shared, st: &mut State, id: u64, end: SessionEnd) {
     st.end_counter += 1;
     let seq = st.end_counter;
-    let Some(slot) = st.sessions.get_mut(&id) else {
-        return;
-    };
-    slot.state = match &end {
-        SessionEnd::Completed | SessionEnd::TargetMet { .. } => {
-            if slot.reports.is_empty() {
-                SessionState::Done
-            } else {
-                SessionState::Draining
+    let released = {
+        let State {
+            sessions,
+            telemetry,
+            ..
+        } = &mut *st;
+        let Some(slot) = sessions.get_mut(&id) else {
+            return;
+        };
+        slot.state = match &end {
+            SessionEnd::Completed | SessionEnd::TargetMet { .. } => {
+                if slot.reports.is_empty() {
+                    SessionState::Done
+                } else {
+                    SessionState::Draining
+                }
             }
+            SessionEnd::Cancelled | SessionEnd::Shed => SessionState::Cancelled,
+            SessionEnd::Failed(_) => SessionState::Failed,
+        };
+        trace_mark(
+            shared.tracer.as_deref(),
+            "sess.finish",
+            id,
+            &format!("end={} state={}", end.label(), slot.state.as_str()),
+        );
+        // Harvest shard-worker counters before the driver (and its pool)
+        // is dropped; the worker-held-driver path harvests in worker_loop.
+        if let Some(d) = slot.driver.take() {
+            telemetry.observe_workers(&d.shard_worker_stats());
         }
-        SessionEnd::Cancelled | SessionEnd::Shed => SessionState::Cancelled,
-        SessionEnd::Failed(_) => SessionState::Failed,
-    };
-    slot.end = Some(end);
-    slot.end_seq = Some(seq);
-    slot.finish_elapsed = Some(slot.submit_span.elapsed());
-    slot.driver = None;
-    slot.mem_bytes = 0;
-    slot.waiting_buffer = false;
-    if slot.holds_slot {
+        telemetry.observe_finish(id, &end);
+        slot.end = Some(end);
+        slot.end_seq = Some(seq);
+        slot.finish_elapsed = Some(slot.submit_span.elapsed());
+        slot.mem_bytes = 0;
+        slot.waiting_buffer = false;
+        let released = slot.holds_slot;
         slot.holds_slot = false;
+        released
+    };
+    if released {
         st.live -= 1;
-        admit_from_queue(cfg, st);
+        admit_from_queue(shared, st);
     }
 }
 
@@ -487,7 +555,19 @@ fn worker_loop(shared: Arc<Shared>) {
                     if slot.state == SessionState::Queued {
                         slot.state = SessionState::Running;
                         slot.first_step = Some(Span::start());
+                        trace_mark(
+                            shared.tracer.as_deref(),
+                            "sess.running",
+                            key.id,
+                            "first step",
+                        );
                     }
+                    trace_mark(
+                        shared.tracer.as_deref(),
+                        "sched.pick",
+                        key.id,
+                        &format!("rounds={} priority={}", key.rounds, key.priority),
+                    );
                     break (key.id, d);
                 }
                 // The worker park: the one sanctioned unbounded wait in
@@ -509,7 +589,12 @@ fn worker_loop(shared: Arc<Shared>) {
         let outcome = {
             // If the slot vanished while we stepped (a bookkeeping bug, not
             // a reachable state), drop the orphan driver and move on.
-            let Some(slot) = st.sessions.get_mut(&id) else {
+            let State {
+                sessions,
+                telemetry,
+                ..
+            } = &mut *st;
+            let Some(slot) = sessions.get_mut(&id) else {
                 continue;
             };
             match step {
@@ -523,6 +608,12 @@ fn worker_loop(shared: Arc<Shared>) {
                         + report.state_bytes_other;
                     let done_all = driver.batches_done() >= driver.num_batches();
                     let met = policy_met(&slot.spec.policy, &report, slot);
+                    telemetry.observe_batch(
+                        id,
+                        slot.batches_run,
+                        report.result.max_relative_ci_halfwidth(),
+                        &report.metrics,
+                    );
                     slot.reports.push_back(report);
                     if slot.cancel {
                         Outcome::Finish(SessionEnd::Cancelled)
@@ -539,7 +630,12 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         match outcome {
-            Outcome::Finish(end) => finish(cfg, &mut st, id, end),
+            Outcome::Finish(end) => {
+                // This worker still owns the driver finish() never sees;
+                // harvest its shard-pool counters before dropping it.
+                st.telemetry.observe_workers(&driver.shard_worker_stats());
+                finish(&shared, &mut st, id, end);
+            }
             Outcome::Continue => {
                 let Some(slot) = st.sessions.get_mut(&id) else {
                     continue;
@@ -547,6 +643,12 @@ fn worker_loop(shared: Arc<Shared>) {
                 slot.driver = Some(driver);
                 if slot.reports.len() >= cfg.report_buffer {
                     slot.waiting_buffer = true;
+                    trace_mark(
+                        shared.tracer.as_deref(),
+                        "sess.park",
+                        id,
+                        "report buffer full",
+                    );
                 } else {
                     let key = slot.ready_key(id);
                     st.ready.insert(key);
@@ -556,7 +658,7 @@ fn worker_loop(shared: Arc<Shared>) {
         // One shed victim per scheduling event: pressure that persists
         // keeps shedding on subsequent events, but a single breach never
         // mass-evicts the queue in one sweep.
-        shed_over_ceiling(cfg, &mut st);
+        shed_over_ceiling(&shared, &mut st);
         drop(st);
         shared.work.notify_all();
         shared.client.notify_all();
@@ -575,6 +677,7 @@ impl Server {
     /// Start a server: spawns `cfg.workers` worker threads immediately.
     pub fn new(cfg: ServerConfig) -> Server {
         let shared = Arc::new(Shared {
+            tracer: Tracer::from_mode(cfg.trace_mode).map(Arc::new),
             cfg: cfg.clone(),
             state: Mutex::new(State {
                 next_id: 0,
@@ -587,6 +690,7 @@ impl Server {
                 rejected: 0,
                 shed: 0,
                 shutdown: false,
+                telemetry: Telemetry::default(),
             }),
             work: Condvar::new(),
             client: Condvar::new(),
@@ -618,6 +722,12 @@ impl Server {
         }
         if st.live >= cfg.max_live && st.queued.len() >= cfg.max_queued {
             st.rejected += 1;
+            trace_mark(
+                self.shared.tracer.as_deref(),
+                "sess.reject",
+                st.next_id,
+                "live slots and wait queue full",
+            );
             return Err(AdmitError::QueueFull {
                 live: st.live,
                 queued: st.queued.len(),
@@ -628,6 +738,14 @@ impl Server {
         st.admitted += 1;
         let seed = driver.config().seed;
         let total_batches = driver.num_batches();
+        trace_mark(
+            self.shared.tracer.as_deref(),
+            "sess.submit",
+            id,
+            &format!("label={}", spec.label),
+        );
+        st.telemetry
+            .observe_submit(id, &spec.label, total_batches, &spec.policy);
         let mut slot = Slot {
             spec,
             seed,
@@ -649,14 +767,21 @@ impl Server {
         if st.live < cfg.max_live {
             st.live += 1;
             slot.holds_slot = true;
+            trace_mark(self.shared.tracer.as_deref(), "sess.admit", id, "direct");
             let key = slot.ready_key(id);
             st.sessions.insert(id, slot);
             st.ready.insert(key);
         } else {
+            trace_mark(
+                self.shared.tracer.as_deref(),
+                "sess.queued",
+                id,
+                "waiting for a slot",
+            );
             st.sessions.insert(id, slot);
             st.queued.push_back(id);
         }
-        shed_over_ceiling(cfg, &mut st);
+        shed_over_ceiling(&self.shared, &mut st);
         drop(st);
         self.shared.work.notify_one();
         Ok(SessionHandle {
@@ -681,6 +806,40 @@ impl Server {
     /// The server's sizing config.
     pub fn config(&self) -> &ServerConfig {
         &self.shared.cfg
+    }
+
+    /// Snapshot of the scheduler trace journal, in sequence order (empty
+    /// when tracing is off). Pass through
+    /// [`crate::telemetry::canonical_trace`] before byte comparison.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared
+            .tracer
+            .as_ref()
+            .map(|t| t.events())
+            .unwrap_or_default()
+    }
+
+    /// Clone of the fleet telemetry rollups (sessions, tenants, shards,
+    /// SLO burn counters), taken under the scheduler lock.
+    pub fn telemetry(&self) -> Telemetry {
+        lock(&self.shared).telemetry.clone()
+    }
+
+    /// Prometheus-style text exposition of the fleet state, rendered from
+    /// one consistent snapshot (telemetry and admission counters read
+    /// under a single lock acquisition). `canonical` excludes wall-clock
+    /// and shard-topology families for byte-deterministic comparison.
+    pub fn exposition(&self, canonical: bool) -> String {
+        let st = lock(&self.shared);
+        let stats = ServerStats {
+            live: st.live,
+            queued: st.queued.len(),
+            admitted: st.admitted,
+            rejected: st.rejected,
+            shed: st.shed,
+            mem_bytes: live_mem(&st),
+        };
+        crate::telemetry::render_exposition(&st.telemetry, &stats, canonical)
     }
 
     /// Stop the workers after their in-flight steps and join them.

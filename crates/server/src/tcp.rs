@@ -15,7 +15,7 @@
 //! [`SubmitFactory`] closure provided by the embedder (the `experiments`
 //! binary wires the built-in workloads in) turns the raw `submit` request
 //! into an `IolapDriver` plus a [`SessionSpec`]. Everything protocol-level
-//! — `poll`, `summary`, `cancel`, `stats` — is handled here.
+//! — `poll`, `summary`, `cancel`, `stats`, `metrics` — is handled here.
 //!
 //! [`handle_request`] is the transport-free core (one request line in, one
 //! response line out); [`serve`] is the accept loop that feeds it. Socket
@@ -85,11 +85,12 @@ pub fn spec_from_request(req: &JVal) -> SessionSpec {
 }
 
 fn err_response(kind: &str, msg: &str) -> String {
-    format!(
-        "{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"}}",
-        escape(kind),
-        escape(msg)
-    )
+    JVal::obj(vec![
+        ("ok", JVal::Bool(false)),
+        ("kind", JVal::str(kind)),
+        ("error", JVal::str(msg)),
+    ])
+    .render()
 }
 
 /// One batch report as a wire object: identity, convergence, and the
@@ -139,28 +140,92 @@ pub fn report_json(r: &BatchReport) -> String {
     )
 }
 
-fn summary_json(s: &SessionSummary) -> String {
-    format!(
-        concat!(
-            "{{\"id\":{},\"label\":\"{}\",\"state\":\"{}\",\"end\":{},",
-            "\"batches_run\":{},\"total_batches\":{},\"pending_reports\":{},",
-            "\"elapsed_ms\":{},\"mem_bytes\":{}}}"
+fn summary_json(s: &SessionSummary) -> JVal {
+    JVal::obj(vec![
+        ("id", JVal::Num(s.id as f64)),
+        ("label", JVal::str(&s.label)),
+        ("state", JVal::str(s.state.as_str())),
+        (
+            "end",
+            s.end
+                .as_ref()
+                .map(|e| JVal::str(e.label()))
+                .unwrap_or(JVal::Null),
         ),
-        s.id,
-        escape(&s.label),
-        s.state.as_str(),
-        s.end
-            .as_ref()
-            .map(|e| format!("\"{}\"", e.label()))
-            .unwrap_or_else(|| "null".to_string()),
-        s.batches_run,
-        s.total_batches,
-        s.pending_reports,
-        s.elapsed
-            .map(|d| num(d.as_secs_f64() * 1e3))
-            .unwrap_or_else(|| "null".to_string()),
-        s.mem_bytes,
-    )
+        ("batches_run", JVal::Num(s.batches_run as f64)),
+        ("total_batches", JVal::Num(s.total_batches as f64)),
+        ("pending_reports", JVal::Num(s.pending_reports as f64)),
+        (
+            "elapsed_ms",
+            s.elapsed
+                .map(|d| JVal::Num(d.as_secs_f64() * 1e3))
+                .unwrap_or(JVal::Null),
+        ),
+        ("mem_bytes", JVal::Num(s.mem_bytes as f64)),
+    ])
+}
+
+/// The `metrics` op's structured twin of the text exposition: per-session
+/// convergence/SLO state, tenant list, burn counters, shard counters.
+fn telemetry_summary_json(t: &crate::telemetry::Telemetry) -> JVal {
+    let sessions = t
+        .sessions()
+        .iter()
+        .map(|(id, s)| {
+            JVal::obj(vec![
+                ("id", JVal::Num(*id as f64)),
+                ("tenant", JVal::str(&s.label)),
+                ("batches", JVal::Num(s.batches as f64)),
+                ("total_batches", JVal::Num(s.total_batches as f64)),
+                (
+                    "rel_ci",
+                    s.last_rel_ci()
+                        .map(|(_, ci)| JVal::Num(ci))
+                        .unwrap_or(JVal::Null),
+                ),
+                (
+                    "predicted_remaining",
+                    s.predicted_remaining()
+                        .map(|r| JVal::Num(r as f64))
+                        .unwrap_or(JVal::Null),
+                ),
+                ("end", s.end.map(JVal::str).unwrap_or(JVal::Null)),
+            ])
+        })
+        .collect();
+    let slo = t.slo();
+    let shards = t
+        .shards()
+        .values()
+        .map(|w| {
+            JVal::obj(vec![
+                ("shard", JVal::Num(w.shard as f64)),
+                ("folds", JVal::Num(w.folds as f64)),
+                ("acked", JVal::Num(w.acked as f64)),
+                ("response_bytes", JVal::Num(w.response_bytes as f64)),
+            ])
+        })
+        .collect();
+    JVal::obj(vec![
+        ("sessions", JVal::Arr(sessions)),
+        (
+            "tenants",
+            JVal::Arr(t.tenants().keys().map(JVal::str).collect()),
+        ),
+        (
+            "slo",
+            JVal::obj(vec![
+                ("ci_sessions", JVal::Num(slo.ci_sessions as f64)),
+                ("ci_met", JVal::Num(slo.ci_met as f64)),
+                ("ci_batches", JVal::Num(slo.ci_batches as f64)),
+                ("ci_batches_saved", JVal::Num(slo.ci_batches_saved as f64)),
+                ("deadline_sessions", JVal::Num(slo.deadline_sessions as f64)),
+                ("deadline_met", JVal::Num(slo.deadline_met as f64)),
+                ("deadline_overrun", JVal::Num(slo.deadline_overrun as f64)),
+            ]),
+        ),
+        ("shards", JVal::Arr(shards)),
+    ])
 }
 
 /// Handle one request line, returning one response line (no trailing
@@ -194,7 +259,11 @@ pub fn handle_request(
                     Ok(handle) => {
                         let id = handle.id();
                         sessions.insert(id, handle);
-                        format!("{{\"ok\":true,\"session\":{id}}}")
+                        JVal::obj(vec![
+                            ("ok", JVal::Bool(true)),
+                            ("session", JVal::Num(id as f64)),
+                        ])
+                        .render()
                     }
                     Err(AdmitError::QueueFull { live, queued }) => err_response(
                         "queue_full",
@@ -238,21 +307,42 @@ pub fn handle_request(
                     handle.cancel();
                     "{\"ok\":true}".to_string()
                 }
-                _ => format!(
-                    "{{\"ok\":true,\"summary\":{}}}",
-                    summary_json(&handle.summary())
-                ),
+                _ => JVal::obj(vec![
+                    ("ok", JVal::Bool(true)),
+                    ("summary", summary_json(&handle.summary())),
+                ])
+                .render(),
             }
         }
         "stats" => {
             let s = server.stats();
-            format!(
-                concat!(
-                    "{{\"ok\":true,\"stats\":{{\"live\":{},\"queued\":{},",
-                    "\"admitted\":{},\"rejected\":{},\"shed\":{},\"mem_bytes\":{}}}}}"
+            JVal::obj(vec![
+                ("ok", JVal::Bool(true)),
+                (
+                    "stats",
+                    JVal::obj(vec![
+                        ("live", JVal::Num(s.live as f64)),
+                        ("queued", JVal::Num(s.queued as f64)),
+                        ("admitted", JVal::Num(s.admitted as f64)),
+                        ("rejected", JVal::Num(s.rejected as f64)),
+                        ("shed", JVal::Num(s.shed as f64)),
+                        ("mem_bytes", JVal::Num(s.mem_bytes as f64)),
+                    ]),
                 ),
-                s.live, s.queued, s.admitted, s.rejected, s.shed, s.mem_bytes
-            )
+            ])
+            .render()
+        }
+        "metrics" => {
+            let canonical = req
+                .get("canonical")
+                .and_then(JVal::as_bool)
+                .unwrap_or(false);
+            JVal::obj(vec![
+                ("ok", JVal::Bool(true)),
+                ("exposition", JVal::str(server.exposition(canonical))),
+                ("summary", telemetry_summary_json(&server.telemetry())),
+            ])
+            .render()
         }
         _ => err_response("bad_request", "unknown op"),
     }

@@ -78,6 +78,77 @@ impl JVal {
             _ => None,
         }
     }
+
+    /// Object from `(key, value)` pairs, in order — the builder the TCP
+    /// front-end assembles every response from, so reply framing is
+    /// structurally correct by construction (hostile labels and error
+    /// strings go through [`escape`], numbers through [`num`]).
+    pub fn obj(members: Vec<(&str, JVal)>) -> JVal {
+        JVal::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// String value.
+    pub fn str(s: impl Into<String>) -> JVal {
+        JVal::Str(s.into())
+    }
+
+    /// Render as a compact one-line JSON document: canonical [`escape`]
+    /// for strings (keys included), the [`num`] policy for numbers
+    /// (non-finite becomes `null`). [`parse`] round-trips the output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            JVal::Null => out.push_str("null"),
+            JVal::Bool(b) => {
+                out.push_str(if *b { "true" } else { "false" });
+            }
+            JVal::Num(n) => out.push_str(&num(*n)),
+            JVal::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JVal::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_to(out);
+                }
+                out.push(']');
+            }
+            JVal::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
 }
 
 /// A parse failure: byte position plus message.
@@ -748,6 +819,31 @@ pub fn partial_from_json(v: &JVal) -> Option<FoldPartial> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let v = JVal::obj(vec![
+            ("ok", JVal::Bool(true)),
+            ("label", JVal::str("he\"said\\\n\t\u{1}done")),
+            ("n", JVal::Num(42.0)),
+            ("f", JVal::Num(1.5)),
+            ("nan", JVal::Num(f64::NAN)),
+            ("list", JVal::Arr(vec![JVal::Null, JVal::str("x")])),
+        ]);
+        let line = v.render();
+        // One line, no raw control characters on the wire.
+        assert!(!line.contains('\n'));
+        assert!(line.bytes().all(|b| b >= 0x20));
+        let back = parse(&line).unwrap();
+        assert_eq!(
+            back.get("label").and_then(JVal::as_str),
+            Some("he\"said\\\n\t\u{1}done")
+        );
+        assert_eq!(back.get("n").and_then(JVal::as_u64), Some(42));
+        // Non-finite numbers render as null (the shared `num` policy).
+        assert_eq!(back.get("nan"), Some(&JVal::Null));
+        assert_eq!(v.to_string(), line);
+    }
 
     #[test]
     fn parses_scalars() {

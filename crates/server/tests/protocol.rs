@@ -463,3 +463,121 @@ fn render_report_stable(r: &JVal) -> String {
     render(&masked, &mut out);
     out
 }
+
+/// The `metrics` op: a Prometheus-style exposition plus the structured
+/// telemetry summary, from one consistent snapshot. Canonical mode must
+/// strip every wall-clock family so the exposition byte-compares.
+#[test]
+fn metrics_op_exposes_fleet_state() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    let f = factory();
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"submit","query":"C3","label":"acme","policy":{"kind":"relative_ci","target":0.5}}"#,
+    );
+    let id = field_u64(&parse(&resp).unwrap(), "session").unwrap();
+    for _ in 0..200 {
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"poll","session":{id},"max":8}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        if v.get("state").and_then(JVal::as_str) == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let resp = handle_request(&server, &f, &mut sessions, r#"{"op":"metrics"}"#);
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+    let full = v.get("exposition").and_then(JVal::as_str).unwrap();
+    assert!(full.contains("iolap_sessions_admitted_total 1"), "{full}");
+    assert!(full.contains("iolap_slo_ci_sessions_total 1"), "{full}");
+    assert!(full.contains("tenant=\"acme\""), "{full}");
+    let summary = v.get("summary").unwrap();
+    let sess = match summary.get("sessions") {
+        Some(JVal::Arr(s)) => s,
+        other => panic!("sessions must be an array: {other:?}"),
+    };
+    assert_eq!(sess.len(), 1);
+    assert_eq!(sess[0].get("tenant").and_then(JVal::as_str), Some("acme"));
+    assert!(field_u64(&sess[0], "batches").unwrap() >= 1);
+    assert!(summary.get("slo").is_some());
+
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"metrics","canonical":true}"#,
+    );
+    let v = parse(&resp).unwrap();
+    let canon = v.get("exposition").and_then(JVal::as_str).unwrap();
+    assert!(
+        !canon.contains("_ns\""),
+        "canonical kept wall-clock: {canon}"
+    );
+    assert!(
+        !canon.contains(".ns\""),
+        "canonical kept wall-clock: {canon}"
+    );
+    assert!(!canon.contains("mem_bytes"), "{canon}");
+    // Canonical mode is a pure filter: the same snapshot, fewer families.
+    assert!(canon.len() < full.len());
+}
+
+/// Hostile labels — quotes, backslashes, control characters — must round
+/// trip bytewise through submit → summary and appear correctly escaped in
+/// both the JSON telemetry summary and the Prometheus exposition.
+#[test]
+fn hostile_labels_round_trip_through_summary_and_exposition() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    let f = factory();
+    let mut sessions = BTreeMap::new();
+    // JSON-decodes to: he"said\ <newline> tab<tab>!
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"submit","query":"C3","label":"he\"said\\ \n tab\t!"}"#,
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+    let id = field_u64(&v, "session").unwrap();
+    let hostile = "he\"said\\ \n tab\t!";
+
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"summary","session":{id}}}"#),
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(
+        v.get("summary")
+            .and_then(|s| s.get("label"))
+            .and_then(JVal::as_str),
+        Some(hostile),
+        "label must round trip bytewise: {resp}"
+    );
+
+    let resp = handle_request(&server, &f, &mut sessions, r#"{"op":"metrics"}"#);
+    let v = parse(&resp).unwrap();
+    let summary = v.get("summary").unwrap();
+    let sess = match summary.get("sessions") {
+        Some(JVal::Arr(s)) => s,
+        other => panic!("sessions must be an array: {other:?}"),
+    };
+    assert_eq!(sess[0].get("tenant").and_then(JVal::as_str), Some(hostile));
+    let exposition = v.get("exposition").and_then(JVal::as_str).unwrap();
+    // Prometheus escaping: backslash, quote, newline; tab passes through.
+    assert!(
+        exposition.contains("tenant=\"he\\\"said\\\\ \\n tab\t!\""),
+        "{exposition}"
+    );
+}

@@ -38,6 +38,9 @@ cargo run --release --offline -q -p iolap-bench --bin experiments -- serve --smo
 echo "== shard --smoke (scale-out: sharded runs byte-identical, TCP probe, 2-shard storm)"
 IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experiments -- shard --smoke
 
+echo "== observe --smoke (telemetry plane: exposition golden, trace/exposition determinism, overhead)"
+cargo run --release --offline -q -p iolap-bench --bin experiments -- observe --smoke
+
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 

@@ -202,6 +202,99 @@ fn shard_count_never_changes_published_reports() {
     }
 }
 
+/// Cross-shard trace identity: the canonical trace export — `shard.*`
+/// frames filtered, sequence renumbered — must be byte-identical no
+/// matter how many fold workers the driver dispatches to. Shard topology
+/// may add its own frames but must never move an application span.
+#[test]
+fn canonical_trace_exports_are_byte_identical_across_shard_counts() {
+    use iolap_core::{canonical_events, export_jsonl, TraceMode};
+    use iolap_server::shard::ThreadShardPool;
+    use std::sync::Arc;
+
+    let cat = conviva_catalog(4200, 11);
+    let registry = conviva_registry();
+    let q = conviva_query("C2").unwrap();
+    let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+    let run = |shards: usize| {
+        let cfg = config(3).trace_mode(TraceMode::Journal);
+        let mut d = IolapDriver::from_plan(&pq, &cat, q.stream_table, cfg).unwrap();
+        if shards > 0 {
+            d.set_shard_exec(Arc::new(ThreadShardPool::new(shards)));
+        }
+        d.run_to_completion().unwrap();
+        let events = d.trace_events();
+        if shards > 1 {
+            assert!(
+                events.iter().any(|e| e.name.starts_with("shard.")),
+                "multi-shard run recorded no shard frames"
+            );
+        }
+        export_jsonl(&canonical_events(&events), true)
+    };
+    let baseline = run(0);
+    assert!(!baseline.is_empty());
+    for shards in [1usize, 2, 4] {
+        assert_eq!(
+            run(shards),
+            baseline,
+            "shard count {shards} changed the canonical trace export"
+        );
+    }
+}
+
+/// Telemetry determinism across multi-tenant interleavings: two
+/// fixed-seed runs of the same session mix — racing on two workers — must
+/// render byte-identical canonical expositions and canonical scheduler
+/// traces. Metric rollups are commutative merges and the canonical trace
+/// groups events by session, so worker timing must not show.
+#[test]
+fn multi_tenant_canonical_telemetry_is_bytewise_deterministic() {
+    use iolap_core::{export_jsonl, TraceMode};
+    use iolap_server::{canonical_trace, Server, ServerConfig, SessionSpec};
+    use std::time::Duration;
+
+    let cat = conviva_catalog(120, 11);
+    let registry = conviva_registry();
+    let run = || {
+        let server = Server::new(
+            ServerConfig::with_workers(2)
+                .max_live(8)
+                .trace(TraceMode::Journal),
+        );
+        let handles: Vec<_> = ["SBI", "C2", "C3", "C2"]
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let q = conviva_query(id).unwrap();
+                let pq = plan_sql(q.sql, &cat, &registry).unwrap();
+                let d = IolapDriver::from_plan(&pq, &cat, q.stream_table, config(5)).unwrap();
+                let tenant = if i % 2 == 0 { "acme" } else { "bob\"s" };
+                server.submit(d, SessionSpec::named(tenant)).unwrap()
+            })
+            .collect();
+        // Join before draining so the `sess.finish` mark's buffer-state
+        // detail cannot race a concurrent client.
+        for h in &handles {
+            assert!(h.join(Duration::from_secs(30)), "session did not finish");
+        }
+        for h in &handles {
+            h.drain(Duration::from_secs(30));
+        }
+        let exposition = server.exposition(true);
+        let trace = export_jsonl(&canonical_trace(&server.trace_events()), true);
+        server.shutdown();
+        (exposition, trace)
+    };
+    let ((exp_a, tr_a), (exp_b, tr_b)) = (run(), run());
+    assert!(exp_a.contains("tenant=\"bob\\\"s\""), "label not escaped");
+    assert_eq!(exp_a, exp_b, "canonical expositions diverged across runs");
+    assert_eq!(
+        tr_a, tr_b,
+        "canonical scheduler traces diverged across runs"
+    );
+}
+
 #[test]
 fn hda_reports_are_bytewise_deterministic() {
     // C2's correlated subquery gives HDA's inner view many group entries —
