@@ -106,6 +106,15 @@ pub enum Rule {
     /// an unobservable transition defeats the telemetry contract by
     /// construction.
     L011,
+    /// All durable writes go through `iolap-store`'s CRC-framed segment
+    /// writer or atomic artifact replace: no raw `std::fs::write`,
+    /// `File::create`, or `OpenOptions::new` on any persistence path
+    /// outside `crates/store/`. A raw write has no torn-write detection
+    /// and no crash-consistent rename, so a kill mid-write silently
+    /// corrupts state the recovery path then trusts. Allowlistable only
+    /// for audited golden-file updaters (explicitly opt-in, dev-only
+    /// paths listed in `scripts/lint-allow.txt`).
+    L012,
 }
 
 impl Rule {
@@ -133,6 +142,7 @@ impl Rule {
             Rule::L009 => "L009",
             Rule::L010 => "L010",
             Rule::L011 => "L011",
+            Rule::L012 => "L012",
         }
     }
 
@@ -160,6 +170,7 @@ impl Rule {
             Rule::L009 => "lock-order-deadlock",
             Rule::L010 => "stale-allow-entry",
             Rule::L011 => "serving-instrumentation-coverage",
+            Rule::L012 => "raw-durable-write",
         }
     }
 
@@ -193,6 +204,7 @@ impl Rule {
             Rule::L009,
             Rule::L010,
             Rule::L011,
+            Rule::L012,
         ]
     }
 }

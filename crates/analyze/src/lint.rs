@@ -76,6 +76,15 @@
 //!   scheduler decision is invisible to the telemetry plane. Not
 //!   allowlistable — an unobservable transition defeats the tracing
 //!   contract by construction.
+//! * **L012 `raw-durable-write`** — all durable writes go through
+//!   `iolap-store`'s CRC-framed segment writer or atomic artifact
+//!   replace: no raw `std::fs::write`, `File::create`, or
+//!   `OpenOptions::new` anywhere under `crates/*/src/**` except
+//!   `crates/store/` itself. A raw write has no torn-write detection and
+//!   no crash-consistent rename, so a kill mid-write corrupts state the
+//!   recovery path then trusts. The audited exceptions are the dev-only
+//!   golden-file updaters (opt-in via `IOLAP_UPDATE_GOLDEN`), allowlisted
+//!   in `scripts/lint-allow.txt`.
 //!
 //! Tokens after the first `#[cfg(test)]` attribute (the repo convention
 //! keeps test modules last) are not linted. Audited exceptions live in
@@ -373,6 +382,15 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintFinding> {
         }
     }
 
+    if rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.starts_with("crates/store/")
+    {
+        for line in raw_durable_write_lines(toks) {
+            hits.insert((Rule::L012, index.idx(line)));
+        }
+    }
+
     if rel_path.contains("/src/kernels/") {
         for (i, t) in toks.iter().enumerate() {
             if i > 0
@@ -521,6 +539,29 @@ fn untraced_transition_lines(toks: &[Token]) -> Vec<usize> {
             continue;
         }
         i += 1;
+    }
+    out
+}
+
+/// L012 raw-write forms: `fs::write(`, `File::create(`, and
+/// `OpenOptions::new(` path calls (also matched when spelled through a
+/// longer path like `std::fs::write` — the final two segments decide).
+fn raw_durable_write_lines(toks: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let path_call = |head: &str, name: &str| {
+            t.is_ident(head)
+                && toks.get(i + 1).is_some_and(|p| p.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| n.is_ident(name))
+                && toks.get(i + 4).is_some_and(|p| p.is_punct('('))
+        };
+        if path_call("fs", "write")
+            || path_call("File", "create")
+            || path_call("OpenOptions", "new")
+        {
+            out.push(t.line);
+        }
     }
     out
 }
@@ -1004,6 +1045,54 @@ mod tests {
             text: "fn admit(&self) {".into(),
         };
         assert!(!allow.allows(&hit), "L011 must ignore allowlist entries");
+    }
+
+    #[test]
+    fn l012_flags_raw_durable_writes_outside_store() {
+        let src = "fn save(p: &Path) {\n\
+                   std::fs::write(p, b\"x\").unwrap();\n\
+                   let f = File::create(p);\n\
+                   let o = OpenOptions::new().append(true).open(p);\n\
+                   let ok = fs::read_to_string(p);\n\
+                   }\n";
+        let f = lint_source("crates/server/src/durable.rs", src);
+        let l012: Vec<_> = f.iter().filter(|x| x.rule == Rule::L012).collect();
+        assert_eq!(l012.len(), 3, "{f:?}");
+        assert_eq!(l012[0].line, 2);
+        assert_eq!(l012[1].line, 3);
+        assert_eq!(l012[2].line, 4);
+        // The store crate IS the framed writer — exempt by definition.
+        assert!(lint_source("crates/store/src/segment.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::L012));
+        // Non-crate paths (scripts, tests dirs) are out of scope.
+        assert!(lint_source("crates/bench/tests/smoke.rs", src).is_empty());
+        // Reads and string literals never match.
+        let clean = "fn load(p: &Path) {\n\
+                     let s = fs::read_to_string(p);\n\
+                     let msg = \"use fs::write( only in store\";\n\
+                     }\n";
+        assert!(lint_source("crates/bench/src/json.rs", clean)
+            .iter()
+            .all(|x| x.rule != Rule::L012));
+    }
+
+    #[test]
+    fn l012_is_allowlistable_for_golden_updaters() {
+        let allow = Allowlist::parse("L012 crates/bench/src/observe.rs fs::write(&golden_path");
+        let hit = LintFinding {
+            rule: Rule::L012,
+            file: "crates/bench/src/observe.rs".into(),
+            line: 1,
+            text: "return match std::fs::write(&golden_path, exposition) {".into(),
+        };
+        assert!(allow.allows(&hit));
+        let other = LintFinding {
+            file: "crates/server/src/durable.rs".into(),
+            text: "std::fs::write(&golden_path, bytes)".into(),
+            ..hit.clone()
+        };
+        assert!(!allow.allows(&other), "only the audited updater is excused");
     }
 
     #[test]

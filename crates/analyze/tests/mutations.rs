@@ -447,6 +447,44 @@ fn l009_two_mutex_ordering_cycle() {
 }
 
 #[test]
+fn l012_raw_write_spliced_into_persistence_path() {
+    // A durable-layer function writing through the store's framed writer
+    // is clean; "optimizing" it into a raw std::fs::write (the realistic
+    // bug: bypassing the CRC framing because it looks equivalent) is
+    // exactly an L012.
+    let clean = vec![(
+        "crates/server/src/durable.rs".to_string(),
+        "fn spill(w: &mut SegmentWriter, line: &str) -> io::Result<()> {\n\
+         w.append(line.as_bytes())\n\
+         }\n"
+        .to_string(),
+    )];
+    assert_eq!(lint_rule_ids(&clean), [] as [&str; 0]);
+
+    let mutated = vec![(
+        "crates/server/src/durable.rs".to_string(),
+        "fn spill(path: &Path, line: &str) -> io::Result<()> {\n\
+         std::fs::write(path, line.as_bytes())\n\
+         }\n"
+        .to_string(),
+    )];
+    let findings = lint_files(&mutated);
+    assert_eq!(lint_rule_ids(&mutated), ["L012"], "{findings:?}");
+    assert!(findings[0].text.contains("fs::write"), "{findings:?}");
+
+    // The same raw write inside crates/store is the framed writer's own
+    // implementation — the rule's exemption, pinned as a negative control.
+    let in_store = vec![(
+        "crates/store/src/segment.rs".to_string(),
+        "fn create(path: &Path) -> io::Result<File> {\n\
+         File::create(path)\n\
+         }\n"
+        .to_string(),
+    )];
+    assert_eq!(lint_rule_ids(&in_store), [] as [&str; 0]);
+}
+
+#[test]
 fn l011_trace_mark_removed_from_scheduler_transition() {
     // A scheduler function that transitions session state while calling
     // trace_mark is clean; deleting the trace_mark call (the realistic

@@ -10,6 +10,7 @@
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- serve --smoke
 //! IOLAP_SCALE=bench cargo run --release -p iolap-bench --bin experiments -- shard --smoke
 //! cargo run --release -p iolap-bench --bin experiments -- observe --smoke
+//! cargo run --release -p iolap-bench --bin experiments -- durability --smoke
 //! cargo run --release -p iolap-bench --bin experiments -- serve --listen 127.0.0.1:7878
 //! ```
 //!
@@ -67,6 +68,18 @@
 //! journal-on vs journal-off overhead against the 5 % budget. `--smoke`
 //! pins the scale and byte-checks the exposition against
 //! `scripts/observe-exposition.golden` (regenerate: `IOLAP_UPDATE_GOLDEN=1`).
+//!
+//! `durability` (not part of `all`) runs the durable-store sweep: for
+//! every batch boundary of every swept query a durable single-worker
+//! server is killed mid-run, restarted over the same log directory, and
+//! recovered, with the resumed report stream byte-compared against an
+//! uninterrupted run; a streaming-append cell byte-compares the grown
+//! stream against a driver-level oracle appending the same rows at the
+//! same position; and the same session is timed fsync-off vs fsync-on
+//! against the 25 % budget (recorded, not asserted). `--smoke` pins the
+//! scale to six batches and sweeps every built-in Conviva query for the
+//! offline gate; the full sweep takes four representative queries to
+//! the full scale.
 //!
 //! `trace <query>` (not part of `all`) runs one query (default `C2`) with
 //! the causal event journal armed and renders a per-batch timeline, a
@@ -150,6 +163,7 @@ fn main() {
     let mut analysis: Option<AnalysisRecord> = None;
     let mut sharding: Option<ShardingRecord> = None;
     let mut telemetry: Option<TelemetryRecord> = None;
+    let mut durability: Option<DurabilityRecord> = None;
     for exp in which {
         match exp {
             "verify-plans" => violations += verify_plans(&scale),
@@ -202,6 +216,15 @@ fn main() {
                 violations += v;
                 telemetry = Some(record);
             }
+            "durability" => {
+                section(&format!(
+                    "durability: crash-matrix / streaming-append sweep ({})",
+                    if smoke { "smoke" } else { "full" }
+                ));
+                let (record, v) = durability_sweep(&scale, smoke);
+                violations += v;
+                durability = Some(record);
+            }
             "trace" => violations += trace_cmd(&scale, trace_query.as_deref(), smoke),
             "kernels" => violations += kernels_cmd(&scale, smoke),
             "table1" => table1(&scale),
@@ -249,6 +272,7 @@ fn main() {
             analysis.as_ref(),
             sharding.as_ref(),
             telemetry.as_ref(),
+            durability.as_ref(),
         ) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
@@ -450,7 +474,7 @@ fn trace_cmd(scale: &ExpScale, query: Option<&str>, smoke: bool) -> usize {
                 export_chrome(&events, false),
             ),
         ] {
-            match std::fs::write(&path, body) {
+            match iolap_store::write_artifact(std::path::Path::new(&path), body.as_bytes()) {
                 Ok(()) => println!("wrote {path}"),
                 Err(e) => eprintln!("failed to write {path}: {e}"),
             }

@@ -8,6 +8,7 @@
 //! metrics breakdown recorded by `iolap_core::metrics`.
 
 use crate::analysis::{run_analysis, AnalysisRecord};
+use crate::durability::DurabilityRecord;
 use crate::observe::TelemetryRecord;
 use crate::serve::{ServeCell, ServingRecord};
 use crate::shard::{ShardCell, ShardingRecord};
@@ -42,7 +43,11 @@ use std::fmt::Write as _;
 ///   counters, and the measured fleet overhead against the 5 % budget);
 ///   the `sharding.tcp` probe also gains the `worker_folds` /
 ///   `worker_acked` / `worker_response_bytes` counters.
-pub const SCHEMA_VERSION: u32 = 6;
+/// * 7 — adds the `durability` section (durable-store sweep from
+///   `experiments durability`: crash-point-matrix cell counts with the
+///   byte-identical tally, streaming-append Theorem-1 cells, replay
+///   counters, and the fsync-on overhead against the 25 % budget).
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Escape a string for a JSON string literal (quotes not included).
 ///
@@ -522,6 +527,44 @@ pub fn telemetry_json(rec: &TelemetryRecord) -> String {
     )
 }
 
+/// Durable-store record: crash-point-matrix outcomes (cells run vs
+/// byte-identical after kill/restart/recover), streaming-append Theorem-1
+/// cells, recovery replay counters, and the fsync-on overhead against the
+/// 25 % budget (recorded, not asserted).
+pub fn durability_json(rec: &DurabilityRecord) -> String {
+    let queries = rec
+        .queries
+        .iter()
+        .map(|q| format!("\"{}\"", escape(q)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"smoke\":{},\"queries\":[{}],\"batches\":{},",
+            "\"matrix\":{{\"cells\":{},\"identical\":{}}},",
+            "\"append\":{{\"cells\":{},\"exact\":{}}},",
+            "\"replayed_batches\":{},\"reapplied_appends\":{},",
+            "\"stale_digests\":{},",
+            "\"fsync\":{{\"off_ms\":{},\"on_ms\":{},\"pct\":{},",
+            "\"budget_pct\":25.0}},\"violations\":{}}}"
+        ),
+        rec.smoke,
+        queries,
+        rec.batches,
+        rec.matrix_cells,
+        rec.matrix_identical,
+        rec.append_cells,
+        rec.append_exact,
+        rec.replayed_batches,
+        rec.reapplied_appends,
+        rec.stale_digests,
+        num(rec.fsync_off_ms),
+        num(rec.fsync_on_ms),
+        num(rec.fsync_overhead_pct()),
+        rec.violations(),
+    )
+}
+
 /// Run every query of `workloads` through the iOLAP driver and write the
 /// full per-query / per-batch / per-operator record to `path`. `storm`
 /// (typically a smoke-scale `fault_storm` sweep) lands as the `"faults"`
@@ -533,7 +576,8 @@ pub fn telemetry_json(rec: &TelemetryRecord) -> String {
 /// `experiments shard` sweep) as the `"sharding"` section, `null` when
 /// the sweep was not run; `telemetry` (from an `experiments observe`
 /// sweep) as the `"telemetry"` section, `null` when the sweep was not
-/// run.
+/// run; `durability` (from an `experiments durability` sweep) as the
+/// `"durability"` section, `null` when the sweep was not run.
 #[allow(clippy::too_many_arguments)]
 pub fn write_bench_json(
     path: &str,
@@ -544,6 +588,7 @@ pub fn write_bench_json(
     analysis: Option<&AnalysisRecord>,
     sharding: Option<&ShardingRecord>,
     telemetry: Option<&TelemetryRecord>,
+    durability: Option<&DurabilityRecord>,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     let _ = write!(
@@ -568,7 +613,7 @@ pub fn write_bench_json(
     };
     let _ = write!(
         out,
-        "\"trace_overhead\":{},\n\"verification\":{},\n\"analysis\":{},\n\"faults\":{},\n\"serving\":{},\n\"sharding\":{},\n\"telemetry\":{},\n\"workloads\":[\n",
+        "\"trace_overhead\":{},\n\"verification\":{},\n\"analysis\":{},\n\"faults\":{},\n\"serving\":{},\n\"sharding\":{},\n\"telemetry\":{},\n\"durability\":{},\n\"workloads\":[\n",
         trace_overhead_json(&measure_trace_overhead(scale)),
         verification_json(workloads),
         analysis,
@@ -581,6 +626,9 @@ pub fn write_bench_json(
             .unwrap_or_else(|| "null".to_string()),
         telemetry
             .map(telemetry_json)
+            .unwrap_or_else(|| "null".to_string()),
+        durability
+            .map(durability_json)
             .unwrap_or_else(|| "null".to_string()),
     );
     for (wi, w) in workloads.iter().enumerate() {
@@ -619,7 +667,7 @@ pub fn write_bench_json(
         out.push_str("\n]}");
     }
     out.push_str("\n]\n}\n");
-    std::fs::write(path, out)
+    iolap_store::write_artifact(std::path::Path::new(path), out.as_bytes())
 }
 
 #[cfg(test)]

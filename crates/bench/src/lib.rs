@@ -10,12 +10,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod durability;
 pub mod json;
 pub mod observe;
 pub mod serve;
 pub mod shard;
 
 pub use analysis::{run_analysis, AnalysisRecord};
+pub use durability::{durability_sweep, DurabilityRecord};
 pub use observe::{observe_sweep, TelemetryRecord};
 pub use shard::{shard_sweep, ShardCell, ShardingRecord, TcpProbe};
 

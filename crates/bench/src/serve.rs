@@ -291,8 +291,16 @@ pub fn run_cell(
 /// Admission-control probe: a 1-slot, 1-queue server receives three
 /// long-running submissions back to back. The third must come back as an
 /// explicit [`AdmitError::QueueFull`] — immediately, not after a stall.
+/// `report_buffer(1)` parks the worker after its first report (nobody
+/// polls), so the live session cannot finish and free its slot mid-probe
+/// no matter how the threads are scheduled.
 pub fn admission_probe(w: &Workload, scale: &ExpScale) -> bool {
-    let server = Server::new(ServerConfig::with_workers(1).max_live(1).max_queued(1));
+    let server = Server::new(
+        ServerConfig::with_workers(1)
+            .max_live(1)
+            .max_queued(1)
+            .report_buffer(1),
+    );
     let h1 = server.submit(
         build_driver(w, "C2", scale),
         SessionSpec::named("probe-live"),

@@ -130,6 +130,49 @@ pub struct BatchReport {
 /// pruning forever); a second failure marks the range genuinely unstable.
 const MAX_REF_FAILURES: usize = 2;
 
+/// One durable-log event re-applied during a session resume, in log order.
+///
+/// The durable layer (`iolap-server`/`iolap-store`) records what the
+/// driver *did* — batches processed, rows appended, checkpoints saved —
+/// and resume rebuilds a fresh driver from the original request and walks
+/// these events forward. Re-derivation over re-materialisation: the
+/// driver is deterministic, so replaying the events reproduces every
+/// quarantine decision, failure count, and published result byte-for-byte
+/// (modulo wall-clock), while the logged checkpoint digests verify that
+/// the re-derived state matches what the dead process had.
+#[derive(Clone, Debug)]
+pub enum ReplayEvent {
+    /// Re-run the mini-batch at this 0-based index (a spilled report).
+    Batch(usize),
+    /// Re-apply appended rows at this position in the stream.
+    Append(Relation),
+    /// Check the re-derived checkpoint after `batch` against the digest
+    /// the log recorded at save time. A mismatch is counted stale (the
+    /// on-disk record lied — bit rot or an injected `StaleManifest`), not
+    /// fatal: the re-derived state is the ground truth.
+    Checkpoint {
+        /// Batch the checkpoint was saved after.
+        batch: usize,
+        /// Digest the durable log recorded for it.
+        digest: u64,
+    },
+}
+
+/// What [`IolapDriver::resume_replay`] did, with the regenerated reports.
+#[derive(Debug, Default)]
+pub struct ResumeOutcome {
+    /// Reports regenerated by replaying the logged batches, in order.
+    /// Deterministic modulo `elapsed` — byte-identical to the lost
+    /// originals under any wall-clock-masking comparison.
+    pub reports: Vec<BatchReport>,
+    /// Batches re-run.
+    pub replayed_batches: usize,
+    /// Append events re-applied.
+    pub reapplied_appends: usize,
+    /// Logged checkpoint digests that disagreed with the re-derived state.
+    pub stale_digests: usize,
+}
+
 #[derive(Clone)]
 struct Checkpoint {
     batch: usize, // state is AFTER this batch (usize::MAX = initial)
@@ -380,6 +423,123 @@ impl IolapDriver {
         while let Some(r) = self.step() {
             out.push(r?);
         }
+        Ok(out)
+    }
+
+    /// The streamed table this driver consumes (lowercased), used by the
+    /// serving layer to route `{"op":"append"}` rows to sessions.
+    pub fn stream_table(&self) -> &str {
+        &self.stream_table
+    }
+
+    /// Schema of the streamed relation — the shape appended rows must fit.
+    pub fn stream_schema(&self) -> &iolap_relation::Schema {
+        self.batches.batch(0).schema()
+    }
+
+    /// The armed fault injector, when the config carries a `FaultPlan`.
+    /// The durable layer consults it for torn-write / truncated-segment /
+    /// stale-manifest hooks; `None` in production.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Continuous ingest: extend the stream with `rel` as one new
+    /// mini-batch, picked up by the next `step`. Works mid-stream and
+    /// after the original partition is exhausted — late arrival simply
+    /// grows the totals, so earlier prefixes scale up (the multiplicity
+    /// semantics of §2) and the final answer is exact again once the new
+    /// batch is consumed (Theorem 1). Returns the new batch's 0-based
+    /// index.
+    pub fn append_rows(&mut self, rel: Relation) -> Result<usize, DriverError> {
+        if rel.is_empty() {
+            return Err(DriverError::Setup(
+                "append carries no rows (an empty mini-batch has no information)".into(),
+            ));
+        }
+        if rel.schema() != self.stream_schema() {
+            return Err(DriverError::Setup(format!(
+                "append schema does not match streamed table '{}'",
+                self.stream_table
+            )));
+        }
+        let index = self.batches.num_batches();
+        self.batches.push_batch(rel);
+        if let Some(t) = &self.tracer {
+            t.instant(
+                "stream.append",
+                index,
+                self.query_span,
+                self.batches.batch(index).len() as u64,
+                format!("table {}", self.stream_table),
+            );
+        }
+        Ok(index)
+    }
+
+    /// Digest and state bytes of the retained checkpoint saved after
+    /// `batch`, when it is still retained (pruning may have dropped it —
+    /// that is bounded retention, not corruption).
+    pub fn checkpoint_for(&self, batch: usize) -> Option<(u64, usize)> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.batch == batch)
+            .map(|c| (c.digest, c.bytes))
+    }
+
+    /// Resume a session from its durable log: walk `events` forward,
+    /// re-running batches, re-applying appends at their original stream
+    /// positions, and verifying re-derived checkpoints against the logged
+    /// digests. Must be called on a freshly built driver (same request,
+    /// same config/seed); the deterministic engine then reproduces the
+    /// dead process's trajectory exactly, which the §5.1 machinery — not
+    /// this method — keeps correct under mid-replay failures.
+    pub fn resume_replay(&mut self, events: &[ReplayEvent]) -> Result<ResumeOutcome, DriverError> {
+        let mut out = ResumeOutcome::default();
+        for ev in events {
+            match ev {
+                ReplayEvent::Batch(logged) => {
+                    if *logged != self.next_batch {
+                        return Err(DriverError::Setup(format!(
+                            "resume log out of order: driver at batch {}, log says {logged}",
+                            self.next_batch
+                        )));
+                    }
+                    match self.step() {
+                        Some(Ok(report)) => {
+                            out.replayed_batches += 1;
+                            out.reports.push(report);
+                        }
+                        Some(Err(e)) => return Err(e),
+                        None => {
+                            return Err(DriverError::Setup(
+                                "resume log replays past the end of the stream".into(),
+                            ))
+                        }
+                    }
+                }
+                ReplayEvent::Append(rel) => {
+                    self.append_rows(rel.clone())?;
+                    out.reapplied_appends += 1;
+                }
+                ReplayEvent::Checkpoint { batch, digest } => {
+                    // A pruned checkpoint is silently fine; a retained one
+                    // whose digest disagrees means the on-disk record is
+                    // stale — count it and trust the re-derived state.
+                    if let Some((live, _)) = self.checkpoint_for(*batch) {
+                        if live != *digest {
+                            out.stale_digests += 1;
+                            self.cumulative_metrics.add("resume.stale_digests", 1);
+                        }
+                    }
+                }
+            }
+        }
+        self.cumulative_metrics
+            .add("resume.replayed_batches", out.replayed_batches as u64);
+        self.cumulative_metrics
+            .add("resume.reapplied_appends", out.reapplied_appends as u64);
         Ok(out)
     }
 

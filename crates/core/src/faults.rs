@@ -6,8 +6,10 @@
 //! *testable under adversity*: a [`FaultPlan`] in
 //! [`IolapConfig`](crate::config::IolapConfig) schedules concrete faults —
 //! forced range failures, dropped or corrupted checkpoints, panics inside
-//! fold workers or registry derefs, perturbed variation ranges — at chosen
-//! mini-batches, and the driver/registry/operators consult the plan's
+//! fold workers or registry derefs, perturbed variation ranges, and
+//! durable-log damage (torn writes, truncated segments, stale manifest
+//! digests) — at chosen mini-batches, and the
+//! driver/registry/operators/durable layer consult the plan's
 //! [`FaultInjector`] at the corresponding hook points.
 //!
 //! Design rules:
@@ -72,6 +74,21 @@ pub enum FaultKind {
         /// Relative perturbation magnitude (e.g. `0.15`).
         epsilon: f64,
     },
+    /// Tear the durable-log append at the armed batch boundary: only a
+    /// prefix of the frame reaches disk, as when power fails mid-`write`.
+    /// The segment reader's CRC framing detects the tear and recovery
+    /// falls back to the valid prefix (a longer replay, same answer).
+    TornWrite,
+    /// Chop already-flushed bytes off the durable-log tail after the armed
+    /// batch (models a filesystem losing its tail on crash — the torn
+    /// write's nastier sibling: the damage lands on frames that were
+    /// reported durable).
+    TruncatedSegment,
+    /// Damage the checkpoint digest recorded in the durable log at the
+    /// armed batch (models a stale or bit-rotted manifest entry). Resume
+    /// must detect the mismatch against the re-derived in-memory digest
+    /// and count the record stale instead of trusting it.
+    StaleManifest,
 }
 
 impl FaultKind {
@@ -84,6 +101,9 @@ impl FaultKind {
             FaultKind::WorkerPanic => "worker_panic",
             FaultKind::DerefPanic => "deref_panic",
             FaultKind::PerturbRanges { .. } => "perturb_ranges",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::TruncatedSegment => "truncated_segment",
+            FaultKind::StaleManifest => "stale_manifest",
         }
     }
 }
@@ -299,6 +319,40 @@ impl FaultInjector {
         }
     }
 
+    /// Durable-layer hook: should the log append at the `batch` boundary
+    /// be torn? Returns the surviving fraction of the frame
+    /// (deterministic, in `[0.5, 1.0]`); `None` when not armed. One-shot.
+    pub fn inject_torn_write(&self, batch: usize) -> Option<f64> {
+        if self.point_fault(batch, |k| matches!(k, FaultKind::TornWrite)) {
+            Some(self.jitter(SALT_TORN, 0))
+        } else {
+            None
+        }
+    }
+
+    /// Durable-layer hook: should flushed bytes be chopped off the log
+    /// tail after the `batch` boundary? Returns the damage fraction the
+    /// caller maps onto a byte count; `None` when not armed. One-shot.
+    pub fn inject_truncated_segment(&self, batch: usize) -> Option<f64> {
+        if self.point_fault(batch, |k| matches!(k, FaultKind::TruncatedSegment)) {
+            Some(self.jitter(SALT_TRUNC, 0))
+        } else {
+            None
+        }
+    }
+
+    /// Durable-layer hook: XOR mask to damage the checkpoint digest
+    /// recorded at the `batch` boundary. Always nonzero (low bit pinned),
+    /// so the on-disk digest provably disagrees with the re-derived one;
+    /// `None` when not armed. One-shot.
+    pub fn inject_stale_manifest(&self, batch: usize) -> Option<u64> {
+        if self.point_fault(batch, |k| matches!(k, FaultKind::StaleManifest)) {
+            Some(self.mix64(SALT_STALE, 0) | 1)
+        } else {
+            None
+        }
+    }
+
     /// Per-fault firing record: `(kind label, armed batch, fire count)`.
     pub fn fired(&self) -> Vec<(&'static str, usize, u64)> {
         self.plan
@@ -341,6 +395,14 @@ impl FaultInjector {
     /// Deterministic jitter in `[0.5, 1.0]` from
     /// `(plan seed, agg, column, current batch)` — splitmix64 finalizer.
     fn jitter(&self, agg: u32, column: u16) -> f64 {
+        let z = self.mix64(agg, column);
+        0.5 + 0.5 * ((z >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// Raw splitmix64 hash of `(plan seed, agg, column, current batch)` —
+    /// the jitter source, also used directly where a deterministic bit
+    /// pattern (not a fraction) is wanted.
+    fn mix64(&self, agg: u32, column: u16) -> u64 {
         let mut z = self
             .plan
             .seed
@@ -350,10 +412,15 @@ impl FaultInjector {
             .wrapping_add(self.batch_now() as u64);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        0.5 + 0.5 * ((z >> 11) as f64 / (1u64 << 53) as f64)
+        z ^ (z >> 31)
     }
 }
+
+/// Jitter-salt coordinates for the durable-layer faults, so each kind
+/// draws an independent deterministic stream from the same plan seed.
+const SALT_TORN: u32 = 0xD0_0001;
+const SALT_TRUNC: u32 = 0xD0_0002;
+const SALT_STALE: u32 = 0xD0_0003;
 
 /// Width scale for absolute perturbation of a possibly-degenerate range:
 /// the span itself when meaningful, else the magnitude of the values, else
@@ -484,6 +551,45 @@ mod tests {
             .map(|e| e.detail.clone())
             .collect();
         assert_eq!(labels, vec!["drop_checkpoint", "perturb_ranges"]);
+    }
+
+    #[test]
+    fn durable_faults_fire_once_with_deterministic_payloads() {
+        let plan = FaultPlan::new(11)
+            .with(1, FaultKind::TornWrite)
+            .with(2, FaultKind::TruncatedSegment)
+            .with(3, FaultKind::StaleManifest);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for inj in [&a, &b] {
+            assert!(inj.inject_torn_write(0).is_none(), "wrong batch");
+            inj.begin_batch(1);
+            let frac = inj.inject_torn_write(1).expect("armed torn write");
+            assert!((0.5..=1.0).contains(&frac), "{frac}");
+            assert!(inj.inject_torn_write(1).is_none(), "one-shot");
+            inj.begin_batch(2);
+            let chop = inj.inject_truncated_segment(2).expect("armed truncation");
+            assert!((0.5..=1.0).contains(&chop), "{chop}");
+            inj.begin_batch(3);
+            let mask = inj.inject_stale_manifest(3).expect("armed stale manifest");
+            assert_ne!(mask, 0, "mask must actually damage the digest");
+            assert!(inj.inject_stale_manifest(3).is_none(), "one-shot");
+            assert_eq!(inj.total_fired(), 3);
+        }
+        // Same plan seed → identical payloads across injectors.
+        a.begin_batch(1);
+        b.begin_batch(1);
+        assert_eq!(a.jitter(SALT_TORN, 0), b.jitter(SALT_TORN, 0));
+        assert_eq!(a.mix64(SALT_STALE, 0), b.mix64(SALT_STALE, 0));
+        // Distinct salts → independent streams.
+        assert_ne!(a.mix64(SALT_TORN, 0), a.mix64(SALT_TRUNC, 0));
+    }
+
+    #[test]
+    fn durable_fault_labels_are_stable() {
+        assert_eq!(FaultKind::TornWrite.label(), "torn_write");
+        assert_eq!(FaultKind::TruncatedSegment.label(), "truncated_segment");
+        assert_eq!(FaultKind::StaleManifest.label(), "stale_manifest");
     }
 
     #[test]

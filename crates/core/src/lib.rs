@@ -37,7 +37,9 @@ pub use annotate::{annotate, AnnotateError, OpAnnotation};
 pub use channel::{BatchData, ORow};
 pub use classify::{classify, interval_of, Decision, IntervalValue};
 pub use config::IolapConfig;
-pub use driver::{install_plan_verifier, BatchReport, DriverError, IolapDriver};
+pub use driver::{
+    install_plan_verifier, BatchReport, DriverError, IolapDriver, ReplayEvent, ResumeOutcome,
+};
 pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan};
 pub use iolap_engine::EngineError;
 pub use metrics::{Histogram, Metrics, Span};

@@ -323,6 +323,163 @@ fn perturbed_ranges_remain_sound() {
     );
 }
 
+/// What [`run_with_durable_hooks`] observed per batch: the driver plus
+/// each durable hook's `(batch, value)` fires.
+type DurableHookFires = (
+    IolapDriver,
+    Vec<(usize, f64)>,
+    Vec<(usize, f64)>,
+    Vec<(usize, u64)>,
+);
+
+/// Drive the injector exactly as the serving layer's durable spill path
+/// does: after each batch, offer the report's index to each durable
+/// fault hook. Core owns the *kinds* and their arming; the byte damage
+/// itself is applied by the store layer.
+fn run_with_durable_hooks(cat: &Catalog, config: IolapConfig) -> DurableHookFires {
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(NESTED_SQL, cat, &registry).unwrap();
+    let mut driver = IolapDriver::from_plan(&pq, cat, "t", config).unwrap();
+    let (mut torn, mut chopped, mut stale) = (Vec::new(), Vec::new(), Vec::new());
+    while let Some(step) = driver.step() {
+        let report = step.unwrap();
+        if let Some(inj) = driver.fault_injector() {
+            if let Some(f) = inj.inject_torn_write(report.batch) {
+                torn.push((report.batch, f));
+            }
+            if let Some(f) = inj.inject_truncated_segment(report.batch) {
+                chopped.push((report.batch, f));
+            }
+            if let Some(mask) = inj.inject_stale_manifest(report.batch) {
+                stale.push((report.batch, mask));
+            }
+        }
+    }
+    (driver, torn, chopped, stale)
+}
+
+#[test]
+fn torn_write_fault_is_seeded_one_shot_and_a_valid_fraction() {
+    let cat = stationary_catalog(300, 20);
+    let plan = || FaultPlan::new(9).with(2, FaultKind::TornWrite);
+    let cfg = config(6, 2.0, 1).fault_plan(plan());
+    let (driver, torn, chopped, stale) = run_with_durable_hooks(&cat, cfg);
+    assert_eq!(torn.len(), 1, "one-shot: fires exactly once");
+    assert!(
+        chopped.is_empty() && stale.is_empty(),
+        "kinds are independent"
+    );
+    let (batch, frac) = torn[0];
+    assert_eq!(batch, 2, "fires at the armed batch");
+    assert!(
+        (0.0..1.0).contains(&frac) && frac > 0.0,
+        "tear keeps a strict prefix: {frac}"
+    );
+    assert_eq!(fires_for(&driver, "torn_write"), 1);
+    // Seeded: an identically-configured run tears at the same byte.
+    let cfg = config(6, 2.0, 1).fault_plan(plan());
+    let (_, torn2, _, _) = run_with_durable_hooks(&cat, cfg);
+    assert_eq!(torn, torn2, "same seed, same tear point");
+}
+
+#[test]
+fn truncated_segment_fault_replays_exactly_from_the_surviving_prefix() {
+    let cat = stationary_catalog(300, 21);
+    let cfg = config(6, 2.0, 1).fault_plan(FaultPlan::new(9).with(3, FaultKind::TruncatedSegment));
+    let (driver, torn, chopped, _) = run_with_durable_hooks(&cat, cfg);
+    assert!(torn.is_empty());
+    assert_eq!(chopped, {
+        let cfg =
+            config(6, 2.0, 1).fault_plan(FaultPlan::new(9).with(3, FaultKind::TruncatedSegment));
+        run_with_durable_hooks(&cat, cfg).2
+    });
+    assert_eq!(chopped.len(), 1);
+    assert!(chopped[0].1 > 0.0 && chopped[0].1 <= 1.0);
+    assert_eq!(fires_for(&driver, "truncated_segment"), 1);
+
+    // Truncation loses the log tail; what recovery sees is a shorter
+    // event prefix. Replaying that prefix must regenerate reports
+    // identical to the uninterrupted run's first batches — the oracle
+    // contract the server's crash matrix pins bytewise.
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(NESTED_SQL, &cat, &registry).unwrap();
+    let base = config(6, 2.0, 1);
+    let mut full = IolapDriver::from_plan(&pq, &cat, "t", base.clone()).unwrap();
+    let reports = full.run_to_completion().unwrap();
+    let mut resumed = IolapDriver::from_plan(&pq, &cat, "t", base).unwrap();
+    let events: Vec<_> = (0..3).map(iolap_core::ReplayEvent::Batch).collect();
+    let outcome = resumed.resume_replay(&events).unwrap();
+    assert_eq!(outcome.replayed_batches, 3);
+    assert_eq!(outcome.stale_digests, 0);
+    assert_eq!(outcome.reports.len(), 3);
+    for (r, e) in outcome.reports.iter().zip(reports.iter()) {
+        assert_eq!(r.batch, e.batch);
+        assert_eq!(r.recovered, e.recovered);
+        assert!(
+            r.result.relation.approx_eq(&e.result.relation, 0.0),
+            "replayed batch {} diverged from the uninterrupted run",
+            r.batch
+        );
+    }
+}
+
+#[test]
+fn stale_manifest_digest_is_detected_but_replay_stays_exact() {
+    // A stale manifest poisons the *recorded* digest, never the data: the
+    // replay re-derives state from the stream, flags the mismatch, and the
+    // regenerated reports still match the uninterrupted run exactly.
+    let cat = stationary_catalog(300, 22);
+    let cfg = config(6, 2.0, 1).fault_plan(FaultPlan::new(9).with(1, FaultKind::StaleManifest));
+    let (_, _, _, stale) = run_with_durable_hooks(&cat, cfg);
+    assert_eq!(stale.len(), 1);
+    let mask = stale[0].1;
+    assert_ne!(mask, 0, "mask must actually flip digest bits");
+
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(NESTED_SQL, &cat, &registry).unwrap();
+    let base = config(6, 2.0, 1);
+    let mut full = IolapDriver::from_plan(&pq, &cat, "t", base.clone()).unwrap();
+    let reports = full.run_to_completion().unwrap();
+    let (digest, _) = full.checkpoint_for(5).expect("interval-1 checkpoints");
+
+    // Undamaged digest: verified clean.
+    let replay = |poison: u64| {
+        let mut d = IolapDriver::from_plan(&pq, &cat, "t", base.clone()).unwrap();
+        let events: Vec<_> = (0..6)
+            .map(iolap_core::ReplayEvent::Batch)
+            .chain(std::iter::once(iolap_core::ReplayEvent::Checkpoint {
+                batch: 5,
+                digest: digest ^ poison,
+            }))
+            .collect();
+        d.resume_replay(&events).unwrap()
+    };
+    let clean = replay(0);
+    assert_eq!(clean.stale_digests, 0, "pristine digest must verify");
+    let poisoned = replay(mask);
+    assert_eq!(poisoned.stale_digests, 1, "mask must trip the digest check");
+    assert_eq!(poisoned.reports.len(), reports.len());
+    for (r, e) in poisoned.reports.iter().zip(reports.iter()) {
+        assert!(
+            r.result.relation.approx_eq(&e.result.relation, 0.0),
+            "stale digest must not change replayed answers (batch {})",
+            r.batch
+        );
+    }
+}
+
+#[test]
+fn durable_faults_are_option_gated() {
+    // L004: production configs carry no injector at all — the durable
+    // spill path's hooks hang off `fault_injector()` returning `None`,
+    // not off a disarmed injector.
+    let cat = stationary_catalog(100, 23);
+    let registry = FunctionRegistry::with_builtins();
+    let pq = plan_sql(NESTED_SQL, &cat, &registry).unwrap();
+    let driver = IolapDriver::from_plan(&pq, &cat, "t", config(4, 2.0, 1)).unwrap();
+    assert!(driver.fault_injector().is_none());
+}
+
 #[test]
 fn fault_free_plan_changes_nothing() {
     // An armed injector with an empty fault list must be a strict no-op:

@@ -138,6 +138,21 @@ impl BatchedRelation {
         Self::partition(rel, num.max(1), seed, mode)
     }
 
+    /// Append `rel` as one new mini-batch at the end of the stream
+    /// (continuous ingest: rows that arrived after partitioning).
+    ///
+    /// The appended rows join the totals, so `scale_after` of *earlier*
+    /// prefixes grows — exactly the paper's multiplicity semantics: a
+    /// tuple seen in the first `i` batches now stands for more unseen
+    /// data. `scale_after(last)` stays 1.0 once the new batch is
+    /// processed, so Theorem-1 exactness of the final answer is
+    /// preserved. An empty `rel` is accepted but callers normally reject
+    /// it earlier (an empty mini-batch carries no information).
+    pub fn push_batch(&mut self, rel: Relation) {
+        self.total_rows += rel.len();
+        self.batches.push(rel);
+    }
+
     /// Number of batches `p`.
     pub fn num_batches(&self) -> usize {
         self.batches.len()
@@ -395,6 +410,21 @@ mod tests {
             .collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_batch_extends_stream_and_rescales() {
+        let rel = int_rel(30);
+        let mut b = BatchedRelation::partition(&rel, 3, 0, PartitionMode::Sequential);
+        assert!((b.scale_after(2) - 1.0).abs() < 1e-12);
+        b.push_batch(int_rel(10));
+        assert_eq!(b.num_batches(), 4);
+        assert_eq!(b.total_rows(), 40);
+        // Earlier prefixes now stand for more unseen data…
+        assert!((b.scale_after(2) - 40.0 / 30.0).abs() < 1e-12);
+        // …and the full stream is exact again once the append is consumed.
+        assert!((b.scale_after(3) - 1.0).abs() < 1e-12);
+        assert_eq!(b.union_through(3).len(), 40);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`shard`] — scale-out pools (§8): in-process thread shards and TCP
 //!   worker shards executing aggregate fold fragments, merged by the
 //!   coordinator on the partition-stable grid.
+//! * [`durable`] — crash-consistent persistence: the session manifest and
+//!   per-session append logs (`iolap-store` segments) that let a restarted
+//!   server resume live sessions and re-deliver byte-identical reports.
 //!
 //! Scheduling is *cooperative*: a worker runs exactly one mini-batch
 //! (`IolapDriver::step`) per dispatch, then requeues the session behind its
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durable;
 pub mod policy;
 pub mod scheduler;
 pub mod session;
@@ -41,12 +45,13 @@ pub mod tcp;
 pub mod telemetry;
 pub mod wire;
 
+pub use durable::{DurableStore, LogRecord, ManifestEntry};
 pub use policy::StopPolicy;
-pub use scheduler::{Server, ServerConfig, ServerStats};
+pub use scheduler::{RecoveryReport, ResumeStatus, Server, ServerConfig, ServerStats};
 pub use session::{
     AdmitError, SessionEnd, SessionHandle, SessionSpec, SessionState, SessionSummary,
 };
 pub use telemetry::{
-    canonical_trace, predict_batches_remaining, render_exposition, SessionSlo, SloCounters,
-    Telemetry,
+    canonical_trace, predict_batches_remaining, render_exposition, DurableCounters, SessionSlo,
+    SloCounters, Telemetry,
 };

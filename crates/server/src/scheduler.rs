@@ -27,6 +27,7 @@
 //! condvar below (srclint L006 allowlists exactly that line); every client
 //! wait is timeout-bounded.
 
+use crate::durable::DurableStore;
 use crate::policy::StopPolicy;
 use crate::session::{
     AdmitError, SessionEnd, SessionHandle, SessionSpec, SessionState, SessionSummary,
@@ -38,6 +39,7 @@ use iolap_core::{
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -68,6 +70,15 @@ pub struct ServerConfig {
     /// every session lifecycle transition and scheduler decision lands a
     /// `sess.*`/`sched.*` mark in the server's journal.
     pub trace_mode: TraceMode,
+    /// Directory for the durable session store (`None` = no persistence).
+    /// When set, every admission, batch report, checkpoint fingerprint,
+    /// and streaming append is spilled to `iolap-store` segments, and
+    /// [`Server::recover`] can rebuild live sessions after a restart.
+    pub durable_dir: Option<PathBuf>,
+    /// Whether every durable append is fsynced before the write returns
+    /// (crash-consistent even through power loss, at a latency cost the
+    /// `durability` bench sweep measures). Off by default.
+    pub durable_fsync: bool,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +91,8 @@ impl Default for ServerConfig {
             report_buffer: 64,
             shard_workers: 0,
             trace_mode: TraceMode::Off,
+            durable_dir: None,
+            durable_fsync: false,
         }
     }
 }
@@ -129,6 +142,18 @@ impl ServerConfig {
         self.trace_mode = mode;
         self
     }
+
+    /// Persist session state under `dir` (enables [`Server::recover`]).
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Fsync every durable append before returning.
+    pub fn durable_fsync(mut self, fsync: bool) -> Self {
+        self.durable_fsync = fsync;
+        self
+    }
 }
 
 /// Counters exposed by [`Server::stats`].
@@ -146,6 +171,35 @@ pub struct ServerStats {
     pub shed: u64,
     /// Current accounted memory across non-terminal sessions (bytes).
     pub mem_bytes: usize,
+}
+
+/// What [`Server::recover`] restored from the durable store.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Sessions rebuilt and resumed, in manifest (admission) order.
+    pub resumed: Vec<u64>,
+    /// Sessions that could not be restored, with the reason. `u64::MAX`
+    /// as the id marks a manifest-level failure.
+    pub skipped: Vec<(u64, String)>,
+    /// Mini-batches re-run across all resumed sessions.
+    pub replayed_batches: usize,
+    /// Streaming appends re-applied at their logged positions.
+    pub reapplied_appends: usize,
+    /// Logged checkpoint digests that disagreed with the re-derived
+    /// state (the `stale_manifest` fault, or genuine on-disk rot).
+    pub stale_digests: usize,
+}
+
+/// Result of attaching to a session id via [`Server::resume_session`].
+#[derive(Debug)]
+pub enum ResumeStatus {
+    /// The session was restored by [`Server::recover`]; poll the handle.
+    Attached(SessionHandle),
+    /// The durable manifest saw this session finish (`'D'` record, with
+    /// this end label) — there is nothing to resume.
+    Finished(String),
+    /// No restored session and no manifest record for this id.
+    Unknown,
 }
 
 /// Ready-queue ordering: strict priority, then round-robin by batches
@@ -182,6 +236,18 @@ struct Slot {
     submit_span: Span,
     first_step: Option<Span>,
     finish_elapsed: Option<Duration>,
+    /// The driver's streamed table name, cached at submit so
+    /// [`Server::append_rows`] can route appends without touching the
+    /// driver (which a worker may own at that moment).
+    stream_table: String,
+    /// Streaming appends awaiting application: canonical rows JSON, in
+    /// arrival order. Drained (and applied to the driver) by the next
+    /// worker that picks the session up.
+    pending_appends: VecDeque<String>,
+    /// Rebuilt by [`Server::recover`] from the durable log (rather than
+    /// submitted on this process's wire); `{"op":"resume"}` only attaches
+    /// to restored sessions.
+    restored: bool,
 }
 
 impl Slot {
@@ -233,6 +299,11 @@ pub struct Shared {
     /// Clients park here (timeout-bounded); signaled on every report
     /// delivery and lifecycle transition.
     client: Condvar,
+    /// Durable session store (`None` when `cfg.durable_dir` is unset or
+    /// the directory could not be opened). Lock order: the state lock may
+    /// be held when taking the store's lock (`finish` writes the `'D'`
+    /// record under it); never the reverse.
+    durable: Option<Arc<DurableStore>>,
 }
 
 /// Emit one scheduler lifecycle mark: an instant with the session id in
@@ -494,6 +565,15 @@ fn finish(shared: &Shared, st: &mut State, id: u64, end: SessionEnd) {
             telemetry.observe_workers(&d.shard_worker_stats());
         }
         telemetry.observe_finish(id, &end);
+        // Durably mark the session finished ('D' record) so a restart
+        // skips it. State lock held → store lock taken: the sanctioned
+        // nesting direction.
+        if let Some(durable) = &shared.durable {
+            match durable.log_finish(id, end.label()) {
+                Ok(()) => telemetry.observe_durable(1, 0),
+                Err(_) => telemetry.observe_durable(0, 1),
+            }
+        }
         slot.end = Some(end);
         slot.end_seq = Some(seq);
         slot.finish_elapsed = Some(slot.submit_span.elapsed());
@@ -534,8 +614,9 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
 /// One worker: pick the first ready session, step it once, bookkeep.
 fn worker_loop(shared: Arc<Shared>) {
     loop {
-        // Acquire: first key in the ready order, taking driver ownership.
-        let (id, mut driver) = {
+        // Acquire: first key in the ready order, taking driver ownership
+        // (and any streaming appends queued since the last step).
+        let (id, mut driver, pending) = {
             let mut st = lock(&shared);
             loop {
                 if st.shutdown {
@@ -552,6 +633,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     let Some(d) = slot.driver.take() else {
                         continue;
                     };
+                    let pending: Vec<String> = slot.pending_appends.drain(..).collect();
                     if slot.state == SessionState::Queued {
                         slot.state = SessionState::Running;
                         slot.first_step = Some(Span::start());
@@ -568,13 +650,41 @@ fn worker_loop(shared: Arc<Shared>) {
                         key.id,
                         &format!("rounds={} priority={}", key.rounds, key.priority),
                     );
-                    break (key.id, d);
+                    break (key.id, d, pending);
                 }
                 // The worker park: the one sanctioned unbounded wait in
                 // this crate (srclint L006 allowlists exactly this call).
                 st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
+
+        // Apply drained appends before stepping (outside the lock): the
+        // driver grows new mini-batches at its tail, and the 'A' record is
+        // written at exactly this point so replay order equals application
+        // order. A row batch that fails to parse or coerce is dropped and
+        // counted — it never poisons the session.
+        let mut appends_applied = 0u64;
+        let mut appends_rejected = 0u64;
+        let mut durable_ok = 0u64;
+        let mut durable_err = 0u64;
+        for rows_json in pending {
+            let parsed = crate::wire::parse(&rows_json).map_err(|e| e.to_string());
+            let rel = parsed
+                .and_then(|rows| crate::durable::rows_to_relation(&rows, driver.stream_schema()));
+            let applied = rel.and_then(|rel| driver.append_rows(rel).map_err(|e| e.to_string()));
+            match applied {
+                Ok(_) => {
+                    appends_applied += 1;
+                    if let Some(durable) = shared.durable.as_deref() {
+                        match durable.log_append(id, &rows_json) {
+                            Ok(()) => durable_ok += 1,
+                            Err(_) => durable_err += 1,
+                        }
+                    }
+                }
+                Err(_) => appends_rejected += 1,
+            }
+        }
 
         // Step outside the lock: one mini-batch, including any §5.1
         // recovery replays the driver runs internally. The driver has its
@@ -583,6 +693,47 @@ fn worker_loop(shared: Arc<Shared>) {
         // what escapes.
         let step: Result<Option<Result<BatchReport, DriverError>>, _> =
             catch_unwind(AssertUnwindSafe(|| driver.step()));
+
+        // Spill the delivered batch before re-entering the state lock:
+        // the rendered report line and the checkpoint fingerprint, plus
+        // any injected durable damage (the torn-write / truncated-segment
+        // / stale-manifest fault kinds land exactly here, where a real
+        // crash or filesystem lie would).
+        if let Some(durable) = shared.durable.as_deref() {
+            if let Ok(Some(Ok(report))) = &step {
+                let torn = driver
+                    .fault_injector()
+                    .and_then(|f| f.inject_torn_write(report.batch));
+                let stale = driver
+                    .fault_injector()
+                    .and_then(|f| f.inject_stale_manifest(report.batch));
+                let chop = driver
+                    .fault_injector()
+                    .and_then(|f| f.inject_truncated_segment(report.batch));
+                let line = crate::tcp::report_json(report);
+                match durable.log_report(id, &line, torn) {
+                    Ok(()) => durable_ok += 1,
+                    Err(_) => durable_err += 1,
+                }
+                if let Some((digest, bytes)) = driver.checkpoint_for(report.batch) {
+                    match durable.log_checkpoint(
+                        id,
+                        report.batch,
+                        digest ^ stale.unwrap_or(0),
+                        bytes as u64,
+                    ) {
+                        Ok(()) => durable_ok += 1,
+                        Err(_) => durable_err += 1,
+                    }
+                }
+                if let Some(fraction) = chop {
+                    match durable.damage_truncate(id, fraction) {
+                        Ok(_) => durable_ok += 1,
+                        Err(_) => durable_err += 1,
+                    }
+                }
+            }
+        }
 
         let mut st = lock(&shared);
         let cfg = &shared.cfg;
@@ -594,12 +745,20 @@ fn worker_loop(shared: Arc<Shared>) {
                 telemetry,
                 ..
             } = &mut *st;
+            telemetry.observe_durable(durable_ok, durable_err);
+            telemetry.observe_appends(appends_applied, appends_rejected);
             let Some(slot) = sessions.get_mut(&id) else {
                 continue;
             };
             match step {
                 Err(p) => Outcome::Finish(SessionEnd::Failed(panic_message(p))),
-                Ok(None) => Outcome::Finish(SessionEnd::Completed),
+                // A drained stream with appends queued behind it is not
+                // finished: requeue so the next pick applies them and the
+                // driver grows new mini-batches.
+                Ok(None) if slot.pending_appends.is_empty() => {
+                    Outcome::Finish(SessionEnd::Completed)
+                }
+                Ok(None) => Outcome::Continue,
                 Ok(Some(Err(e))) => Outcome::Finish(SessionEnd::Failed(e.to_string())),
                 Ok(Some(Ok(report))) => {
                     slot.batches_run += 1;
@@ -617,7 +776,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     slot.reports.push_back(report);
                     if slot.cancel {
                         Outcome::Finish(SessionEnd::Cancelled)
-                    } else if done_all {
+                    } else if done_all && slot.pending_appends.is_empty() {
                         Outcome::Finish(SessionEnd::Completed)
                     } else if met {
                         Outcome::Finish(SessionEnd::TargetMet {
@@ -675,9 +834,25 @@ pub struct Server {
 
 impl Server {
     /// Start a server: spawns `cfg.workers` worker threads immediately.
+    /// With `cfg.durable_dir` set, opens (or resumes) the durable store;
+    /// an unopenable store degrades to in-memory operation with a warning
+    /// rather than refusing to serve.
     pub fn new(cfg: ServerConfig) -> Server {
+        let durable = cfg.durable_dir.as_ref().and_then(|dir| {
+            match DurableStore::open(dir, cfg.durable_fsync) {
+                Ok(store) => Some(Arc::new(store)),
+                Err(e) => {
+                    eprintln!(
+                        "iolap-server: durable store at {} disabled: {e}",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         let shared = Arc::new(Shared {
             tracer: Tracer::from_mode(cfg.trace_mode).map(Arc::new),
+            durable,
             cfg: cfg.clone(),
             state: Mutex::new(State {
                 next_id: 0,
@@ -709,11 +884,26 @@ impl Server {
 
     /// Submit a driver as a new session. Returns a handle immediately, or
     /// rejects explicitly when both the live slots and the wait queue are
-    /// full — admission never blocks the caller.
+    /// full — admission never blocks the caller. Sessions submitted this
+    /// way carry no origin request and are not recoverable across a
+    /// restart; the wire front-end uses [`Server::submit_with_origin`].
     pub fn submit(
         &self,
         driver: IolapDriver,
         spec: SessionSpec,
+    ) -> Result<SessionHandle, AdmitError> {
+        self.submit_with_origin(driver, spec, None)
+    }
+
+    /// [`Server::submit`] with the verbatim submit request recorded in the
+    /// durable manifest (`'S'` record), making the session recoverable: a
+    /// restarted server re-derives the driver from the origin via its
+    /// submit factory and replays the session's event log.
+    pub fn submit_with_origin(
+        &self,
+        driver: IolapDriver,
+        spec: SessionSpec,
+        origin: Option<&str>,
     ) -> Result<SessionHandle, AdmitError> {
         let cfg = &self.shared.cfg;
         let mut st = lock(&self.shared);
@@ -738,6 +928,7 @@ impl Server {
         st.admitted += 1;
         let seed = driver.config().seed;
         let total_batches = driver.num_batches();
+        let stream_table = driver.stream_table().to_string();
         trace_mark(
             self.shared.tracer.as_deref(),
             "sess.submit",
@@ -763,7 +954,21 @@ impl Server {
             submit_span: Span::start(),
             first_step: None,
             finish_elapsed: None,
+            stream_table,
+            pending_appends: VecDeque::new(),
+            restored: false,
         };
+        // Record the admission durably before the session can be stepped
+        // (state lock held, so no worker can spill — let alone finish —
+        // the session ahead of its 'S' record).
+        if let Some(durable) = &self.shared.durable {
+            if let Some(origin) = origin {
+                match durable.log_submit(id, origin) {
+                    Ok(()) => st.telemetry.observe_durable(1, 0),
+                    Err(_) => st.telemetry.observe_durable(0, 1),
+                }
+            }
+        }
         if st.live < cfg.max_live {
             st.live += 1;
             slot.holds_slot = true;
@@ -788,6 +993,304 @@ impl Server {
             shared: Arc::clone(&self.shared),
             id,
         })
+    }
+
+    /// Queue streaming rows (`rows_json`: the canonical `[[...], ...]`
+    /// wire form) onto every non-finished session streaming `table`.
+    /// Returns how many sessions the append reached — `0` means no live
+    /// session streams that table (the wire layer reports
+    /// `unknown_table`; the server cannot distinguish a table that does
+    /// not exist from one nobody is querying right now).
+    ///
+    /// Rows are validated against each session's stream schema at apply
+    /// time (the next worker pick), not here: a type error surfaces as an
+    /// `appends_rejected` telemetry count, never a failed session.
+    pub fn append_rows(&self, table: &str, rows_json: &str) -> usize {
+        let mut st = lock(&self.shared);
+        let mut reached = 0usize;
+        let ids: Vec<u64> = st.sessions.keys().copied().collect();
+        for id in ids {
+            let Some(slot) = st.sessions.get_mut(&id) else {
+                continue;
+            };
+            if slot.end.is_some() || slot.cancel {
+                continue;
+            }
+            if !slot.stream_table.eq_ignore_ascii_case(table) {
+                continue;
+            }
+            slot.pending_appends.push_back(rows_json.to_string());
+            reached += 1;
+            trace_mark(
+                self.shared.tracer.as_deref(),
+                "sess.append",
+                id,
+                &format!("table={table}"),
+            );
+        }
+        drop(st);
+        if reached > 0 {
+            self.shared.work.notify_all();
+            self.shared.client.notify_all();
+        }
+        reached
+    }
+
+    /// Rebuild every live session recorded in the durable manifest: the
+    /// origin request is fed back through `factory` (exactly as the wire
+    /// `submit` path builds drivers), the session's event log is replayed
+    /// through [`IolapDriver::resume_replay`] — re-running each logged
+    /// batch and re-applying each logged append at its original position,
+    /// verifying checkpoint digests on the way — and the session resumes
+    /// from the replayed frontier with its regenerated reports buffered
+    /// for `{"op":"resume"}` clients.
+    ///
+    /// Unreadable or infeasible sessions are skipped (listed in the
+    /// returned report), never fatal: recovery restores what the log
+    /// supports and leaves the rest to the operator.
+    pub fn recover(&self, factory: &crate::tcp::SubmitFactory) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let Some(durable) = self.shared.durable.clone() else {
+            return report;
+        };
+        let entries = match crate::durable::read_manifest(durable.dir()) {
+            Ok(entries) => entries,
+            Err(e) => {
+                report
+                    .skipped
+                    .push((u64::MAX, format!("manifest unreadable: {e}")));
+                return report;
+            }
+        };
+        for entry in entries {
+            {
+                // Ids of recovered (and finished) sessions stay reserved so
+                // new submissions never collide with on-disk logs.
+                let mut st = lock(&self.shared);
+                st.next_id = st.next_id.max(entry.id + 1);
+            }
+            if entry.end.is_some() {
+                continue;
+            }
+            let id = entry.id;
+            let skip = |why: String, report: &mut RecoveryReport| {
+                report.skipped.push((id, why));
+            };
+            let req = match crate::wire::parse(&entry.origin) {
+                Ok(req) => req,
+                Err(e) => {
+                    skip(format!("origin unparsable: {e}"), &mut report);
+                    continue;
+                }
+            };
+            let (mut driver, spec) = match factory(&req) {
+                Ok(built) => built,
+                Err(e) => {
+                    skip(format!("factory rejected origin: {e}"), &mut report);
+                    continue;
+                }
+            };
+            let shard_workers = self.shared.cfg.shard_workers;
+            if shard_workers > 0 {
+                driver.set_shard_exec(Arc::new(crate::shard::ThreadShardPool::new(shard_workers)));
+            }
+            let records = match crate::durable::read_session_log(durable.dir(), id) {
+                Ok(records) => records,
+                Err(e) => {
+                    skip(format!("session log unreadable: {e}"), &mut report);
+                    continue;
+                }
+            };
+            let mut events = Vec::with_capacity(records.len());
+            let mut next_batch = 0usize;
+            for record in &records {
+                match record {
+                    crate::durable::LogRecord::Report(_) => {
+                        events.push(iolap_core::ReplayEvent::Batch(next_batch));
+                        next_batch += 1;
+                    }
+                    crate::durable::LogRecord::Checkpoint { batch, digest, .. } => {
+                        events.push(iolap_core::ReplayEvent::Checkpoint {
+                            batch: *batch,
+                            digest: *digest,
+                        });
+                    }
+                    crate::durable::LogRecord::Append(rows_json) => {
+                        let rel = crate::wire::parse(rows_json)
+                            .map_err(|e| e.to_string())
+                            .and_then(|rows| {
+                                crate::durable::rows_to_relation(&rows, driver.stream_schema())
+                            });
+                        match rel {
+                            Ok(rel) => events.push(iolap_core::ReplayEvent::Append(rel)),
+                            Err(e) => {
+                                // An append that replayed fine when first
+                                // applied should replay fine now; a decode
+                                // failure means a damaged record survived
+                                // CRC (or a schema change) — skip the whole
+                                // session rather than resume divergent.
+                                skip(format!("append record undecodable: {e}"), &mut report);
+                                events.clear();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if events.is_empty() && !records.is_empty() {
+                continue;
+            }
+            let outcome = match driver.resume_replay(&events) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    skip(format!("replay failed: {e}"), &mut report);
+                    continue;
+                }
+            };
+            report.replayed_batches += outcome.replayed_batches;
+            report.reapplied_appends += outcome.reapplied_appends;
+            report.stale_digests += outcome.stale_digests;
+
+            let cfg = &self.shared.cfg;
+            let mut st = lock(&self.shared);
+            if st.shutdown {
+                skip("server shutting down".to_string(), &mut report);
+                continue;
+            }
+            st.admitted += 1;
+            st.telemetry
+                .observe_submit(id, &spec.label, driver.num_batches(), &spec.policy);
+            st.telemetry.observe_resume(
+                outcome.replayed_batches as u64,
+                outcome.reapplied_appends as u64,
+                outcome.stale_digests as u64,
+            );
+            trace_mark(
+                self.shared.tracer.as_deref(),
+                "sess.resume",
+                id,
+                &format!(
+                    "replayed={} appends={} stale_digests={}",
+                    outcome.replayed_batches, outcome.reapplied_appends, outcome.stale_digests
+                ),
+            );
+            let batches_run = outcome.replayed_batches;
+            let done_all = driver.batches_done() >= driver.num_batches();
+            let seed = driver.config().seed;
+            let stream_table = driver.stream_table().to_string();
+            let mut slot = Slot {
+                spec,
+                seed,
+                total_batches: driver.num_batches(),
+                state: if batches_run > 0 {
+                    SessionState::Running
+                } else {
+                    SessionState::Queued
+                },
+                end: None,
+                end_seq: None,
+                driver: Some(driver),
+                batches_run,
+                reports: outcome.reports.into(),
+                cancel: false,
+                waiting_buffer: false,
+                holds_slot: false,
+                mem_bytes: 0,
+                submit_span: Span::start(),
+                first_step: if batches_run > 0 {
+                    Some(Span::start())
+                } else {
+                    None
+                },
+                finish_elapsed: None,
+                stream_table,
+                pending_appends: VecDeque::new(),
+                restored: true,
+            };
+            let met = slot
+                .reports
+                .back()
+                .map(|r| policy_met(&slot.spec.policy, r, &slot))
+                .unwrap_or(false);
+            if done_all || met {
+                // The crash fell after the session's last step but before
+                // its 'D' record: finish it now (writing the 'D'), leaving
+                // the regenerated reports drainable.
+                let end = if done_all {
+                    SessionEnd::Completed
+                } else {
+                    SessionEnd::TargetMet {
+                        batches: batches_run,
+                    }
+                };
+                st.sessions.insert(id, slot);
+                finish(&self.shared, &mut st, id, end);
+            } else if st.live < cfg.max_live {
+                st.live += 1;
+                slot.holds_slot = true;
+                if slot.reports.len() >= cfg.report_buffer {
+                    // The regenerated backlog already fills the report
+                    // buffer: park exactly as the uninterrupted run would
+                    // have, resuming compute as the client drains.
+                    slot.waiting_buffer = true;
+                    trace_mark(
+                        self.shared.tracer.as_deref(),
+                        "sess.park",
+                        id,
+                        "restored with a full report buffer",
+                    );
+                    st.sessions.insert(id, slot);
+                } else {
+                    trace_mark(self.shared.tracer.as_deref(), "sess.admit", id, "restored");
+                    let key = slot.ready_key(id);
+                    st.sessions.insert(id, slot);
+                    st.ready.insert(key);
+                }
+            } else {
+                trace_mark(
+                    self.shared.tracer.as_deref(),
+                    "sess.queued",
+                    id,
+                    "restored, waiting for a slot",
+                );
+                st.sessions.insert(id, slot);
+                st.queued.push_back(id);
+            }
+            drop(st);
+            report.resumed.push(id);
+        }
+        self.shared.work.notify_all();
+        self.shared.client.notify_all();
+        report
+    }
+
+    /// Attach to a session restored by [`Server::recover`]. Distinguishes
+    /// a restorable session from one the durable manifest already saw
+    /// finish (its `'D'` record exists — there is nothing to resume) and
+    /// from an id the manifest never admitted.
+    pub fn resume_session(&self, id: u64) -> ResumeStatus {
+        {
+            let st = lock(&self.shared);
+            if let Some(slot) = st.sessions.get(&id) {
+                if slot.restored {
+                    return ResumeStatus::Attached(SessionHandle {
+                        shared: Arc::clone(&self.shared),
+                        id,
+                    });
+                }
+                return ResumeStatus::Unknown;
+            }
+        }
+        if let Some(durable) = &self.shared.durable {
+            if let Ok(entries) = crate::durable::read_manifest(durable.dir()) {
+                if let Some(entry) = entries.iter().rev().find(|e| e.id == id) {
+                    if let Some(end) = &entry.end {
+                        return ResumeStatus::Finished(end.clone());
+                    }
+                }
+            }
+        }
+        ResumeStatus::Unknown
     }
 
     /// Counter snapshot.

@@ -15,7 +15,10 @@
 //! [`SubmitFactory`] closure provided by the embedder (the `experiments`
 //! binary wires the built-in workloads in) turns the raw `submit` request
 //! into an `IolapDriver` plus a [`SessionSpec`]. Everything protocol-level
-//! — `poll`, `summary`, `cancel`, `stats`, `metrics` — is handled here.
+//! — `poll`, `summary`, `cancel`, `stats`, `metrics`, and the durable ops
+//! `append` (stream rows into a live table: `{"op":"append","table":T,
+//! "rows":[[...],...]}`) and `resume` (re-attach to a session restored
+//! from the durable log after a restart) — is handled here.
 //!
 //! [`handle_request`] is the transport-free core (one request line in, one
 //! response line out); [`serve`] is the accept loop that feeds it. Socket
@@ -255,7 +258,7 @@ pub fn handle_request(
                         shard_workers,
                     )));
                 }
-                match server.submit(driver, spec) {
+                match server.submit_with_origin(driver, spec, Some(line)) {
                     Ok(handle) => {
                         let id = handle.id();
                         sessions.insert(id, handle);
@@ -275,6 +278,56 @@ pub fn handle_request(
                 }
             }
         },
+        "append" => {
+            let Some(table) = req.get("table").and_then(JVal::as_str) else {
+                return err_response("bad_request", "append needs a \"table\" string");
+            };
+            let Some(rows @ JVal::Arr(_)) = req.get("rows") else {
+                return err_response("bad_request", "append needs a \"rows\" array of arrays");
+            };
+            if let JVal::Arr(items) = rows {
+                if items.is_empty() {
+                    return err_response("bad_request", "append rows array is empty");
+                }
+                if items.iter().any(|r| !matches!(r, JVal::Arr(_))) {
+                    return err_response("bad_request", "append rows must each be an array");
+                }
+            }
+            // Re-render the parsed rows so the queued (and durably logged)
+            // form is canonical regardless of client whitespace.
+            let reached = server.append_rows(table, &rows.render());
+            if reached == 0 {
+                return err_response(
+                    "unknown_table",
+                    &format!("no live session streams table \"{table}\""),
+                );
+            }
+            format!("{{\"ok\":true,\"sessions\":{reached}}}")
+        }
+        "resume" => {
+            let Some(id) = req.get("session").and_then(JVal::as_u64) else {
+                return err_response("bad_request", "resume needs a \"session\" id");
+            };
+            match server.resume_session(id) {
+                crate::scheduler::ResumeStatus::Attached(handle) => {
+                    let s = handle.summary();
+                    sessions.insert(id, handle);
+                    format!(
+                        "{{\"ok\":true,\"session\":{id},\"state\":\"{}\",\"batches_run\":{},\"pending_reports\":{}}}",
+                        s.state.as_str(),
+                        s.batches_run,
+                        s.pending_reports
+                    )
+                }
+                crate::scheduler::ResumeStatus::Finished(end) => err_response(
+                    "session_finished",
+                    &format!("session {id} already finished (end={end}); nothing to resume"),
+                ),
+                crate::scheduler::ResumeStatus::Unknown => {
+                    err_response("unknown_session", "no restorable session with that id")
+                }
+            }
+        }
         "poll" | "cancel" | "summary" => {
             let Some(handle) = req
                 .get("session")

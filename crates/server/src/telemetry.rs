@@ -109,6 +109,31 @@ pub struct SloCounters {
     pub deadline_overrun: u64,
 }
 
+/// Durability-plane counters: spilled records, streaming appends, and
+/// what recovery replayed. All monotonic and saturating, all free of
+/// wall-clock content — they render in canonical exposition mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurableCounters {
+    /// Records written to the durable store (manifest + session logs).
+    pub records: u64,
+    /// Durable writes that failed with an I/O error (the session keeps
+    /// running; its recoverability degrades).
+    pub write_errors: u64,
+    /// Streaming append batches applied to a live driver.
+    pub appends_applied: u64,
+    /// Streaming append batches dropped (parse, schema, or driver
+    /// rejection) — the session is never poisoned by a bad append.
+    pub appends_rejected: u64,
+    /// Sessions rebuilt from the durable log by `Server::recover`.
+    pub resumed_sessions: u64,
+    /// Mini-batches re-run during recovery replay.
+    pub replayed_batches: u64,
+    /// Appends re-applied at their logged positions during replay.
+    pub reapplied_appends: u64,
+    /// Logged checkpoint digests that disagreed with re-derived state.
+    pub stale_digests: u64,
+}
+
 /// The fleet rollup state. Owned by the scheduler's `State` (updated
 /// under the existing lock), cloned out for exposition and wire replies.
 #[derive(Clone, Debug, Default)]
@@ -118,6 +143,7 @@ pub struct Telemetry {
     sessions: BTreeMap<u64, SessionSlo>,
     shards: BTreeMap<usize, ShardWorkerStats>,
     slo: SloCounters,
+    durable: DurableCounters,
 }
 
 impl Telemetry {
@@ -250,6 +276,31 @@ impl Telemetry {
     pub fn slo(&self) -> &SloCounters {
         &self.slo
     }
+
+    /// Record durable-store write outcomes (spilled records vs errors).
+    pub fn observe_durable(&mut self, records: u64, errors: u64) {
+        self.durable.records = self.durable.records.saturating_add(records);
+        self.durable.write_errors = self.durable.write_errors.saturating_add(errors);
+    }
+
+    /// Record streaming-append application outcomes.
+    pub fn observe_appends(&mut self, applied: u64, rejected: u64) {
+        self.durable.appends_applied = self.durable.appends_applied.saturating_add(applied);
+        self.durable.appends_rejected = self.durable.appends_rejected.saturating_add(rejected);
+    }
+
+    /// Record one session restored by recovery replay.
+    pub fn observe_resume(&mut self, replayed: u64, reapplied: u64, stale: u64) {
+        self.durable.resumed_sessions = self.durable.resumed_sessions.saturating_add(1);
+        self.durable.replayed_batches = self.durable.replayed_batches.saturating_add(replayed);
+        self.durable.reapplied_appends = self.durable.reapplied_appends.saturating_add(reapplied);
+        self.durable.stale_digests = self.durable.stale_digests.saturating_add(stale);
+    }
+
+    /// Durability-plane counters.
+    pub fn durable(&self) -> &DurableCounters {
+        &self.durable
+    }
 }
 
 /// Escape a Prometheus label value: backslash, double quote, newline.
@@ -355,6 +406,37 @@ pub fn render_exposition(
         "iolap_slo_deadline_overrun_total {}",
         s.deadline_overrun
     );
+
+    out.push_str("# TYPE iolap_durable counter\n");
+    let d = t.durable();
+    let _ = writeln!(out, "iolap_durable_records_total {}", d.records);
+    let _ = writeln!(out, "iolap_durable_write_errors_total {}", d.write_errors);
+    let _ = writeln!(
+        out,
+        "iolap_durable_appends_applied_total {}",
+        d.appends_applied
+    );
+    let _ = writeln!(
+        out,
+        "iolap_durable_appends_rejected_total {}",
+        d.appends_rejected
+    );
+    let _ = writeln!(
+        out,
+        "iolap_durable_resumed_sessions_total {}",
+        d.resumed_sessions
+    );
+    let _ = writeln!(
+        out,
+        "iolap_durable_replayed_batches_total {}",
+        d.replayed_batches
+    );
+    let _ = writeln!(
+        out,
+        "iolap_durable_reapplied_appends_total {}",
+        d.reapplied_appends
+    );
+    let _ = writeln!(out, "iolap_durable_stale_digests_total {}", d.stale_digests);
 
     out.push_str("# TYPE iolap_session gauge\n");
     for (id, slo) in t.sessions() {

@@ -531,6 +531,257 @@ fn metrics_op_exposes_fleet_state() {
     assert!(canon.len() < full.len());
 }
 
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("iolap-proto-{}-{n}-{name}", std::process::id()))
+}
+
+/// Malformed `append` frames are protocol errors, never queued rows; an
+/// append naming a table no live session streams is `unknown_table`.
+#[test]
+fn append_rejects_malformed_frames_and_unknown_tables() {
+    let server = Server::new(ServerConfig::with_workers(1));
+    let f = factory();
+    let mut sessions = BTreeMap::new();
+    // No session at all: every table is unknown.
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"append","table":"sessions","rows":[[1,2,3]]}"#,
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(JVal::as_str),
+        Some("unknown_table"),
+        "{resp}"
+    );
+
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"submit","query":"C3","label":"app"}"#,
+    );
+    let id = field_u64(&parse(&resp).unwrap(), "session").unwrap();
+    for (line, kind) in [
+        // Structural errors are rejected at the wire, before any routing.
+        (r#"{"op":"append","rows":[[1]]}"#, "bad_request"),
+        (r#"{"op":"append","table":"sessions"}"#, "bad_request"),
+        (
+            r#"{"op":"append","table":"sessions","rows":"nope"}"#,
+            "bad_request",
+        ),
+        (
+            r#"{"op":"append","table":"sessions","rows":[]}"#,
+            "bad_request",
+        ),
+        (
+            r#"{"op":"append","table":"sessions","rows":[1,2]}"#,
+            "bad_request",
+        ),
+        // A well-formed append to a table nobody streams.
+        (
+            r#"{"op":"append","table":"nonesuch","rows":[[1,2]]}"#,
+            "unknown_table",
+        ),
+    ] {
+        let resp = handle_request(&server, &f, &mut sessions, line);
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(false), "{resp}");
+        assert_eq!(v.get("kind").and_then(JVal::as_str), Some(kind), "{resp}");
+    }
+    let _ = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"cancel","session":{id}}}"#),
+    );
+}
+
+/// `resume` without a durable store (or with an id the manifest never
+/// admitted) is `unknown_session`; resuming a session whose `'D'` record
+/// exists is `session_finished` — there is nothing left to replay.
+#[test]
+fn resume_distinguishes_unknown_from_finished_sessions() {
+    // No durable store at all.
+    let server = Server::new(ServerConfig::with_workers(1));
+    let f = factory();
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(&server, &f, &mut sessions, r#"{"op":"resume","session":0}"#);
+    let v = parse(&resp).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(JVal::as_str),
+        Some("unknown_session"),
+        "{resp}"
+    );
+    let resp = handle_request(&server, &f, &mut sessions, r#"{"op":"resume"}"#);
+    assert_eq!(
+        parse(&resp).unwrap().get("kind").and_then(JVal::as_str),
+        Some("bad_request"),
+        "{resp}"
+    );
+    drop(server);
+
+    // Run a session to completion under a durable store, then restart.
+    let dir = scratch_dir("resume-done");
+    let cfg = || ServerConfig::with_workers(1).durable(dir.clone());
+    let server = Server::new(cfg());
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"submit","query":"C3","label":"fin"}"#,
+    );
+    let id = field_u64(&parse(&resp).unwrap(), "session").unwrap();
+    for _ in 0..400 {
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"poll","session":{id},"max":8}}"#),
+        );
+        if parse(&resp).unwrap().get("state").and_then(JVal::as_str) == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(server);
+
+    let server = Server::new(cfg());
+    let recovered = server.recover(&f);
+    assert!(recovered.resumed.is_empty(), "{recovered:?}");
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"resume","session":{id}}}"#),
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(JVal::as_str),
+        Some("session_finished"),
+        "{resp}"
+    );
+    assert!(
+        v.get("error")
+            .and_then(JVal::as_str)
+            .is_some_and(|m| m.contains("completed")),
+        "{resp}"
+    );
+    // An id past everything the manifest admitted is still unknown.
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"resume","session":99}"#,
+    );
+    assert_eq!(
+        parse(&resp).unwrap().get("kind").and_then(JVal::as_str),
+        Some("unknown_session"),
+        "{resp}"
+    );
+}
+
+/// Streaming append mid-run: the server folds the new rows in as an extra
+/// mini-batch, and the resulting report stream is byte-identical (modulo
+/// wall clock) to a driver-level run that appends the same rows at the
+/// same position — Theorem 1's exact final answer now covers the appended
+/// rows (`fraction` returns to 1.0 on the last batch).
+#[test]
+fn append_mid_run_extends_the_session_exactly() {
+    let rows = 300usize;
+    let batches = 3usize;
+    let appended = r#"[[901,1,"cdn-x","SFO","US","isp-a","vod",12.5,3.5,1.25,2400,0],[902,2,"cdn-y","LAX","US","isp-b","live",2.5,7.25,0.5,3200,1]]"#;
+
+    // Driver-level oracle: step once, append after the first batch (the
+    // position the parked server applies it at below), run to the end.
+    let catalog = iolap_workloads::conviva_catalog(rows, 17);
+    let registry = iolap_workloads::conviva_registry();
+    let queries = iolap_workloads::conviva_queries();
+    let q = queries.iter().find(|q| q.id == "C3").unwrap();
+    let pq = plan_sql(q.sql, &catalog, &registry).unwrap();
+    let mut cfg = IolapConfig::with_batches(batches).trials(10).seed(17);
+    cfg.partition_mode = iolap_relation::PartitionMode::RowShuffle;
+    let mut driver = IolapDriver::from_plan(&pq, &catalog, q.stream_table, cfg).unwrap();
+    let mut oracle = Vec::new();
+    oracle.push(driver.step().unwrap().unwrap());
+    let rel = iolap_server::durable::rows_to_relation(
+        &parse(appended).unwrap(),
+        &driver.stream_schema().clone(),
+    )
+    .unwrap();
+    driver.append_rows(rel).unwrap();
+    while let Some(r) = driver.step() {
+        oracle.push(r.unwrap());
+    }
+    assert_eq!(oracle.len(), batches + 1, "append adds one mini-batch");
+    let oracle: Vec<String> = oracle
+        .iter()
+        .map(|r| render_report_stable(&parse(&iolap_server::tcp::report_json(r)).unwrap()))
+        .collect();
+
+    // Server run: buffer=1 parks the worker after each batch, so the
+    // append lands deterministically between batch 0 and batch 1.
+    let server = Server::new(ServerConfig::with_workers(1).report_buffer(1));
+    let f = factory_sized(rows, batches);
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        r#"{"op":"submit","query":"C3","label":"grow"}"#,
+    );
+    let id = field_u64(&parse(&resp).unwrap(), "session").unwrap();
+    let handle = sessions.get(&id).unwrap();
+    for _ in 0..1000 {
+        if handle.summary().pending_reports == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(handle.summary().pending_reports, 1, "worker must be parked");
+
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"append","table":"sessions","rows":{appended}}}"#),
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+    assert_eq!(field_u64(&v, "sessions"), Some(1), "{resp}");
+
+    let mut got = Vec::new();
+    for _ in 0..1000 {
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"poll","session":{id},"max":1}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        if let Some(JVal::Arr(rs)) = v.get("reports") {
+            for r in rs {
+                got.push(render_report_stable(r));
+            }
+        }
+        if v.get("state").and_then(JVal::as_str) == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(got, oracle, "server stream must match the driver oracle");
+    // Theorem-1 agreement: the last batch scales by 1.0 again — its
+    // fraction covers the full (grown) stream.
+    let last = parse(got.last().unwrap()).unwrap();
+    assert_eq!(last.get("fraction").and_then(JVal::as_f64), Some(1.0));
+}
+
 /// Hostile labels — quotes, backslashes, control characters — must round
 /// trip bytewise through submit → summary and appear correctly escaped in
 /// both the JSON telemetry summary and the Prometheus exposition.

@@ -1,0 +1,443 @@
+//! Kill-and-recover integration: the crash-point matrix.
+//!
+//! A durable server is killed (dropped without a clean finish) at every
+//! batch boundary of a session, restarted over the same log directory,
+//! and the session replayed through [`Server::recover`]. The pinned
+//! contract is the tentpole invariant: the report stream a resumed
+//! client sees is **byte-identical** (modulo the masked wall clock) to
+//! an uninterrupted run, and recovery metrics stay monotone — a restart
+//! never loses or rewrites progress, it only re-derives it.
+
+use iolap_core::{IolapConfig, IolapDriver};
+use iolap_engine::plan_sql;
+use iolap_server::tcp::{handle_request, SubmitFactory};
+use iolap_server::wire::{parse, JVal};
+use iolap_server::{Server, ServerConfig, SessionHandle};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: usize = 240;
+const BATCHES: usize = 4;
+
+/// Factory over a pinned Conviva catalog, identical on every restart —
+/// recovery re-derives drivers from origin requests, so determinism of
+/// this closure *is* the recovery contract.
+fn factory() -> SubmitFactory {
+    let catalog = iolap_workloads::conviva_catalog(ROWS, 17);
+    let registry = iolap_workloads::conviva_registry();
+    let queries = iolap_workloads::conviva_queries();
+    Arc::new(move |req: &JVal| {
+        let id = req
+            .get("query")
+            .and_then(JVal::as_str)
+            .ok_or_else(|| "missing query".to_string())?;
+        let q = queries
+            .iter()
+            .find(|q| q.id == id)
+            .ok_or_else(|| format!("unknown query {id}"))?;
+        let pq = plan_sql(q.sql, &catalog, &registry).map_err(|e| e.to_string())?;
+        let mut cfg = IolapConfig::with_batches(BATCHES).trials(10).seed(17);
+        cfg.partition_mode = iolap_relation::PartitionMode::RowShuffle;
+        let driver = IolapDriver::from_plan(&pq, &catalog, q.stream_table, cfg)
+            .map_err(|e| e.to_string())?;
+        Ok((driver, iolap_server::tcp::spec_from_request(req)))
+    })
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("iolap-restart-{}-{n}-{name}", std::process::id()))
+}
+
+/// `workers=1, report_buffer=1` parks the lone worker after every batch,
+/// so "killed at batch boundary `m`" is a deterministic machine state:
+/// `m` batches stepped and logged, `m-1` reports delivered.
+fn cfg(dir: &Path) -> ServerConfig {
+    ServerConfig::with_workers(1)
+        .report_buffer(1)
+        .durable(dir.to_path_buf())
+}
+
+/// Re-render a report with `elapsed_ms` pinned to 0 so streams from
+/// different processes compare bytewise.
+fn masked(r: &JVal) -> String {
+    fn render(v: &JVal, out: &mut String) {
+        use std::fmt::Write as _;
+        match v {
+            JVal::Null => out.push_str("null"),
+            JVal::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JVal::Num(n) => out.push_str(&iolap_server::wire::num(*n)),
+            JVal::Str(s) => {
+                let _ = write!(out, "\"{}\"", iolap_server::wire::escape(s));
+            }
+            JVal::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(item, out);
+                }
+                out.push(']');
+            }
+            JVal::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":", iolap_server::wire::escape(k));
+                    render(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut pinned = r.clone();
+    if let JVal::Obj(members) = &mut pinned {
+        for (k, v) in members.iter_mut() {
+            if k == "elapsed_ms" {
+                *v = JVal::Num(0.0);
+            }
+        }
+    }
+    let mut out = String::new();
+    render(&pinned, &mut out);
+    out
+}
+
+fn submit(server: &Server, f: &SubmitFactory, sessions: &mut BTreeMap<u64, SessionHandle>) -> u64 {
+    let resp = handle_request(
+        server,
+        f,
+        sessions,
+        r#"{"op":"submit","query":"C3","label":"crash"}"#,
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+    v.get("session").and_then(JVal::as_u64).unwrap()
+}
+
+/// Poll with `max:1` until exactly one report arrives; panics if the
+/// session ends first.
+fn poll_one(
+    server: &Server,
+    f: &SubmitFactory,
+    sessions: &mut BTreeMap<u64, SessionHandle>,
+    id: u64,
+) -> String {
+    for _ in 0..2000 {
+        let resp = handle_request(
+            server,
+            f,
+            sessions,
+            &format!(r#"{{"op":"poll","session":{id},"max":1}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+        if let Some(JVal::Arr(rs)) = v.get("reports") {
+            if let Some(r) = rs.first() {
+                return masked(r);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("no report arrived for session {id}");
+}
+
+/// Drain the session to `done`, returning every masked report line.
+fn poll_to_done(
+    server: &Server,
+    f: &SubmitFactory,
+    sessions: &mut BTreeMap<u64, SessionHandle>,
+    id: u64,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for _ in 0..4000 {
+        let resp = handle_request(
+            server,
+            f,
+            sessions,
+            &format!(r#"{{"op":"poll","session":{id},"max":1}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+        if let Some(JVal::Arr(rs)) = v.get("reports") {
+            for r in rs {
+                lines.push(masked(r));
+            }
+        }
+        if v.get("state").and_then(JVal::as_str) == Some("done") {
+            return lines;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("session {id} never finished");
+}
+
+/// Block until the parked worker has buffered one report and stepped
+/// `batches` batches in total — the deterministic crash point.
+fn wait_for_boundary(handle: &SessionHandle, batches: usize) {
+    for _ in 0..2000 {
+        let s = handle.summary();
+        if s.pending_reports == 1 && s.batches_run == batches {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let s = handle.summary();
+    panic!(
+        "never reached boundary {batches}: batches_run={} pending={}",
+        s.batches_run, s.pending_reports
+    );
+}
+
+fn uninterrupted_baseline(f: &SubmitFactory) -> Vec<String> {
+    let dir = scratch_dir("baseline");
+    let server = Server::new(cfg(&dir));
+    let mut sessions = BTreeMap::new();
+    let id = submit(&server, f, &mut sessions);
+    let lines = poll_to_done(&server, f, &mut sessions, id);
+    assert_eq!(lines.len(), BATCHES);
+    lines
+}
+
+/// The matrix itself: kill at every batch boundary `m in 1..BATCHES`,
+/// restart, recover, resume — the pre-crash prefix and the full resumed
+/// stream must both match the uninterrupted baseline bytewise.
+#[test]
+fn crash_at_every_batch_boundary_preserves_the_report_stream() {
+    let f = factory();
+    let baseline = uninterrupted_baseline(&f);
+
+    for m in 1..BATCHES {
+        let dir = scratch_dir(&format!("cell{m}"));
+        let pre = {
+            let server = Server::new(cfg(&dir));
+            let mut sessions = BTreeMap::new();
+            let id = submit(&server, &f, &mut sessions);
+            let mut pre = Vec::new();
+            for k in 0..m {
+                // Each delivered report un-parks the worker for exactly
+                // one more batch; stop one short so report `m-1` is still
+                // buffered (spilled, never delivered) when we kill.
+                wait_for_boundary(sessions.get(&id).unwrap(), k + 1);
+                if k + 1 < m {
+                    pre.push(poll_one(&server, &f, &mut sessions, id));
+                }
+            }
+            pre
+            // `server` dropped here without finish(): the kill. No 'D'
+            // record is written; the log ends at batch m-1's checkpoint.
+        };
+        assert_eq!(pre, baseline[..m - 1], "cell {m}: pre-crash prefix");
+
+        let server = Server::new(cfg(&dir));
+        let recovered = server.recover(&f);
+        assert_eq!(recovered.resumed.len(), 1, "cell {m}: {recovered:?}");
+        assert_eq!(recovered.replayed_batches, m, "cell {m}");
+        assert_eq!(recovered.stale_digests, 0, "cell {m}");
+        let id = recovered.resumed[0];
+
+        let mut sessions = BTreeMap::new();
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"resume","session":{id}}}"#),
+        );
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(JVal::as_bool), Some(true), "{resp}");
+        // Monotone: a restart never loses batches — the resumed frontier
+        // equals the crash boundary, and every replayed report is
+        // re-deliverable.
+        assert_eq!(v.get("batches_run").and_then(JVal::as_u64), Some(m as u64));
+        assert_eq!(
+            v.get("pending_reports").and_then(JVal::as_u64),
+            Some(m as u64)
+        );
+        let expo = server.exposition(true);
+        assert!(
+            expo.contains("iolap_durable_resumed_sessions_total 1"),
+            "cell {m}: {expo}"
+        );
+        assert!(
+            expo.contains(&format!("iolap_durable_replayed_batches_total {m}")),
+            "cell {m}"
+        );
+
+        let post = poll_to_done(&server, &f, &mut sessions, id);
+        assert_eq!(post, baseline, "cell {m}: resumed stream diverged");
+    }
+}
+
+/// Killing the server *between* recovery replay and any new progress
+/// (a crash mid-recovery, after the log was read but before the session
+/// advanced) must itself be recoverable: the log is replay-idempotent.
+#[test]
+fn restart_during_recovery_replay_is_idempotent() {
+    let f = factory();
+    let baseline = uninterrupted_baseline(&f);
+    let m = 2;
+
+    let dir = scratch_dir("double");
+    let id = {
+        let server = Server::new(cfg(&dir));
+        let mut sessions = BTreeMap::new();
+        let id = submit(&server, &f, &mut sessions);
+        wait_for_boundary(sessions.get(&id).unwrap(), 1);
+        let _ = poll_one(&server, &f, &mut sessions, id);
+        wait_for_boundary(sessions.get(&id).unwrap(), m);
+        id
+    };
+
+    // First restart: recover, then kill again before anything is polled.
+    {
+        let server = Server::new(cfg(&dir));
+        let recovered = server.recover(&f);
+        assert_eq!(recovered.resumed, vec![id], "{recovered:?}");
+        assert_eq!(recovered.replayed_batches, m);
+    }
+
+    // Second restart over the identical log: same frontier, same stream.
+    let server = Server::new(cfg(&dir));
+    let recovered = server.recover(&f);
+    assert_eq!(recovered.resumed, vec![id], "{recovered:?}");
+    assert_eq!(recovered.replayed_batches, m);
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"resume","session":{id}}}"#),
+    );
+    assert_eq!(
+        parse(&resp).unwrap().get("ok").and_then(JVal::as_bool),
+        Some(true),
+        "{resp}"
+    );
+    let post = poll_to_done(&server, &f, &mut sessions, id);
+    assert_eq!(post, baseline);
+}
+
+/// The final matrix cell: a session that *completed* before the kill has
+/// its 'D' record on disk; restart must not resurrect it, and `resume`
+/// reports it finished rather than unknown.
+#[test]
+fn completed_sessions_stay_finished_across_restart() {
+    let f = factory();
+    let dir = scratch_dir("done");
+    let id = {
+        let server = Server::new(cfg(&dir));
+        let mut sessions = BTreeMap::new();
+        let id = submit(&server, &f, &mut sessions);
+        let lines = poll_to_done(&server, &f, &mut sessions, id);
+        assert_eq!(lines.len(), BATCHES);
+        id
+    };
+
+    let server = Server::new(cfg(&dir));
+    let recovered = server.recover(&f);
+    assert!(recovered.resumed.is_empty(), "{recovered:?}");
+    assert!(recovered.skipped.is_empty(), "{recovered:?}");
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"resume","session":{id}}}"#),
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(JVal::as_str),
+        Some("session_finished"),
+        "{resp}"
+    );
+    // Recovered ids stay reserved: a fresh submission must not collide
+    // with the finished session's on-disk log.
+    let fresh = submit(&server, &f, &mut sessions);
+    assert!(fresh > id, "fresh id {fresh} collides with recovered {id}");
+}
+
+/// Appends are part of the durable event order: a session killed *after*
+/// an append was applied and logged must replay the append at the same
+/// position and resume to the identical grown stream.
+#[test]
+fn appends_survive_restart_at_their_original_position() {
+    let f = factory();
+    let appended = r#"[[901,1,"cdn-x","SFO","US","isp-a","vod",12.5,3.5,1.25,2400,0],[902,2,"cdn-y","LAX","US","isp-b","live",2.5,7.25,0.5,3200,1]]"#;
+
+    // Uninterrupted grown run: append lands while parked after batch 0.
+    let grown = {
+        let dir = scratch_dir("grown-base");
+        let server = Server::new(cfg(&dir));
+        let mut sessions = BTreeMap::new();
+        let id = submit(&server, &f, &mut sessions);
+        wait_for_boundary(sessions.get(&id).unwrap(), 1);
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"append","table":"sessions","rows":{appended}}}"#),
+        );
+        assert_eq!(
+            parse(&resp).unwrap().get("sessions").and_then(JVal::as_u64),
+            Some(1),
+            "{resp}"
+        );
+        let lines = poll_to_done(&server, &f, &mut sessions, id);
+        assert_eq!(lines.len(), BATCHES + 1, "append adds one mini-batch");
+        lines
+    };
+
+    // Same run, killed two batches after the append, then recovered.
+    let dir = scratch_dir("grown-crash");
+    let id = {
+        let server = Server::new(cfg(&dir));
+        let mut sessions = BTreeMap::new();
+        let id = submit(&server, &f, &mut sessions);
+        wait_for_boundary(sessions.get(&id).unwrap(), 1);
+        let resp = handle_request(
+            &server,
+            &f,
+            &mut sessions,
+            &format!(r#"{{"op":"append","table":"sessions","rows":{appended}}}"#),
+        );
+        assert_eq!(
+            parse(&resp).unwrap().get("sessions").and_then(JVal::as_u64),
+            Some(1),
+            "{resp}"
+        );
+        let _ = poll_one(&server, &f, &mut sessions, id);
+        wait_for_boundary(sessions.get(&id).unwrap(), 2);
+        let _ = poll_one(&server, &f, &mut sessions, id);
+        wait_for_boundary(sessions.get(&id).unwrap(), 3);
+        id
+    };
+
+    let server = Server::new(cfg(&dir));
+    let recovered = server.recover(&f);
+    assert_eq!(recovered.resumed, vec![id], "{recovered:?}");
+    assert_eq!(recovered.replayed_batches, 3);
+    assert_eq!(recovered.reapplied_appends, 1);
+    let mut sessions = BTreeMap::new();
+    let resp = handle_request(
+        &server,
+        &f,
+        &mut sessions,
+        &format!(r#"{{"op":"resume","session":{id}}}"#),
+    );
+    assert_eq!(
+        parse(&resp).unwrap().get("ok").and_then(JVal::as_bool),
+        Some(true),
+        "{resp}"
+    );
+    let post = poll_to_done(&server, &f, &mut sessions, id);
+    assert_eq!(post, grown, "replayed append diverged from live apply");
+}

@@ -1,0 +1,96 @@
+//! Atomic whole-file artifacts: temp-file + rename.
+//!
+//! Bench JSON, golden files, and other small whole-file outputs are not
+//! append logs — they are replaced wholesale. Writing them in place risks
+//! a reader (or a crash) observing a half-written copy; writing a sibling
+//! temp file and renaming it over the target is atomic on POSIX
+//! filesystems, so observers see either the old artifact or the new one.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Create `dir` (and parents) if missing. Centralised here so directory
+/// creation on the persistence path stays inside the store crate (L012).
+pub fn ensure_dir(dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)
+}
+
+/// Atomically replace the file at `path` with `bytes`.
+///
+/// The temp sibling lives in the same directory (rename across mount
+/// points is not atomic) and carries the process id so concurrent writers
+/// of *different* artifacts never collide; last rename wins for the same
+/// artifact, which is the usual overwrite semantics.
+pub fn write_artifact(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "artifact path has no file name",
+        )
+    })?;
+    let mut tmp = dir.join(name);
+    tmp.set_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no temp litter behind a failed rename; the original
+            // error is the one worth reporting.
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(name: &str) -> PathBuf {
+        let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("iolap-artifact-{}-{n}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = scratch("overwrite");
+        let path = dir.join("bench.json");
+        write_artifact(&path, b"v1").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v1");
+        write_artifact(&path, b"v2 is longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v2 is longer");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "bench.json")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn ensure_dir_is_idempotent() {
+        let dir = scratch("ensure").join("a/b/c");
+        ensure_dir(&dir).unwrap();
+        ensure_dir(&dir).unwrap();
+        assert!(dir.is_dir());
+    }
+
+    #[test]
+    fn rejects_bare_root_path() {
+        assert!(write_artifact(Path::new("/"), b"x").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! CRC32 (IEEE 802.3 polynomial), table-driven, computed at compile time.
+//!
+//! The same polynomial as zlib/`cksum -o 3`: reflected 0xEDB88320, initial
+//! value and final XOR of `0xFFFF_FFFF`. The canonical check vector
+//! `"123456789"` → `0xCBF43926` is pinned in the tests.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `bytes` under the IEEE polynomial.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"iolap segment payload");
+        let mut flipped = b"iolap segment payload".to_vec();
+        for i in 0..flipped.len() {
+            flipped[i] ^= 1;
+            assert_ne!(crc32(&flipped), base, "flip at byte {i} undetected");
+            flipped[i] ^= 1;
+        }
+    }
+}

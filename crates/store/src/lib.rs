@@ -1,0 +1,41 @@
+//! Durable storage for the iOLAP engine: CRC-framed append segments,
+//! crash-tolerant scans, and atomic whole-file artifacts.
+//!
+//! The engine's recovery story (§5.1 of the paper, PR 3's checkpoint
+//! digests) is entirely logical: a checkpoint is *valid* iff its digest
+//! matches a deterministic re-derivation of driver state. This crate adds
+//! the physical half — a place for those checkpoints, published reports,
+//! and session manifests to survive a process crash — without changing
+//! the logical contract:
+//!
+//! * A **segment** is an append-only file of length-prefixed, CRC32-framed
+//!   records behind a fixed magic/version header. Readers accept the
+//!   longest valid prefix and report (not fail on) a torn tail, so a crash
+//!   mid-write costs at most the frame being written.
+//! * A **writer** can `create` a fresh segment or `resume` an existing
+//!   one, chopping any torn tail before appending. Appends optionally
+//!   fsync per frame for crash consistency at a measured cost (the
+//!   `durability` bench sweep records the overhead).
+//! * An **artifact** is a small whole file (bench JSON, goldens) written
+//!   via temp-file + rename so readers never observe a half-written copy.
+//!
+//! Everything in the workspace that persists state routes through this
+//! crate; lint L012 rejects raw `std::fs::write` / `File::create` /
+//! `OpenOptions` use on the persistence path anywhere else.
+//!
+//! The crate has zero dependencies and its non-test code is panic-free:
+//! every fallible operation returns `io::Result`, and corrupt input is
+//! data (a shorter valid prefix), never a crash.
+
+#![forbid(unsafe_code)]
+
+mod artifact;
+mod crc;
+mod segment;
+
+pub use artifact::{ensure_dir, write_artifact};
+pub use crc::crc32;
+pub use segment::{
+    scan_segment, truncate_tail, SegmentScan, SegmentWriter, FRAME_HEADER_LEN, MAGIC,
+    SEGMENT_HEADER_LEN, VERSION,
+};

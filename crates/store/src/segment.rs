@@ -1,0 +1,379 @@
+//! Append-only CRC-framed segments.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [ 8B magic "IOLAPSEG" ][ 4B version (LE) ]      -- segment header
+//! [ 4B len (LE) ][ 4B crc32 (LE) ][ len bytes ]   -- frame, repeated
+//! ```
+//!
+//! The reader accepts the longest prefix of well-formed frames and stops at
+//! the first frame whose length runs past the file or whose CRC disagrees
+//! with its payload — that is a *torn tail*, reported via
+//! [`SegmentScan::truncated`] together with the byte offset of the valid
+//! prefix. [`SegmentWriter::resume`] chops the torn tail (`set_len`) before
+//! appending, so a crash mid-write costs at most the frame in flight.
+
+use crate::crc::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Leading magic of every segment file.
+pub const MAGIC: &[u8; 8] = b"IOLAPSEG";
+/// On-disk format version; bumped on any incompatible layout change.
+pub const VERSION: u32 = 1;
+/// Bytes before the first frame: magic plus version.
+pub const SEGMENT_HEADER_LEN: u64 = 12;
+/// Bytes of framing before each payload: length plus CRC.
+pub const FRAME_HEADER_LEN: u64 = 8;
+
+/// Largest frame the reader will attempt to materialise. A corrupt length
+/// field must not translate into an allocation of that bogus size; anything
+/// past this bound is treated as a torn tail.
+const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Result of scanning a segment: the valid frame prefix plus where (and
+/// whether) the scan stopped short of the physical file end.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Payloads of every well-formed frame, in append order.
+    pub frames: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix (header plus whole frames). A
+    /// resumed writer truncates the file to this length before appending.
+    pub valid_len: u64,
+    /// True when bytes past `valid_len` exist but do not form a complete,
+    /// CRC-clean frame — a torn or truncated tail.
+    pub truncated: bool,
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn u32_at(data: &[u8], off: usize) -> Option<u32> {
+    let end = off.checked_add(4)?;
+    let bytes: [u8; 4] = data.get(off..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+/// Read a segment, returning every valid frame and the torn-tail verdict.
+///
+/// A missing file, short header, wrong magic, or wrong version is an
+/// error — those are not crash artifacts but absent/foreign files. A torn
+/// tail is *not* an error: it is the expected residue of a crash mid-write
+/// and is reported through [`SegmentScan`].
+pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let data = fs::read(path)?;
+    if data.len() < SEGMENT_HEADER_LEN as usize {
+        return Err(bad_data("segment shorter than header"));
+    }
+    if &data[..8] != MAGIC {
+        return Err(bad_data("bad segment magic"));
+    }
+    match u32_at(&data, 8) {
+        Some(v) if v == VERSION => {}
+        _ => return Err(bad_data("unsupported segment version")),
+    }
+
+    let mut frames = Vec::new();
+    let mut off = SEGMENT_HEADER_LEN as usize;
+    let mut truncated = false;
+    loop {
+        if off == data.len() {
+            break;
+        }
+        let (len, crc) = match (u32_at(&data, off), u32_at(&data, off + 4)) {
+            (Some(len), Some(crc)) => (len as usize, crc),
+            _ => {
+                truncated = true;
+                break;
+            }
+        };
+        let start = off + FRAME_HEADER_LEN as usize;
+        let end = match start.checked_add(len) {
+            Some(end) if len <= MAX_FRAME_LEN && end <= data.len() => end,
+            _ => {
+                truncated = true;
+                break;
+            }
+        };
+        let payload = &data[start..end];
+        if crc32(payload) != crc {
+            truncated = true;
+            break;
+        }
+        frames.push(payload.to_vec());
+        off = end;
+    }
+    Ok(SegmentScan {
+        frames,
+        valid_len: off as u64,
+        truncated,
+    })
+}
+
+/// Chop the last `bytes` bytes off a file, returning its new length.
+///
+/// This is a fault-injection helper (the `truncated_segment` fault kind
+/// simulates a filesystem losing the tail of a flushed segment); recovery
+/// code never calls it directly — `resume` only ever truncates to a
+/// CRC-verified prefix.
+pub fn truncate_tail(path: &Path, bytes: u64) -> io::Result<u64> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    let len = file.metadata()?.len();
+    let new_len = len.saturating_sub(bytes);
+    file.set_len(new_len)?;
+    file.sync_data()?;
+    Ok(new_len)
+}
+
+/// Appending writer over a segment file.
+///
+/// With `fsync` enabled every append is followed by `sync_data`, making
+/// each frame durable before the writer returns; with it disabled frames
+/// sit in OS caches (faster, weaker guarantee — the `durability` sweep
+/// measures the gap). Either way the *framing* guarantees a reader sees a
+/// clean prefix.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    len: u64,
+    fsync: bool,
+}
+
+impl SegmentWriter {
+    /// Create (or overwrite) a segment at `path` and write its header.
+    pub fn create(path: &Path, fsync: bool) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        if fsync {
+            file.sync_data()?;
+        }
+        Ok(SegmentWriter {
+            file,
+            len: SEGMENT_HEADER_LEN,
+            fsync,
+        })
+    }
+
+    /// Reopen an existing segment for appending: scan it, truncate any torn
+    /// tail to the valid prefix, and seek to the end. Returns the writer
+    /// together with the scan so callers replay the surviving frames.
+    pub fn resume(path: &Path, fsync: bool) -> io::Result<(Self, SegmentScan)> {
+        let scan = scan_segment(path)?;
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(scan.valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        let writer = SegmentWriter {
+            file,
+            len: scan.valid_len,
+            fsync,
+        };
+        Ok((writer, scan))
+    }
+
+    /// Append one framed payload; with fsync on, durable on return.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let frame = encode_frame(payload)?;
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Fault-injection helper: write only the leading `fraction` of the
+    /// encoded frame — a torn write, as when power fails mid-`write`.
+    ///
+    /// The writer stays usable, but anything appended after the tear lands
+    /// *behind* a malformed frame and is unreachable to [`scan_segment`]
+    /// (the scan stops at the tear). That models the crash faithfully:
+    /// everything from the torn frame onward is lost to recovery.
+    pub fn append_partial(&mut self, payload: &[u8], fraction: f64) -> io::Result<()> {
+        let frame = encode_frame(payload)?;
+        let cut = ((frame.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+        // A zero-length cut would be a no-op (not torn at all) and a
+        // full-length cut a clean frame; pin strictly inside.
+        let cut = cut.clamp(1, frame.len().saturating_sub(1));
+        self.file.write_all(&frame[..cut])?;
+        self.file.sync_data()?;
+        self.len += cut as u64;
+        Ok(())
+    }
+
+    /// Flush OS caches to stable storage regardless of the fsync mode.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Current byte length of the segment (header plus appended frames).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the segment holds no frames yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == SEGMENT_HEADER_LEN
+    }
+}
+
+fn encode_frame(payload: &[u8]) -> io::Result<Vec<u8>> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(bad_data("frame payload exceeds maximum length"));
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN as usize + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(name: &str) -> PathBuf {
+        let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("iolap-store-{}-{n}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_frames() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("a.seg");
+        let mut w = SegmentWriter::create(&path, false).unwrap();
+        assert!(w.is_empty());
+        w.append(b"alpha").unwrap();
+        w.append(b"").unwrap();
+        w.append(&[0u8; 300]).unwrap();
+        drop(w);
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.truncated);
+        assert_eq!(scan.frames, vec![b"alpha".to_vec(), vec![], vec![0u8; 300]]);
+        assert_eq!(
+            scan.valid_len,
+            SEGMENT_HEADER_LEN + 3 * FRAME_HEADER_LEN + 5 + 300
+        );
+    }
+
+    #[test]
+    fn torn_write_yields_valid_prefix() {
+        let dir = scratch("torn");
+        let path = dir.join("a.seg");
+        let mut w = SegmentWriter::create(&path, true).unwrap();
+        w.append(b"kept").unwrap();
+        let before = w.len();
+        w.append_partial(b"torn away by the crash", 0.5).unwrap();
+        // Frames appended after the tear are behind a malformed frame and
+        // therefore invisible to the scan — the crash loses the whole tail.
+        w.append(b"unreachable").unwrap();
+        drop(w);
+        let scan = scan_segment(&path).unwrap();
+        assert!(scan.truncated);
+        assert_eq!(scan.frames, vec![b"kept".to_vec()]);
+        assert_eq!(scan.valid_len, before);
+    }
+
+    #[test]
+    fn resume_chops_torn_tail_and_appends() {
+        let dir = scratch("resume");
+        let path = dir.join("a.seg");
+        let mut w = SegmentWriter::create(&path, false).unwrap();
+        w.append(b"one").unwrap();
+        w.append_partial(b"half-written", 0.4).unwrap();
+        let (mut w, scan) = SegmentWriter::resume(&path, false).unwrap();
+        assert!(scan.truncated);
+        assert_eq!(scan.frames, vec![b"one".to_vec()]);
+        w.append(b"two").unwrap();
+        drop(w);
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.truncated);
+        assert_eq!(scan.frames, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn truncate_tail_loses_whole_frames() {
+        let dir = scratch("chop");
+        let path = dir.join("a.seg");
+        let mut w = SegmentWriter::create(&path, false).unwrap();
+        w.append(b"first").unwrap();
+        w.append(b"second").unwrap();
+        drop(w);
+        // Chop into the middle of the second frame.
+        truncate_tail(&path, 3).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert!(scan.truncated);
+        assert_eq!(scan.frames, vec![b"first".to_vec()]);
+        // Resume after the chop behaves exactly like resume after a torn
+        // write: valid prefix survives, new frames append cleanly.
+        let (mut w, _) = SegmentWriter::resume(&path, false).unwrap();
+        w.append(b"third").unwrap();
+        drop(w);
+        let scan = scan_segment(&path).unwrap();
+        assert!(!scan.truncated);
+        assert_eq!(scan.frames, vec![b"first".to_vec(), b"third".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan() {
+        let dir = scratch("crc");
+        let path = dir.join("a.seg");
+        let mut w = SegmentWriter::create(&path, false).unwrap();
+        w.append(b"good").unwrap();
+        w.append(b"soon bad").unwrap();
+        drop(w);
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        crate::write_artifact(&path, &data).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert!(scan.truncated);
+        assert_eq!(scan.frames, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn foreign_and_short_files_are_errors() {
+        let dir = scratch("foreign");
+        let path = dir.join("a.seg");
+        crate::write_artifact(&path, b"not a segment at all").unwrap();
+        assert!(scan_segment(&path).is_err());
+        crate::write_artifact(&path, b"IOLAP").unwrap();
+        assert!(scan_segment(&path).is_err());
+        // Wrong version.
+        let mut bad = MAGIC.to_vec();
+        bad.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        crate::write_artifact(&path, &bad).unwrap();
+        assert!(scan_segment(&path).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_field_does_not_allocate() {
+        let dir = scratch("len");
+        let path = dir.join("a.seg");
+        let mut w = SegmentWriter::create(&path, false).unwrap();
+        w.append(b"ok").unwrap();
+        drop(w);
+        let mut data = std::fs::read(&path).unwrap();
+        // Append a frame header claiming ~4 GiB of payload.
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        crate::write_artifact(&path, &data).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert!(scan.truncated);
+        assert_eq!(scan.frames, vec![b"ok".to_vec()]);
+    }
+}

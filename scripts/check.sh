@@ -41,6 +41,9 @@ IOLAP_SCALE=bench cargo run --release --offline -q -p iolap-bench --bin experime
 echo "== observe --smoke (telemetry plane: exposition golden, trace/exposition determinism, overhead)"
 cargo run --release --offline -q -p iolap-bench --bin experiments -- observe --smoke
 
+echo "== durability --smoke (crash-point matrix byte-identical, append cells Theorem-1 exact)"
+cargo run --release --offline -q -p iolap-bench --bin experiments -- durability --smoke
+
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 
